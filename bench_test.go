@@ -1,0 +1,233 @@
+package oassis
+
+// One benchmark per table/figure of the paper's evaluation (Section 6).
+// Each bench regenerates the corresponding experiment at a CI-friendly
+// scale and reports the headline quantities (crowd questions, MSPs) as
+// custom metrics; `go run ./cmd/oassis-bench -full` regenerates the tables
+// at the paper's full scale. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured values.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"oassis/internal/experiments"
+	"oassis/internal/synth"
+)
+
+// benchScale keeps per-iteration times around a second.
+const benchScale = 0.1
+
+var benchDomainScale = experiments.DomainScale{Members: 24, Patterns: 10, Sample: 5}
+
+func reportRows(b *testing.B, r *experiments.Report) {
+	b.Helper()
+	if len(r.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	// Surface the first row's numeric cells as metrics. Metric units must
+	// not contain whitespace, so header names are slugified.
+	for i, cell := range r.Rows[0] {
+		if v, err := strconv.ParseFloat(cell, 64); err == nil && i < len(r.Header) {
+			unit := strings.Map(func(c rune) rune {
+				if c == ' ' || c == '\t' {
+					return '_'
+				}
+				return c
+			}, r.Header[i])
+			if unit != "" {
+				b.ReportMetric(v, unit)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4aTravel regenerates Figure 4a (crowd statistics, travel).
+func BenchmarkFig4aTravel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4Domain("fig4a", synth.Travel, benchDomainScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkFig4bCulinary regenerates Figure 4b (crowd statistics, culinary).
+func BenchmarkFig4bCulinary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4Domain("fig4b", synth.Culinary, benchDomainScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkFig4cSelfTreatment regenerates Figure 4c.
+func BenchmarkFig4cSelfTreatment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4Domain("fig4c", synth.SelfTreatment, benchDomainScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkFig4dPaceTravel regenerates Figure 4d (pace of collection).
+func BenchmarkFig4dPaceTravel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4Pace("fig4d", synth.Travel, benchDomainScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkFig4ePaceSelfTreatment regenerates Figure 4e.
+func BenchmarkFig4ePaceSelfTreatment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4Pace("fig4e", synth.SelfTreatment, benchDomainScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkFig4fAnswerTypes regenerates Figure 4f (specialization/pruning
+// answer-type ratios).
+func BenchmarkFig4fAnswerTypes(b *testing.B) {
+	cfg := experiments.DefaultFig4f(benchScale)
+	cfg.Trials = 2
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4f(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkFig5Algorithms regenerates Figure 5 (Vertical vs Horizontal vs
+// Naive at 2/5/10% MSPs).
+func BenchmarkFig5Algorithms(b *testing.B) {
+	cfg := experiments.DefaultFig5(benchScale)
+	cfg.Trials = 2
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkSweepDAGShape regenerates the §6.4 DAG width/depth sweep.
+func BenchmarkSweepDAGShape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SweepDAGShape(benchScale, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkSweepMSPDistribution regenerates the §6.4 MSP-placement sweep.
+func BenchmarkSweepMSPDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SweepMSPDistribution(benchScale, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkSweepMultiplicities regenerates the §6.4 multiplicity sweep and
+// the lazy-vs-eager node-generation comparison.
+func BenchmarkSweepMultiplicities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SweepMultiplicities(benchScale, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkCrowdSummary regenerates the §6.3 cross-domain run statistics.
+func BenchmarkCrowdSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CrowdSummary(benchDomainScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkComplexityBounds checks Propositions 4.7/4.8 empirically.
+func BenchmarkComplexityBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ComplexityBounds(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row[len(row)-1] != "true" {
+				b.Fatalf("complexity bound violated: %v", row)
+			}
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkItemsetCapture checks the §4.1 frequent-itemset capture claim.
+func BenchmarkItemsetCapture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ItemsetCapture(12, 60, 0.15, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Rows[1][2] != "true" {
+			b.Fatal("OASSIS and Apriori disagree")
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkAssocMiner exercises the SIGMOD'13 bridge module (ref [3]).
+func BenchmarkAssocMiner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AssocMiner(30, 500, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, r)
+	}
+}
+
+// BenchmarkRunningExampleE2E measures the paper's running example through
+// the public API (ontology + query parse + mining).
+func BenchmarkRunningExampleE2E(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		db := SampleDB()
+		q, err := ParseQuery(figure2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		members := table3Members(b, db)
+		res, err := Exec(db, q, members, WithAnswersPerQuestion(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.MSPs) != 3 {
+			b.Fatalf("MSPs = %d", len(res.MSPs))
+		}
+	}
+}

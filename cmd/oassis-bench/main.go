@@ -1,0 +1,111 @@
+// Command oassis-bench regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index). Each experiment prints an aligned
+// text table; -csv switches to CSV; -scale trades fidelity for runtime.
+//
+// Usage:
+//
+//	oassis-bench -exp all            # everything, quick scale
+//	oassis-bench -exp fig5 -scale 1  # Figure 5 at the paper's full width
+//	oassis-bench -exp fig4a,fig4d -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oassis/internal/experiments"
+	"oassis/internal/synth"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids (all, fig4a..fig4f, fig5, sweeps, summary, bounds, capture, assoc)")
+		scale = flag.Float64("scale", 0.2, "synthetic-DAG scale factor (1 = paper's width 500)")
+		full  = flag.Bool("full", false, "use the full 248-member crowd for the domain experiments")
+		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
+	)
+	flag.Parse()
+
+	sc := experiments.QuickScale
+	if *full {
+		sc = experiments.FullScale
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	runAll := want["all"]
+
+	type job struct {
+		id  string
+		run func() (*experiments.Report, error)
+	}
+	jobs := []job{
+		{"fig4a", func() (*experiments.Report, error) {
+			return experiments.Fig4Domain("fig4a", synth.Travel, sc)
+		}},
+		{"fig4b", func() (*experiments.Report, error) {
+			return experiments.Fig4Domain("fig4b", synth.Culinary, sc)
+		}},
+		{"fig4c", func() (*experiments.Report, error) {
+			return experiments.Fig4Domain("fig4c", synth.SelfTreatment, sc)
+		}},
+		{"fig4d", func() (*experiments.Report, error) {
+			return experiments.Fig4Pace("fig4d", synth.Travel, sc)
+		}},
+		{"fig4e", func() (*experiments.Report, error) {
+			return experiments.Fig4Pace("fig4e", synth.SelfTreatment, sc)
+		}},
+		{"fig4f", func() (*experiments.Report, error) {
+			return experiments.Fig4f(experiments.DefaultFig4f(*scale))
+		}},
+		{"fig5", func() (*experiments.Report, error) {
+			return experiments.Fig5(experiments.DefaultFig5(*scale))
+		}},
+		{"sweeps", func() (*experiments.Report, error) {
+			return experiments.SweepDAGShape(*scale, 3)
+		}},
+		{"sweep-dist", func() (*experiments.Report, error) {
+			return experiments.SweepMSPDistribution(*scale, 3)
+		}},
+		{"sweep-mult", func() (*experiments.Report, error) {
+			return experiments.SweepMultiplicities(*scale, 3)
+		}},
+		{"summary", func() (*experiments.Report, error) {
+			return experiments.CrowdSummary(sc)
+		}},
+		{"bounds", func() (*experiments.Report, error) {
+			return experiments.ComplexityBounds(*scale)
+		}},
+		{"capture", func() (*experiments.Report, error) {
+			return experiments.ItemsetCapture(12, 60, 0.15, 7)
+		}},
+		{"assoc", func() (*experiments.Report, error) {
+			return experiments.AssocMiner(30, 500, 11)
+		}},
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if !runAll && !want[j.id] {
+			continue
+		}
+		r, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oassis-bench: %s: %v\n", j.id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Println(r.CSV())
+		} else {
+			fmt.Println(r.Table())
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "oassis-bench: no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,101 @@
+// Command oassis-gen generates synthetic workloads: a domain ontology in
+// the Turtle subset plus a matching crowd-histories file for cmd/oassis.
+//
+// Usage:
+//
+//	oassis-gen -domain travel -out ./data
+//	oassis-gen -domain culinary -members 20 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"oassis/internal/crowd"
+	"oassis/internal/rdfio"
+	"oassis/internal/synth"
+)
+
+func main() {
+	var (
+		domain  = flag.String("domain", "travel", "travel | culinary | self-treatment")
+		members = flag.Int("members", 12, "number of crowd members to generate")
+		out     = flag.String("out", ".", "output directory")
+		seed    = flag.Int64("seed", 0, "override the domain's default seed")
+	)
+	flag.Parse()
+	if err := run(*domain, *members, *out, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "oassis-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(domain string, members int, out string, seed int64) error {
+	var cfg synth.DomainConfig
+	switch domain {
+	case "travel":
+		cfg = synth.Travel
+	case "culinary":
+		cfg = synth.Culinary
+	case "self-treatment", "selftreatment":
+		cfg = synth.SelfTreatment
+	default:
+		return fmt.Errorf("unknown domain %q", domain)
+	}
+	cfg.Members = members
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	d, err := synth.GenerateDomain(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	// Ontology: write the subsumption edges as an ontology document. The
+	// generator keeps the order in the vocabulary only, so mirror it here.
+	ontoPath := filepath.Join(out, cfg.Name+".ttl")
+	f, err := os.Create(ontoPath)
+	if err != nil {
+		return err
+	}
+	if err := rdfio.Write(f, d.Onto); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	// Crowd histories.
+	crowdPath := filepath.Join(out, cfg.Name+"-crowd.txt")
+	cf, err := os.Create(crowdPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	var sb strings.Builder
+	for _, m := range d.Members {
+		sim, ok := m.(*crowd.SimMember)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "member %s\n", sim.Name)
+		for _, tx := range sim.DB.Transactions {
+			fmt.Fprintf(&sb, "%s\n", tx.Format(d.Voc))
+		}
+		sb.WriteByte('\n')
+	}
+	if _, err := cf.WriteString(sb.String()); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote %s (%d facts) and %s (%d members)\n",
+		ontoPath, d.Onto.Len(), crowdPath, len(d.Members))
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command oassis-server runs the crowdsourcing platform of the paper's
+// §6.2 as a web service: crowd members visit the page, join the question
+// game, answer concrete and specialization questions about their habits on
+// the five-level frequency scale, and earn bronze/silver/gold stars; a
+// statistics page commends the top contributors, and the mined answers
+// appear when the query completes.
+//
+// Usage:
+//
+//	oassis-server -query q.oql [-ontology o.ttl] [-addr :8080] [-slots 20] [-k 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/rdfio"
+	"oassis/internal/vocab"
+)
+
+func main() {
+	var (
+		queryFile = flag.String("query", "", "OASSIS-QL query file (required)")
+		ontoFile  = flag.String("ontology", "", "ontology in Turtle subset (default: sample)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		slots     = flag.Int("slots", 20, "maximum crowd members")
+		k         = flag.Int("k", 5, "answers required per question")
+	)
+	flag.Parse()
+	if *queryFile == "" {
+		fmt.Fprintln(os.Stderr, "oassis-server: -query is required")
+		os.Exit(2)
+	}
+	qtext, err := os.ReadFile(*queryFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query, err := oassisql.Parse(string(qtext))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var voc *vocab.Vocabulary
+	var onto *ontology.Ontology
+	if *ontoFile == "" {
+		s := ontology.NewSample()
+		voc, onto = s.Voc, s.Onto
+	} else {
+		f, err := os.Open(*ontoFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		voc, onto, err = rdfio.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv, err := newServer(voc, onto, query, *slots, *k, 20*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("oassis-server: crowdsourcing %q on %s (%d slots, %d answers/question)",
+		*queryFile, *addr, *slots, *k)
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}

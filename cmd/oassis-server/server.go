@@ -1,0 +1,316 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/assign"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/sparql"
+	"oassis/internal/vocab"
+)
+
+// server is the crowdsourcing platform of §6.2: visitors join the question
+// game, answer the engine's questions about their habits (concrete and
+// specialization questions on the paper's five-level scale), collect stars,
+// and appear on the top-20 statistics page; the query owner polls for the
+// mined answers.
+type server struct {
+	voc   *vocab.Vocabulary
+	onto  *ontology.Ontology
+	sp    *assign.Space
+	query *oassisql.Query
+	tpl   *crowd.Templates
+	it    *core.Interactive
+	poll  time.Duration
+
+	mu      sync.Mutex
+	slots   []string          // member IDs (slots), in join order
+	nextIdx int               // next unclaimed slot
+	names   map[string]string // slot -> display name
+	pending map[string]*pendingQuestion
+	serial  int
+	answers map[string]int // live leaderboard
+}
+
+type pendingQuestion struct {
+	id int
+	q  *core.Question
+}
+
+// newServer compiles the query against the ontology and starts the engine
+// with `slots` member sessions.
+func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Query,
+	slots, answersPerQuestion int, poll time.Duration) (*server, error) {
+	bindings, err := sparql.Evaluate(onto, query.Where)
+	if err != nil {
+		return nil, err
+	}
+	maps := make([]map[string]vocab.Term, len(bindings))
+	for i, b := range bindings {
+		maps[i] = b
+	}
+	sp, err := assign.NewSpace(voc, query, maps, sparql.Anchors(voc, query.Where))
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		voc:     voc,
+		onto:    onto,
+		sp:      sp,
+		query:   query,
+		tpl:     crowd.NewTemplates(voc),
+		poll:    poll,
+		names:   make(map[string]string),
+		pending: make(map[string]*pendingQuestion),
+		answers: make(map[string]int),
+	}
+	for i := 0; i < slots; i++ {
+		s.slots = append(s.slots, fmt.Sprintf("p%02d", i))
+	}
+	s.it = core.NewInteractive(core.Config{
+		Space: sp,
+		Theta: query.Support,
+		Agg:   aggregate.NewFixedSample(answersPerQuestion),
+	}, s.slots)
+	return s, nil
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("POST /api/join", s.handleJoin)
+	mux.HandleFunc("GET /api/question", s.handleQuestion)
+	mux.HandleFunc("POST /api/answer", s.handleAnswer)
+	mux.HandleFunc("GET /api/results", s.handleResults)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Name) == "" {
+		httpError(w, http.StatusBadRequest, "a display name is required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nextIdx >= len(s.slots) {
+		httpError(w, http.StatusConflict, "the crowd is full (%d members)", len(s.slots))
+		return
+	}
+	id := s.slots[s.nextIdx]
+	s.nextIdx++
+	s.names[id] = strings.TrimSpace(req.Name)
+	writeJSON(w, http.StatusOK, map[string]string{"member": id})
+}
+
+// questionJSON is the wire form of a question.
+type questionJSON struct {
+	Type    string   `json:"type"` // concrete | specialize | wait | done
+	ID      int      `json:"id,omitempty"`
+	Text    string   `json:"text,omitempty"`
+	Choices []string `json:"choices,omitempty"`
+	Scale   []string `json:"scale,omitempty"`
+}
+
+func (s *server) memberKnown(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.names[id]
+	return ok
+}
+
+func (s *server) handleQuestion(w http.ResponseWriter, r *http.Request) {
+	member := r.URL.Query().Get("member")
+	if !s.memberKnown(member) {
+		httpError(w, http.StatusNotFound, "unknown member %q", member)
+		return
+	}
+	// If a question is already pending (e.g. the client reloaded), resend it.
+	s.mu.Lock()
+	if p := s.pending[member]; p != nil {
+		resp := s.renderQuestion(p)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.mu.Unlock()
+
+	q, ok, running := s.it.NextQuestionTimeout(member, s.poll)
+	if !running {
+		writeJSON(w, http.StatusOK, questionJSON{Type: "done"})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusOK, questionJSON{Type: "wait"})
+		return
+	}
+	s.mu.Lock()
+	s.serial++
+	p := &pendingQuestion{id: s.serial, q: q}
+	s.pending[member] = p
+	resp := s.renderQuestion(p)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// renderQuestion builds the wire form; the caller holds s.mu.
+func (s *server) renderQuestion(p *pendingQuestion) questionJSON {
+	var scale []string
+	for _, a := range crowd.AnswerScale {
+		scale = append(scale, a.Label)
+	}
+	if p.q.Specialization() {
+		choices := make([]string, len(p.q.Choices))
+		for i, c := range p.q.Choices {
+			choices[i] = c.Format(s.voc)
+		}
+		return questionJSON{
+			Type:    "specialize",
+			ID:      p.id,
+			Text:    "Can you be more specific? Pick what you do significantly often:",
+			Choices: choices,
+			Scale:   scale,
+		}
+	}
+	return questionJSON{
+		Type:  "concrete",
+		ID:    p.id,
+		Text:  s.tpl.Concrete(p.q.Facts),
+		Scale: scale,
+	}
+}
+
+func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Member string `json:"member"`
+		ID     int    `json:"id"`
+		Level  *int   `json:"level"`  // 0..4 on the five-level scale
+		Choice *int   `json:"choice"` // specialization pick
+		None   bool   `json:"none"`   // none of these
+		Skip   bool   `json:"skip"`   // prefer concrete questions
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad answer payload")
+		return
+	}
+	s.mu.Lock()
+	p := s.pending[req.Member]
+	if p == nil || p.id != req.ID {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "no pending question with id %d", req.ID)
+		return
+	}
+	delete(s.pending, req.Member)
+	s.answers[req.Member]++
+	s.mu.Unlock()
+
+	level := func() float64 {
+		if req.Level == nil || *req.Level < 0 || *req.Level > 4 {
+			return 0
+		}
+		return float64(*req.Level) * 0.25
+	}
+	switch {
+	case !p.q.Specialization():
+		s.it.Answer(p.q, level())
+	case req.Skip:
+		s.it.Decline(p.q)
+	case req.None:
+		s.it.AnswerNoneOfThese(p.q)
+	case req.Choice != nil && *req.Choice >= 0 && *req.Choice < len(p.q.Choices):
+		s.it.AnswerChoice(p.q, *req.Choice, level())
+	default:
+		s.it.Decline(p.q)
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.it.Done():
+	default:
+		writeJSON(w, http.StatusOK, map[string]interface{}{"done": false})
+		return
+	}
+	res := s.it.Wait()
+	var msps []string
+	for _, m := range res.ValidMSPs {
+		msps = append(msps, s.sp.Instantiate(m).Format(s.voc))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"done":      true,
+		"msps":      msps,
+		"questions": res.Stats.TotalQuestions,
+		"unique":    res.Stats.UniqueQuestions,
+	})
+}
+
+// star awards the §6.2 virtual rewards.
+func star(answers int) string {
+	switch {
+	case answers >= 30:
+		return "gold"
+	case answers >= 15:
+		return "silver"
+	case answers >= 5:
+		return "bronze"
+	default:
+		return ""
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Name    string `json:"name"`
+		Answers int    `json:"answers"`
+		Star    string `json:"star,omitempty"`
+	}
+	s.mu.Lock()
+	var rows []row
+	for id, n := range s.answers {
+		rows = append(rows, row{Name: s.names[id], Answers: n, Star: star(n)})
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Answers != rows[j].Answers {
+			return rows[i].Answers > rows[j].Answers
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if len(rows) > 20 { // the paper's statistics page commends the top 20
+		rows = rows[:20]
+	}
+	writeJSON(w, http.StatusOK, rows)
+}

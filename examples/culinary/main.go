@@ -1,0 +1,116 @@
+// Culinary: the paper's second application domain (§6.3) — mining popular
+// combinations of dishes and drinks, e.g. for composing restaurant menus.
+// Demonstrates multiplicities (several dishes in one occasion via $d+),
+// SELECT ... ALL, and custom natural-language question templates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oassis"
+)
+
+func main() {
+	db := oassis.NewDB()
+	sub := func(g, s string) {
+		if err := db.AddSubsumption(g, s, "subClassOf"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sub("Food", "Snack")
+	sub("Food", "Health Food")
+	sub("Food", "Main Dish")
+	sub("Snack", "Fries")
+	sub("Snack", "Pretzel")
+	sub("Health Food", "Muesli")
+	sub("Health Food", "Salad")
+	sub("Main Dish", "Steak")
+	sub("Main Dish", "Pasta Bowl")
+	sub("Drink", "Soft Drink")
+	sub("Drink", "Juice")
+	sub("Soft Drink", "Coke")
+	sub("Soft Drink", "Lemonade")
+	sub("Juice", "Apple Juice")
+	sub("Juice", "Orange Juice")
+
+	// A crowd with the paper's observed habits: steak with fries and a
+	// coke; muesli (with yogurt) and apple juice.
+	histories := map[string][]string{
+		"diner-1": {
+			"Steak alongside Fries. Steak alongside Coke",
+			"Steak alongside Fries. Steak alongside Coke",
+			"Muesli alongside Apple Juice",
+			"Pasta Bowl alongside Lemonade",
+		},
+		"diner-2": {
+			"Steak alongside Fries. Steak alongside Coke",
+			"Muesli alongside Apple Juice",
+			"Muesli alongside Apple Juice",
+			"Salad alongside Orange Juice",
+		},
+		"diner-3": {
+			"Steak alongside Fries. Steak alongside Coke",
+			"Steak alongside Fries",
+			"Muesli alongside Apple Juice",
+			"Pretzel alongside Coke",
+		},
+	}
+	// `alongside` appears only in personal histories, never as an ontology
+	// fact — intern the relation so histories and the query can use it.
+	if err := db.AddRelation("alongside"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Freeze(); err != nil {
+		log.Fatal(err)
+	}
+
+	var members []oassis.Member
+	for name, h := range histories {
+		m, err := oassis.SimulatedMember(db, name, h...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		members = append(members, m)
+	}
+
+	q, err := oassis.ParseQuery(`
+SELECT FACT-SETS ALL
+WHERE
+  $d subClassOf* "Main Dish" .
+  $s subClassOf* Snack .
+  $k subClassOf* Drink
+SATISFYING
+  $d alongside $s .
+  $d alongside $k
+WITH SUPPORT = 0.3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := oassis.Exec(db, q, members, oassis.WithAnswersPerQuestion(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Menu combinations the crowd actually orders (MSPs):")
+	for _, m := range res.MSPs {
+		fmt.Printf("  • %s\n", m.Text)
+	}
+	fmt.Println("\nEvery significant combination (SELECT ALL):")
+	for _, a := range res.AllSignificant {
+		fmt.Printf("  - %s\n", oassis.FormatAnswer(a))
+	}
+
+	// Render one crowd question the way the UI would show it.
+	qn := oassis.NewQuestionnaire(db)
+	qn.SetTemplate("alongside", "have %s with %s")
+	text, err := qn.Concrete([]oassis.Triple{
+		{Subject: "Steak", Relation: "alongside", Object: "Fries"},
+		{Subject: "Steak", Relation: "alongside", Object: "Coke"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSample crowd question:", text)
+}

@@ -1,0 +1,79 @@
+// Quickstart: the paper's running example end to end — Ann plans a family
+// day in NYC. The ontology is Figure 1, the query is Figure 2, the crowd is
+// the two members of Table 3, and the output is the paper's answer list,
+// including the "rent the bikes at the Boathouse" tip contributed through
+// the MORE keyword.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oassis"
+)
+
+const annsQuery = `
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity .
+  $z instanceOf Restaurant.
+  $z nearBy $x
+SATISFYING
+  $y+ doAt $x .
+  [] eatAt $z.
+  MORE
+WITH SUPPORT = 0.4
+`
+
+func main() {
+	db := oassis.SampleDB()
+
+	q, err := oassis.ParseQuery(annsQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Ann's question, as OASSIS-QL:")
+	fmt.Println(q)
+	fmt.Println()
+
+	// The crowd: u1 and u2 with the personal histories of Table 3. In a
+	// real deployment these would be live people behind the Member
+	// interface; here their virtual personal databases answer.
+	u1, err := oassis.SimulatedMember(db, "u1",
+		"Basketball doAt Central Park. Falafel eatAt Maoz Veg",
+		"Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine",
+		"Biking doAt Central Park. Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg",
+		"Baseball doAt Central Park. Biking doAt Central Park. Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg",
+		"Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine",
+		"Feed a Monkey doAt Bronx Zoo",
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u2, err := oassis.SimulatedMember(db, "u2",
+		"Baseball doAt Central Park. Biking doAt Central Park. Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg",
+		"Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine",
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := oassis.Exec(db, q, []oassis.Member{u1, u2},
+		oassis.WithAnswersPerQuestion(2),
+		oassis.WithMoreCandidates(oassis.Triple{Subject: "Rent Bikes", Relation: "doAt", Object: "Boathouse"}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Answers (maximal significant patterns):")
+	for _, m := range res.MSPs {
+		fmt.Printf("  • %s\n", m.Text)
+	}
+	fmt.Printf("\nCrowd effort: %d answers (%d distinct questions) over %d lattice nodes\n",
+		res.Stats.TotalQuestions, res.Stats.UniqueQuestions, res.Stats.GeneratedNodes)
+}

@@ -1,0 +1,117 @@
+// Self-treatment: the paper's third application domain (§6.3) — what do
+// people take to relieve common illness symptoms, information useful to
+// health researchers. Demonstrates the MORE keyword (members volunteer
+// extra advice), ontology serialization (WriteOntology / LoadOntology), and
+// user-guided pruning.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"oassis"
+)
+
+func main() {
+	db := oassis.NewDB()
+	sub := func(g, s string) {
+		if err := db.AddSubsumption(g, s, "subClassOf"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Remedies.
+	sub("Remedy", "Home Remedy")
+	sub("Remedy", "Medicine")
+	sub("Home Remedy", "Herbal Tea")
+	sub("Home Remedy", "Chicken Soup")
+	sub("Home Remedy", "Honey")
+	sub("Herbal Tea", "Chamomile Tea")
+	sub("Herbal Tea", "Ginger Tea")
+	sub("Medicine", "Painkiller")
+	sub("Medicine", "Nasal Spray")
+	sub("Painkiller", "Ibuprofen")
+	sub("Painkiller", "Paracetamol")
+	// Symptoms.
+	sub("Symptom", "Headache")
+	sub("Symptom", "Sore Throat")
+	sub("Symptom", "Runny Nose")
+	if err := db.AddRelation("takeFor"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddRelation("restFor"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddTerm("Warm Blanket"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Freeze(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Round-trip the ontology through the Turtle subset, as a real
+	// deployment would persist it.
+	var buf bytes.Buffer
+	if err := db.WriteOntology(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ontology serialized to %d bytes of Turtle\n\n", buf.Len())
+
+	histories := [][]string{
+		{
+			"Ginger Tea takeFor Sore Throat. Honey takeFor Sore Throat",
+			"Ginger Tea takeFor Sore Throat. Honey takeFor Sore Throat. Warm Blanket restFor Sore Throat",
+			"Ibuprofen takeFor Headache",
+			"Chicken Soup takeFor Runny Nose",
+		},
+		{
+			"Ginger Tea takeFor Sore Throat. Honey takeFor Sore Throat. Warm Blanket restFor Sore Throat",
+			"Paracetamol takeFor Headache",
+			"Ibuprofen takeFor Headache",
+		},
+		{
+			"Ginger Tea takeFor Sore Throat. Warm Blanket restFor Sore Throat",
+			"Ibuprofen takeFor Headache",
+			"Ibuprofen takeFor Headache. Chamomile Tea takeFor Headache",
+		},
+	}
+	var members []oassis.Member
+	for i, h := range histories {
+		m, err := oassis.SimulatedMember(db, fmt.Sprintf("patient-%d", i), h...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		members = append(members, m)
+	}
+
+	q, err := oassis.ParseQuery(`
+SELECT FACT-SETS
+WHERE
+  $r subClassOf* Remedy .
+  $s subClassOf* Symptom
+SATISFYING
+  $r takeFor $s .
+  MORE
+WITH SUPPORT = 0.5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := oassis.Exec(db, q, members,
+		oassis.WithAnswersPerQuestion(3),
+		oassis.WithPruning(),
+		oassis.WithMoreCandidates(
+			oassis.Triple{Subject: "Warm Blanket", Relation: "restFor", Object: "Sore Throat"},
+		),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("What the crowd takes for its symptoms (MSPs):")
+	for _, m := range res.MSPs {
+		fmt.Printf("  • %s\n", m.Text)
+	}
+	fmt.Printf("\n%d answers (%d concrete, %d pruning clicks)\n",
+		res.Stats.TotalQuestions, res.Stats.Concrete, res.Stats.PruningClicks)
+}

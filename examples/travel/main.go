@@ -1,0 +1,137 @@
+// Travel: a larger hand-built travel-recommendation scenario (the paper's
+// first application domain, §6.3, with Tel Aviv stand-ins). It demonstrates
+// programmatic ontology construction, a crowd of several members, and the
+// effect of sweeping the support threshold on the answers and the crowd
+// effort — the shape of Figure 4a.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"oassis"
+)
+
+func buildOntology() (*oassis.DB, error) {
+	db := oassis.NewDB()
+	type edge struct{ general, specific string }
+	classes := []edge{
+		{"Place", "City"}, {"Place", "Attraction"}, {"Place", "Restaurant"},
+		{"Attraction", "Beach"}, {"Attraction", "Park"}, {"Attraction", "Market"},
+		{"Activity", "Sport"}, {"Activity", "Food Tour"}, {"Activity", "Sightseeing"},
+		{"Sport", "Surfing"}, {"Sport", "Beach Volleyball"}, {"Sport", "Jogging"},
+		{"Sightseeing", "Photo Walk"}, {"Sightseeing", "Street Art Tour"},
+	}
+	for _, c := range classes {
+		if err := db.AddSubsumption(c.general, c.specific, "subClassOf"); err != nil {
+			return nil, err
+		}
+	}
+	instances := []edge{
+		{"City", "Tel Aviv"},
+		{"Beach", "Gordon Beach"}, {"Beach", "Hilton Beach"},
+		{"Park", "Yarkon Park"}, {"Market", "Carmel Market"},
+		{"Restaurant", "Hummus Corner"}, {"Restaurant", "Sea Grill"}, {"Restaurant", "Falafel King"},
+	}
+	for _, c := range instances {
+		if err := db.AddSubsumption(c.general, c.specific, "instanceOf"); err != nil {
+			return nil, err
+		}
+	}
+	facts := [][3]string{
+		{"Gordon Beach", "inside", "Tel Aviv"},
+		{"Hilton Beach", "inside", "Tel Aviv"},
+		{"Yarkon Park", "inside", "Tel Aviv"},
+		{"Carmel Market", "inside", "Tel Aviv"},
+		{"Sea Grill", "nearBy", "Gordon Beach"},
+		{"Hummus Corner", "nearBy", "Carmel Market"},
+		{"Falafel King", "nearBy", "Yarkon Park"},
+	}
+	for _, f := range facts {
+		if err := db.AddFact(f[0], f[1], f[2]); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.AddRelationOrder("nearBy", "inside"); err != nil {
+		return nil, err
+	}
+	// doAt appears only in personal histories and the SATISFYING clause.
+	if err := db.AddRelation("doAt"); err != nil {
+		return nil, err
+	}
+	for _, fam := range []string{"Gordon Beach", "Yarkon Park", "Carmel Market"} {
+		if err := db.AddLabel(fam, "family-friendly"); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Freeze(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// buildCrowd synthesizes 10 members whose histories share two popular
+// habits (surfing at Gordon Beach + Sea Grill; jogging in Yarkon Park +
+// Falafel King) and one niche one.
+func buildCrowd(db *oassis.DB) ([]oassis.Member, error) {
+	rng := rand.New(rand.NewSource(7))
+	var members []oassis.Member
+	for i := 0; i < 10; i++ {
+		var history []string
+		for t := 0; t < 12; t++ {
+			switch {
+			case rng.Float64() < 0.55:
+				history = append(history, "Surfing doAt Gordon Beach")
+			case rng.Float64() < 0.5:
+				history = append(history, "Jogging doAt Yarkon Park")
+			case rng.Float64() < 0.4:
+				history = append(history, "Photo Walk doAt Carmel Market")
+			default:
+				history = append(history, "Beach Volleyball doAt Hilton Beach")
+			}
+		}
+		m, err := oassis.SimulatedMember(db, fmt.Sprintf("traveler-%02d", i), history...)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	return members, nil
+}
+
+func main() {
+	db, err := buildOntology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	members, err := buildCrowd(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, theta := range []float64{0.2, 0.3, 0.4, 0.5} {
+		q, err := oassis.ParseQuery(fmt.Sprintf(`
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside "Tel Aviv".
+  $x hasLabel "family-friendly".
+  $y subClassOf* Activity
+SATISFYING
+  $y+ doAt $x
+WITH SUPPORT = %g`, theta))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := oassis.Exec(db, q, members, oassis.WithAnswersPerQuestion(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("theta %.1f: %d MSPs, %d questions\n", theta, len(res.MSPs), res.Stats.TotalQuestions)
+		for _, m := range res.MSPs {
+			fmt.Printf("    %s\n", m.Text)
+		}
+	}
+}

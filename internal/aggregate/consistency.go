@@ -1,0 +1,69 @@
+package aggregate
+
+import (
+	"sort"
+
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+// ConsistencyTracker implements the spammer filter of Section 4.2: within a
+// member's answers, the support of a more specific fact-set can never exceed
+// the support of a more general one; violations beyond a tolerance flag the
+// member as inconsistent.
+type ConsistencyTracker struct {
+	Voc       *vocab.Vocabulary
+	Tolerance float64 // allowed slack before an answer pair counts as a violation
+
+	answers map[string][]answered // member -> answers
+}
+
+type answered struct {
+	fs      fact.Set
+	support float64
+}
+
+// NewConsistencyTracker returns a tracker with the given tolerance; a small
+// positive tolerance (e.g. 0.25, one answer-scale step) still allows for
+// honest imprecision while catching spammers.
+func NewConsistencyTracker(v *vocab.Vocabulary, tolerance float64) *ConsistencyTracker {
+	return &ConsistencyTracker{Voc: v, Tolerance: tolerance, answers: make(map[string][]answered)}
+}
+
+// Record stores one member answer.
+func (c *ConsistencyTracker) Record(member string, fs fact.Set, support float64) {
+	c.answers[member] = append(c.answers[member], answered{fs: fs.Canon(), support: support})
+}
+
+// Violations counts, for one member, the ordered answer pairs (A ≤ B) where
+// the more specific fact-set B was reported more frequent than A by more
+// than the tolerance.
+func (c *ConsistencyTracker) Violations(member string) int {
+	as := c.answers[member]
+	n := 0
+	for i := range as {
+		for j := range as {
+			if i == j {
+				continue
+			}
+			// as[i] more general than as[j]: support must not increase.
+			if fact.SetLeq(c.Voc, as[i].fs, as[j].fs) && as[j].support > as[i].support+c.Tolerance {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Inconsistent lists the members with more than maxViolations violations,
+// sorted by name. Their answers can then be excluded from aggregation.
+func (c *ConsistencyTracker) Inconsistent(maxViolations int) []string {
+	var out []string
+	for m := range c.answers {
+		if c.Violations(m) > maxViolations {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package assign
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"oassis/internal/fact"
+	"oassis/internal/oassisql"
+	"oassis/internal/vocab"
+)
+
+// randomSpace builds a small random two-variable space with + multiplicity
+// on the first variable.
+func randomSpace(rng *rand.Rand) (*Space, []vocab.Term) {
+	v := vocab.New()
+	v.MustAddRelation("does")
+	grow := func(prefix string, n int) []vocab.Term {
+		root := v.MustAddElement(prefix + "root")
+		terms := []vocab.Term{root}
+		for i := 0; i < n; i++ {
+			t := v.MustAddElement(fmt.Sprintf("%s%d", prefix, i))
+			v.MustAddOrder(terms[rng.Intn(len(terms))], t)
+			// Occasional second parent for DAG shape.
+			if rng.Intn(5) == 0 && len(terms) > 1 {
+				p := terms[rng.Intn(len(terms))]
+				if p != t && !v.Comparable(p, t) {
+					_ = v.AddOrder(p, t)
+				}
+			}
+			terms = append(terms, t)
+		}
+		return terms
+	}
+	ys := grow("y", 8)
+	xs := grow("x", 4)
+	if err := v.Freeze(); err != nil {
+		panic(err)
+	}
+	q := &oassisql.Query{
+		Select:  oassisql.SelectFactSets,
+		Support: 0.5,
+		Satisfying: []oassisql.Pattern{{
+			S:     oassisql.Var("y"),
+			SMult: oassisql.MultPlus,
+			R:     oassisql.TermAtom("does"),
+			O:     oassisql.Var("x"),
+			OMult: oassisql.MultOne,
+		}},
+	}
+	var bindings []map[string]vocab.Term
+	for _, y := range ys[1:] {
+		for _, x := range xs[1:] {
+			if rng.Intn(4) != 0 { // leave some pairs invalid
+				bindings = append(bindings, map[string]vocab.Term{"y": y, "x": x})
+			}
+		}
+	}
+	anchors := map[string][]vocab.Term{"y": {ys[0]}, "x": {xs[0]}}
+	sp, err := NewSpace(v, q, bindings, anchors)
+	if err != nil {
+		panic(err)
+	}
+	all := append(append([]vocab.Term(nil), ys...), xs...)
+	return sp, all
+}
+
+// sampleNode walks a few random successor steps from a random minimal node.
+func sampleNode(sp *Space, rng *rand.Rand) (Assignment, bool) {
+	min := sp.Minimal()
+	if len(min) == 0 {
+		return Assignment{}, false
+	}
+	a := min[rng.Intn(len(min))]
+	for steps := rng.Intn(5); steps > 0; steps-- {
+		succs := sp.Successors(a)
+		if len(succs) == 0 {
+			break
+		}
+		a = succs[rng.Intn(len(succs))]
+	}
+	return a, true
+}
+
+func TestLatticeLawsOnRandomSpaces(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 7))
+		sp, _ := randomSpace(rng)
+		for probe := 0; probe < 8; probe++ {
+			a, ok := sampleNode(sp, rng)
+			if !ok {
+				continue
+			}
+			if !sp.InA(a) {
+				t.Fatalf("trial %d: sampled node outside 𝒜: %s", trial, sp.Format(a))
+			}
+			if !sp.Leq(a, a) {
+				t.Fatal("Leq not reflexive")
+			}
+			succs := sp.Successors(a)
+			for _, b := range succs {
+				if !sp.Lt(a, b) {
+					t.Fatalf("trial %d: successor not strictly above: %s vs %s",
+						trial, sp.Format(a), sp.Format(b))
+				}
+				if !sp.InA(b) {
+					t.Fatalf("trial %d: successor outside 𝒜", trial)
+				}
+				// Instantiation is monotone w.r.t. ≤.
+				fa, fb := sp.Instantiate(a), sp.Instantiate(b)
+				if !fact.SetLeq(sp.Voc, fa, fb) {
+					t.Fatalf("trial %d: instantiate not monotone:\n  %s\n  %s",
+						trial, fa.Format(sp.Voc), fb.Format(sp.Voc))
+				}
+				// Predecessors invert successors.
+				inverted := false
+				for _, p := range sp.Predecessors(b) {
+					if p.Equal(a) {
+						inverted = true
+						break
+					}
+				}
+				if !inverted {
+					t.Fatalf("trial %d: %s not among predecessors of its successor %s",
+						trial, sp.Format(a), sp.Format(b))
+				}
+			}
+			// InA is downward closed: predecessors of an 𝒜 node are in 𝒜.
+			for _, p := range sp.Predecessors(a) {
+				if !sp.InA(p) {
+					t.Fatalf("trial %d: predecessor outside 𝒜", trial)
+				}
+			}
+			// IsValid ⊆ InA.
+			if sp.IsValid(a) && !sp.InA(a) {
+				t.Fatalf("trial %d: valid node outside 𝒜", trial)
+			}
+		}
+	}
+}
+
+func TestSuccessorsNeverSkipValidBase(t *testing.T) {
+	// Completeness: every valid base assignment is reachable from some
+	// minimal element through successor moves.
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 31))
+		sp, _ := randomSpace(rng)
+		reached := map[string]bool{}
+		var queue []Assignment
+		seen := map[string]bool{}
+		for _, m := range sp.Minimal() {
+			queue = append(queue, m)
+			seen[m.Key()] = true
+		}
+		for len(queue) > 0 {
+			a := queue[0]
+			queue = queue[1:]
+			reached[a.Key()] = true
+			for _, s := range sp.Successors(a) {
+				// Bound the walk to multiplicity ≤ 1 to keep it finite.
+				if len(s.Vals[0]) > 1 {
+					continue
+				}
+				if !seen[s.Key()] {
+					seen[s.Key()] = true
+					queue = append(queue, s)
+				}
+			}
+		}
+		for _, row := range sp.ValidBase {
+			a := sp.Singleton(row...)
+			if !reached[a.Key()] {
+				t.Fatalf("trial %d: valid base %s unreachable from minimal elements",
+					trial, sp.Format(a))
+			}
+		}
+	}
+}
+
+func TestTransitivityOnRandomNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sp, _ := randomSpace(rng)
+	var nodes []Assignment
+	for i := 0; i < 40; i++ {
+		if a, ok := sampleNode(sp, rng); ok {
+			nodes = append(nodes, a)
+		}
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			for _, c := range nodes {
+				if sp.Leq(a, b) && sp.Leq(b, c) && !sp.Leq(a, c) {
+					t.Fatalf("transitivity violated:\n a=%s\n b=%s\n c=%s",
+						sp.Format(a), sp.Format(b), sp.Format(c))
+				}
+			}
+			if sp.Leq(a, b) && sp.Leq(b, a) && !a.Equal(b) {
+				t.Fatalf("antisymmetry violated: %s vs %s", sp.Format(a), sp.Format(b))
+			}
+		}
+	}
+}

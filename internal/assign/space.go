@@ -1,0 +1,432 @@
+package assign
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"oassis/internal/fact"
+	"oassis/internal/oassisql"
+	"oassis/internal/vocab"
+)
+
+// VarSpec describes one mining variable: a variable occurring in the
+// SATISFYING clause of the query.
+type VarSpec struct {
+	Name    string
+	Mult    oassisql.Mult
+	Kind    vocab.Kind
+	Anchors []vocab.Term // generalization caps; empty means vocabulary roots
+}
+
+// Comp is one component of a meta-fact: either a variable reference
+// (Var ≥ 0, an index into Space.Vars) or a fixed term (Var < 0), where the
+// term may be vocab.Any for the [] wildcard.
+type Comp struct {
+	Var  int
+	Term vocab.Term
+}
+
+// Meta is a resolved SATISFYING meta-fact.
+type Meta struct {
+	S, R, O Comp
+}
+
+// Space is the arena in which the mining lattice lives: the mining
+// variables, the SATISFYING meta-fact-set, the valid base assignments
+// computed from the WHERE clause, and the candidate pool for MORE facts.
+type Space struct {
+	Voc  *vocab.Vocabulary
+	Vars []VarSpec
+	Sat  []Meta
+	More bool
+	// MoreCandidates seeds the MORE successor moves; in the live system
+	// these arrive from crowd answers, in simulations they are configured.
+	MoreCandidates fact.Set
+
+	// ValidBase holds the multiplicity-1 valid assignments (one value per
+	// variable), deduplicated, from WHERE evaluation.
+	ValidBase [][]vocab.Term
+
+	validKeys  map[string]struct{}       // keys of ValidBase rows
+	valsAt     []map[vocab.Term]struct{} // per-var value sets in ValidBase
+	coversMemo map[string]bool           // memo for coveredByValidBox
+	coverVals  []map[vocab.Term][]vocab.Term
+	domains    []map[vocab.Term]struct{} // lazy per-var exploration domains
+}
+
+// baseKey builds the key of a multiplicity-1 tuple.
+func baseKey(vals []vocab.Term) string {
+	var sb strings.Builder
+	var tmp [4]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(v))
+		sb.Write(tmp[:])
+	}
+	return sb.String()
+}
+
+// NewSpace builds a Space for query q over vocabulary v. bindings are the
+// WHERE-clause results (variable name → term); anchors are the
+// generalization caps per variable (see sparql.Anchors). Variables that
+// occur in SATISFYING but not in any binding (the pure-mining form with an
+// empty WHERE clause) range over the whole vocabulary of their kind.
+func NewSpace(v *vocab.Vocabulary, q *oassisql.Query, bindings []map[string]vocab.Term,
+	anchors map[string][]vocab.Term) (*Space, error) {
+
+	sp := &Space{Voc: v, More: q.More}
+
+	// Collect mining variables in SATISFYING-occurrence order, with their
+	// multiplicities and kinds.
+	varIdx := map[string]int{}
+	addVar := func(a oassisql.Atom, m oassisql.Mult, kind vocab.Kind) (int, error) {
+		if a.Kind != oassisql.AtomVar {
+			return -1, nil
+		}
+		if i, ok := varIdx[a.Name]; ok {
+			if sp.Vars[i].Kind != kind {
+				return -1, fmt.Errorf("assign: variable $%s used as both element and relation", a.Name)
+			}
+			if m != oassisql.MultOne && sp.Vars[i].Mult == oassisql.MultOne {
+				sp.Vars[i].Mult = m
+			}
+			return i, nil
+		}
+		i := len(sp.Vars)
+		varIdx[a.Name] = i
+		sp.Vars = append(sp.Vars, VarSpec{Name: a.Name, Mult: m, Kind: kind, Anchors: anchors[a.Name]})
+		return i, nil
+	}
+
+	conv := func(a oassisql.Atom, m oassisql.Mult, kind vocab.Kind) (Comp, error) {
+		switch a.Kind {
+		case oassisql.AtomVar:
+			i, err := addVar(a, m, kind)
+			if err != nil {
+				return Comp{}, err
+			}
+			return Comp{Var: i}, nil
+		case oassisql.AtomAny:
+			return Comp{Var: -1, Term: vocab.Any}, nil
+		case oassisql.AtomTerm:
+			t, ok := v.Lookup(a.Name)
+			if !ok {
+				return Comp{}, fmt.Errorf("assign: unknown term %q in SATISFYING", a.Name)
+			}
+			if v.KindOf(t) != kind {
+				return Comp{}, fmt.Errorf("assign: %q used with wrong kind in SATISFYING", a.Name)
+			}
+			return Comp{Var: -1, Term: t}, nil
+		default:
+			return Comp{}, fmt.Errorf("assign: literal in SATISFYING")
+		}
+	}
+
+	for _, p := range q.Satisfying {
+		var m Meta
+		var err error
+		if m.S, err = conv(p.S, p.SMult, vocab.Element); err != nil {
+			return nil, err
+		}
+		if m.R, err = conv(p.R, oassisql.MultOne, vocab.Relation); err != nil {
+			return nil, err
+		}
+		if m.O, err = conv(p.O, p.OMult, vocab.Element); err != nil {
+			return nil, err
+		}
+		sp.Sat = append(sp.Sat, m)
+	}
+
+	// Build the valid base assignments: project bindings onto the mining
+	// variables. Unbound variables range over their whole kind.
+	var unbound []int
+	boundIn := map[string]bool{}
+	for _, b := range bindings {
+		for name := range b {
+			boundIn[name] = true
+		}
+	}
+	for i, vs := range sp.Vars {
+		if !boundIn[vs.Name] {
+			unbound = append(unbound, i)
+		}
+	}
+	rows := map[string][]vocab.Term{}
+	// The pure-mining form (empty WHERE clause) has a single empty binding;
+	// an unsatisfiable non-empty WHERE clause yields no bindings and hence
+	// an empty valid set.
+	if len(bindings) == 0 && len(q.Where) == 0 && len(sp.Vars) > 0 {
+		bindings = []map[string]vocab.Term{{}}
+	}
+	kinds := make([]vocab.Kind, len(sp.Vars))
+	for i, vs := range sp.Vars {
+		kinds[i] = vs.Kind
+	}
+	for _, b := range bindings {
+		tuple := make([]vocab.Term, len(sp.Vars))
+		for i, vs := range sp.Vars {
+			if t, ok := b[vs.Name]; ok {
+				tuple[i] = t
+			} else {
+				tuple[i] = vocab.None // filled below for unbound vars
+			}
+		}
+		expandUnbound(v, tuple, unbound, kinds, 0, rows)
+	}
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sp.validKeys = make(map[string]struct{}, len(keys))
+	sp.valsAt = make([]map[vocab.Term]struct{}, len(sp.Vars))
+	for i := range sp.valsAt {
+		sp.valsAt[i] = make(map[vocab.Term]struct{})
+	}
+	for _, k := range keys {
+		tuple := rows[k]
+		sp.ValidBase = append(sp.ValidBase, tuple)
+		sp.validKeys[k] = struct{}{}
+		for i, t := range tuple {
+			sp.valsAt[i][t] = struct{}{}
+		}
+	}
+	sp.coversMemo = make(map[string]bool)
+	return sp, nil
+}
+
+// expandUnbound fills kind-wide domains for unbound variables.
+func expandUnbound(v *vocab.Vocabulary, tuple []vocab.Term, unbound []int, kinds []vocab.Kind,
+	k int, rows map[string][]vocab.Term) {
+	if k == len(unbound) {
+		cp := append([]vocab.Term(nil), tuple...)
+		rows[baseKey(cp)] = cp
+		return
+	}
+	i := unbound[k]
+	for t := 0; t < v.Len(); t++ {
+		if v.KindOf(vocab.Term(t)) != kinds[i] {
+			continue
+		}
+		tuple[i] = vocab.Term(t)
+		expandUnbound(v, tuple, unbound, kinds, k+1, rows)
+	}
+	tuple[i] = vocab.None
+}
+
+// IsValidBase reports whether the multiplicity-1 tuple is a valid base
+// assignment.
+func (sp *Space) IsValidBase(vals []vocab.Term) bool {
+	_, ok := sp.validKeys[baseKey(vals)]
+	return ok
+}
+
+// IsValid reports whether a is a valid assignment w.r.t. the query
+// (Definition: every combination of one value per variable is a valid base
+// assignment — Proposition 5.1 closure — and the multiplicity bounds hold).
+// Variables with empty value sets are handled by projection: every
+// combination of the nonempty variables must extend to some valid base row.
+// MORE facts never affect validity.
+func (sp *Space) IsValid(a Assignment) bool {
+	for i, vs := range sp.Vars {
+		if !vs.Mult.Allows(len(a.Vals[i])) {
+			return false
+		}
+	}
+	if len(a.More) > 0 && !sp.More {
+		return false
+	}
+	return sp.boxContained(a)
+}
+
+// InA reports whether a belongs to the explored set 𝒜 (Algorithm 1,
+// line 1): a is a (not necessarily proper) generalization of some valid
+// assignment, subject to the anchor caps and the multiplicity upper bounds.
+func (sp *Space) InA(a Assignment) bool {
+	for i, vs := range sp.Vars {
+		// The traversal keeps multiplicity bounds on both sides: the paper's
+		// Figure 3 lattice never drops below one value per mandatory
+		// variable (its top node is (Attraction, Activity), not (∅, ∅)).
+		if !vs.Mult.Allows(len(a.Vals[i])) {
+			return false
+		}
+		for _, t := range a.Vals[i] {
+			if !sp.respectsAnchors(i, t) {
+				return false
+			}
+		}
+	}
+	if len(a.More) > 0 && !sp.More {
+		return false
+	}
+	key := a.Key()
+	if cached, ok := sp.coversMemo[key]; ok {
+		return cached
+	}
+	ok := sp.coveredByValidBox(a)
+	sp.coversMemo[key] = ok
+	return ok
+}
+
+// respectsAnchors reports whether value t of variable i is at or below every
+// anchor of i (or, with no anchors, has the right kind).
+func (sp *Space) respectsAnchors(i int, t vocab.Term) bool {
+	vs := sp.Vars[i]
+	if t == vocab.Any {
+		return false
+	}
+	if sp.Voc.KindOf(t) != vs.Kind {
+		return false
+	}
+	for _, a := range vs.Anchors {
+		if !sp.Voc.Leq(a, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// boxContained checks whether every combination of one value per (nonempty)
+// variable of a is a valid base assignment. Variables with empty value sets
+// use projection semantics: the combination must extend to some valid row.
+func (sp *Space) boxContained(a Assignment) bool {
+	tuple := make([]vocab.Term, len(sp.Vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(sp.Vars) {
+			return sp.matchesSomeBase(tuple)
+		}
+		if len(a.Vals[i]) == 0 {
+			tuple[i] = vocab.None // wildcard position: projection semantics
+			return rec(i + 1)
+		}
+		for _, v := range a.Vals[i] {
+			tuple[i] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// matchesSomeBase reports whether some valid base row agrees with tuple on
+// all non-None positions.
+func (sp *Space) matchesSomeBase(tuple []vocab.Term) bool {
+	hasNone := false
+	for _, t := range tuple {
+		if t == vocab.None {
+			hasNone = true
+			break
+		}
+	}
+	if !hasNone {
+		return sp.IsValidBase(tuple)
+	}
+	for _, row := range sp.ValidBase {
+		ok := true
+		for i, t := range tuple {
+			if t != vocab.None && row[i] != t {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// coveredByValidBox reports whether there exists a valid assignment ψ with
+// a ≤ ψ: for each variable a set of covering valid values must exist whose
+// full cross product lies in ValidBase. The search assigns, per variable and
+// per value of a, a covering valid value, then verifies the box.
+func (sp *Space) coveredByValidBox(a Assignment) bool {
+	// candidate covers per variable per value (memoized per var/value).
+	covers := make([][][]vocab.Term, len(sp.Vars))
+	for i := range sp.Vars {
+		covers[i] = make([][]vocab.Term, len(a.Vals[i]))
+		for j, v := range a.Vals[i] {
+			cs := sp.coversOf(i, v)
+			if len(cs) == 0 {
+				return false
+			}
+			covers[i][j] = cs
+		}
+	}
+	// chosen[i] collects the selected cover values for variable i.
+	chosen := make([][]vocab.Term, len(sp.Vars))
+	var pick func(i, j int) bool
+	pick = func(i, j int) bool {
+		if i == len(sp.Vars) {
+			return sp.boxContained(sp.NewAssignment(chosen, nil))
+		}
+		if j == len(covers[i]) {
+			return pick(i+1, 0)
+		}
+		for _, c := range covers[i][j] {
+			chosen[i] = append(chosen[i], c)
+			if pick(i, j+1) {
+				chosen[i] = chosen[i][:len(chosen[i])-1]
+				return true
+			}
+			chosen[i] = chosen[i][:len(chosen[i])-1]
+		}
+		return false
+	}
+	return pick(0, 0)
+}
+
+// coversOf returns (memoized) the valid values of variable i that are at or
+// below v, i.e. the candidate covers of v in a valid assignment.
+func (sp *Space) coversOf(i int, v vocab.Term) []vocab.Term {
+	if sp.coverVals == nil {
+		sp.coverVals = make([]map[vocab.Term][]vocab.Term, len(sp.Vars))
+	}
+	m := sp.coverVals[i]
+	if m == nil {
+		m = make(map[vocab.Term][]vocab.Term)
+		sp.coverVals[i] = m
+	}
+	if cs, ok := m[v]; ok {
+		return cs
+	}
+	var cs []vocab.Term
+	for t := range sp.valsAt[i] {
+		if sp.Voc.Leq(v, t) {
+			cs = append(cs, t)
+		}
+	}
+	sort.Slice(cs, func(x, y int) bool { return cs[x] < cs[y] })
+	m[v] = cs
+	return cs
+}
+
+// VarIndex returns the index of the named mining variable, or -1.
+func (sp *Space) VarIndex(name string) int {
+	for i, v := range sp.Vars {
+		if v.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// QuestionKey returns the crowd-question key of a: distinct assignments that
+// instantiate the SATISFYING meta-fact-set to the same fact-set share one
+// crowd question (Section 4.1 counts unique questions).
+func (sp *Space) QuestionKey(a Assignment) string {
+	return sp.Instantiate(a).Key()
+}
+
+// Stats about the space, for reports.
+func (sp *Space) String() string {
+	names := make([]string, len(sp.Vars))
+	for i, v := range sp.Vars {
+		names[i] = "$" + v.Name + v.Mult.Marker()
+	}
+	return fmt.Sprintf("space(vars=%s, valid=%d)", strings.Join(names, ","), len(sp.ValidBase))
+}

@@ -1,0 +1,462 @@
+package assign
+
+import (
+	"sort"
+
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+// domain returns (computing lazily) the exploration domain of variable i:
+// the anchor-respecting upward closure of the variable's valid values. Every
+// value that can appear at i in any node of 𝒜 belongs to this set.
+func (sp *Space) domain(i int) map[vocab.Term]struct{} {
+	if sp.domains == nil {
+		sp.domains = make([]map[vocab.Term]struct{}, len(sp.Vars))
+	}
+	if d := sp.domains[i]; d != nil {
+		return d
+	}
+	d := make(map[vocab.Term]struct{})
+	var up func(t vocab.Term)
+	up = func(t vocab.Term) {
+		if _, ok := d[t]; ok {
+			return
+		}
+		if !sp.respectsAnchors(i, t) {
+			return
+		}
+		d[t] = struct{}{}
+		for _, p := range sp.Voc.Parents(t) {
+			up(p)
+		}
+	}
+	for t := range sp.valsAt[i] {
+		up(t)
+	}
+	sp.domains[i] = d
+	return d
+}
+
+// DomainSize reports the exploration-domain size of variable i (used by the
+// experiment harness when reporting lattice dimensions).
+func (sp *Space) DomainSize(i int) int { return len(sp.domain(i)) }
+
+// minimalValues returns the most general domain values of variable i: the
+// domain elements none of whose immediate parents are in the domain.
+func (sp *Space) minimalValues(i int) []vocab.Term {
+	d := sp.domain(i)
+	var out []vocab.Term
+	for t := range d {
+		minimal := true
+		for _, p := range sp.Voc.Parents(t) {
+			if _, ok := d[p]; ok {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Minimal returns the minimal (most general) elements of 𝒜: for each
+// mandatory variable, value sets of the multiplicity's lower-bound size
+// drawn from the variable's most general domain values (minimal domain
+// values are pairwise incomparable, so any combination is an antichain);
+// the empty set for optional variables (multiplicity * or ?); and no MORE
+// facts. For the Figure 2 query this is the single node
+// (w,x ↦ Attraction, y ↦ Activity, z ↦ Restaurant) at the top of Figure 3.
+func (sp *Space) Minimal() []Assignment {
+	choices := make([][][]vocab.Term, len(sp.Vars))
+	for i, vs := range sp.Vars {
+		if vs.Mult.Min == 0 {
+			choices[i] = [][]vocab.Term{nil}
+			continue
+		}
+		if vs.Mult.Min == 1 {
+			for _, t := range sp.minimalValues(i) {
+				choices[i] = append(choices[i], []vocab.Term{t})
+			}
+		} else {
+			choices[i] = sp.minimalAntichains(i, vs.Mult.Min)
+		}
+		if len(choices[i]) == 0 {
+			// Empty domain, or a {k,...} lower bound that no size-k
+			// antichain of domain values satisfies: no minimal elements.
+			return nil
+		}
+	}
+	var out []Assignment
+	cur := make([][]vocab.Term, len(sp.Vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(sp.Vars) {
+			a := sp.NewAssignment(cur, nil)
+			if sp.InA(a) {
+				out = append(out, a)
+			}
+			return
+		}
+		for _, c := range choices[i] {
+			cur[i] = c
+			rec(i + 1)
+		}
+	}
+	if len(sp.Vars) > 0 {
+		rec(0)
+	} else if len(sp.ValidBase) > 0 || len(sp.Sat) > 0 {
+		// No variables at all: the single constant assignment.
+		out = append(out, sp.NewAssignment(nil, nil))
+	}
+	return out
+}
+
+// minimalAntichains enumerates the minimal size-k antichains of variable
+// i's domain: antichains with no valid generalize move, i.e. every
+// in-domain parent of every value is comparable with some other value of
+// the set (generalizing would either leave the lattice floor via antichain
+// absorption or yield a strict predecessor). Enumeration is O(|domain|^k)
+// and capped; the {k,…} multiplicity extension is intended for small k.
+func (sp *Space) minimalAntichains(i, k int) [][]vocab.Term {
+	d := sp.domain(i)
+	vals := make([]vocab.Term, 0, len(d))
+	for t := range d {
+		vals = append(vals, t)
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+
+	const cap = 1 << 16
+	var out [][]vocab.Term
+	set := make([]vocab.Term, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(out) >= cap {
+			return
+		}
+		if len(set) == k {
+			if sp.isMinimalAntichain(i, set) {
+				out = append(out, append([]vocab.Term(nil), set...))
+			}
+			return
+		}
+		for j := start; j <= len(vals)-(k-len(set)); j++ {
+			t := vals[j]
+			ok := true
+			for _, u := range set {
+				if sp.Voc.Comparable(u, t) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			set = append(set, t)
+			rec(j + 1)
+			set = set[:len(set)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// isMinimalAntichain reports whether no value of the antichain can be
+// generalized one in-domain Hasse step while keeping the set an antichain.
+func (sp *Space) isMinimalAntichain(i int, set []vocab.Term) bool {
+	d := sp.domain(i)
+	for vi, v := range set {
+		for _, p := range sp.Voc.Parents(v) {
+			if _, ok := d[p]; !ok {
+				continue
+			}
+			comparable := false
+			for ui, u := range set {
+				if ui != vi && sp.Voc.Comparable(u, p) {
+					comparable = true
+					break
+				}
+			}
+			if !comparable {
+				return false // a valid generalize move exists
+			}
+		}
+	}
+	return true
+}
+
+// Successors generates the immediate successors of a within 𝒜: specialize
+// one value one Hasse step, add one minimal compatible value to a variable
+// whose multiplicity allows it (the lazy combination of Proposition 5.1), or
+// extend/specialize the MORE fact-set from the candidate pool. Results are
+// deduplicated and sorted by key.
+func (sp *Space) Successors(a Assignment) []Assignment {
+	seen := map[string]struct{}{aKeyOf(a): {}}
+	var out []Assignment
+	emit := func(b Assignment) {
+		k := b.Key()
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		if sp.InA(b) && sp.Lt(a, b) {
+			out = append(out, b)
+		}
+	}
+
+	for i := range sp.Vars {
+		vals := a.Vals[i]
+		d := sp.domain(i)
+		// Specialize one value one step.
+		for vi, v := range vals {
+			for _, c := range sp.Voc.Children(v) {
+				if _, ok := d[c]; !ok {
+					continue
+				}
+				if !compatible(sp.Voc, vals, vi, c) {
+					continue
+				}
+				nv := replaceAt(vals, vi, c)
+				b := a.Clone()
+				b.Vals[i] = nv
+				emit(b)
+			}
+		}
+		// Add one minimal compatible value.
+		max := sp.Vars[i].Mult.Max
+		if max >= 0 && len(vals) >= max {
+			continue
+		}
+		for _, t := range sp.minimalAddable(i, vals) {
+			b := a.Clone()
+			b.Vals[i] = insertSorted(b.Vals[i], t)
+			emit(b)
+		}
+	}
+
+	if sp.More && len(sp.MoreCandidates) > 0 {
+		sp.moreSuccessors(a, emit)
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x].Key() < out[y].Key() })
+	return out
+}
+
+func aKeyOf(a Assignment) string { return a.Key() }
+
+// compatible reports whether c is incomparable with every value of vals
+// other than index skip (keeping the set an antichain without absorption).
+func compatible(v *vocab.Vocabulary, vals []vocab.Term, skip int, c vocab.Term) bool {
+	for i, u := range vals {
+		if i == skip {
+			continue
+		}
+		if v.Comparable(u, c) {
+			return false
+		}
+	}
+	return true
+}
+
+func replaceAt(vals []vocab.Term, i int, c vocab.Term) []vocab.Term {
+	out := make([]vocab.Term, 0, len(vals))
+	out = append(out, vals[:i]...)
+	out = append(out, vals[i+1:]...)
+	return insertSorted(out, c)
+}
+
+func insertSorted(vals []vocab.Term, t vocab.Term) []vocab.Term {
+	out := append(append([]vocab.Term(nil), vals...), t)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// minimalAddable returns the most general domain values of variable i that
+// are incomparable with all current values: candidates t ∈ domain(i) such
+// that no immediate parent of t is itself addable.
+func (sp *Space) minimalAddable(i int, vals []vocab.Term) []vocab.Term {
+	d := sp.domain(i)
+	addable := func(t vocab.Term) bool {
+		if _, ok := d[t]; !ok {
+			return false
+		}
+		return compatible(sp.Voc, vals, -1, t)
+	}
+	var out []vocab.Term
+	for t := range d {
+		if !addable(t) {
+			continue
+		}
+		minimal := true
+		for _, p := range sp.Voc.Parents(t) {
+			if addable(p) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// moreSuccessors emits MORE-fact extensions of a: adding a minimal pool
+// candidate, or replacing an existing MORE fact by a pool candidate that
+// specializes it with nothing from the pool strictly between.
+func (sp *Space) moreSuccessors(a Assignment, emit func(Assignment)) {
+	pool := sp.MoreCandidates
+	covered := func(f fact.Fact) bool {
+		for _, g := range a.More {
+			if fact.Leq(sp.Voc, f, g) || fact.Leq(sp.Voc, g, f) {
+				return true
+			}
+		}
+		return false
+	}
+	// Add a pool fact that is minimal among addable pool facts.
+	for _, f := range pool {
+		if covered(f) {
+			continue
+		}
+		minimal := true
+		for _, g := range pool {
+			if g != f && fact.Leq(sp.Voc, g, f) && !covered(g) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			b := a.Clone()
+			b.More = fact.Reduce(sp.Voc, append(b.More, f))
+			emit(b)
+		}
+	}
+	// Specialize an existing MORE fact one pool step.
+	for mi, g := range a.More {
+		for _, f := range pool {
+			if f == g || !fact.Leq(sp.Voc, g, f) {
+				continue
+			}
+			direct := true
+			for _, h := range pool {
+				if h != f && h != g && fact.Leq(sp.Voc, g, h) && fact.Leq(sp.Voc, h, f) {
+					direct = false
+					break
+				}
+			}
+			if !direct {
+				continue
+			}
+			b := a.Clone()
+			nm := append(fact.Set{}, b.More[:mi]...)
+			nm = append(nm, b.More[mi+1:]...)
+			nm = append(nm, f)
+			b.More = fact.Reduce(sp.Voc, nm)
+			emit(b)
+		}
+	}
+}
+
+// Predecessors generates the immediate predecessors of a within 𝒜:
+// generalize one value one Hasse step (with antichain absorption), drop one
+// value where the multiplicity lower bound allows, or drop/generalize a MORE
+// fact. Results are deduplicated and sorted by key.
+func (sp *Space) Predecessors(a Assignment) []Assignment {
+	seen := map[string]struct{}{a.Key(): {}}
+	var out []Assignment
+	emit := func(b Assignment) {
+		k := b.Key()
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		if sp.InA(b) && sp.Lt(b, a) {
+			out = append(out, b)
+		}
+	}
+	for i := range sp.Vars {
+		vals := a.Vals[i]
+		d := sp.domain(i)
+		for vi, v := range vals {
+			for _, p := range sp.Voc.Parents(v) {
+				if _, ok := d[p]; !ok {
+					continue
+				}
+				nv := make([]vocab.Term, 0, len(vals))
+				nv = append(nv, vals[:vi]...)
+				nv = append(nv, vals[vi+1:]...)
+				nv = append(nv, p)
+				b := a.Clone()
+				b.Vals[i] = sp.Voc.ReduceAntichain(nv)
+				emit(b)
+			}
+		}
+		if len(vals) > sp.Vars[i].Mult.Min {
+			for vi := range vals {
+				b := a.Clone()
+				nv := make([]vocab.Term, 0, len(vals)-1)
+				nv = append(nv, vals[:vi]...)
+				nv = append(nv, vals[vi+1:]...)
+				b.Vals[i] = nv
+				emit(b)
+			}
+		}
+	}
+	for mi := range a.More {
+		b := a.Clone()
+		nm := append(fact.Set{}, b.More[:mi]...)
+		nm = append(nm, b.More[mi+1:]...)
+		b.More = nm
+		emit(b)
+		// Generalize to a pool fact directly below.
+		for _, g := range sp.MoreCandidates {
+			if g != a.More[mi] && fact.Leq(sp.Voc, g, a.More[mi]) {
+				c := a.Clone()
+				nm2 := append(fact.Set{}, c.More[:mi]...)
+				nm2 = append(nm2, c.More[mi+1:]...)
+				nm2 = append(nm2, g)
+				c.More = fact.Reduce(sp.Voc, nm2)
+				emit(c)
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x].Key() < out[y].Key() })
+	return out
+}
+
+// Combine implements Proposition 5.1 directly: if a and b differ on exactly
+// one variable, it returns their combination (the union on that variable)
+// and true; otherwise it returns false.
+func (sp *Space) Combine(a, b Assignment) (Assignment, bool) {
+	diff := -1
+	for i := range sp.Vars {
+		if !termsEqual(a.Vals[i], b.Vals[i]) {
+			if diff >= 0 {
+				return Assignment{}, false
+			}
+			diff = i
+		}
+	}
+	if diff < 0 || !a.More.Equal(b.More) {
+		return Assignment{}, false
+	}
+	c := a.Clone()
+	c.Vals[diff] = sp.Voc.ReduceAntichain(append(append([]vocab.Term(nil), a.Vals[diff]...), b.Vals[diff]...))
+	return c, true
+}
+
+func termsEqual(a, b []vocab.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

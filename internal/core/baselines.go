@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sort"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/assign"
+)
+
+// RunHorizontal executes the Horizontal baseline of §6.4, inspired by the
+// classic Apriori algorithm: it proceeds level by level from the most
+// general assignments and asks about an assignment only after all of its
+// predecessors have been found significant. It shares the engine's inference
+// scheme and never re-asks classified assignments.
+func RunHorizontal(cfg Config) *Result {
+	e := newEngine(cfg)
+	e.seed()
+
+	frontier := append([]string(nil), e.poolOrder...)
+	for len(frontier) > 0 && e.budgetLeft() {
+		// Ask every unclassified node of the current level.
+		level := make([]assign.Assignment, 0, len(frontier))
+		for _, k := range frontier {
+			level = append(level, e.pool[k])
+		}
+		sort.Slice(level, func(i, j int) bool { return level[i].Key() < level[j].Key() })
+		next := map[string]assign.Assignment{}
+		for _, node := range level {
+			if !e.budgetLeft() {
+				break
+			}
+			e.classify(node)
+			if e.cls.status(node) != Significant {
+				continue
+			}
+			for _, s := range e.sp.Successors(node) {
+				// Apriori candidate condition: all predecessors significant.
+				if e.cls.status(s) != Unclassified {
+					continue
+				}
+				allSig := true
+				for _, p := range e.sp.Predecessors(s) {
+					if e.cls.status(p) != Significant {
+						allSig = false
+						break
+					}
+				}
+				if allSig {
+					e.addNode(s)
+					next[s.Key()] = s
+				}
+			}
+		}
+		frontier = frontier[:0]
+		for k := range next {
+			frontier = append(frontier, k)
+		}
+		sort.Strings(frontier)
+	}
+	return e.result()
+}
+
+// RunNaive executes the Naive baseline of §6.4: it asks about assignments in
+// random order among the valid ones (plus, for fairness, any multiplicity
+// nodes already generated — the paper feeds the naive algorithm the
+// assignments the vertical algorithm generated). It uses the same inference
+// scheme and skips classified assignments.
+func RunNaive(cfg Config, extra []assign.Assignment) *Result {
+	e := newEngine(cfg)
+	nodes := make([]assign.Assignment, 0, len(cfg.Space.ValidBase)+len(extra))
+	seen := map[string]struct{}{}
+	for _, row := range cfg.Space.ValidBase {
+		n := cfg.Space.Singleton(row...)
+		if _, dup := seen[n.Key()]; dup {
+			continue
+		}
+		seen[n.Key()] = struct{}{}
+		nodes = append(nodes, n)
+	}
+	for _, n := range extra {
+		if _, dup := seen[n.Key()]; dup {
+			continue
+		}
+		seen[n.Key()] = struct{}{}
+		nodes = append(nodes, n)
+	}
+	if cfg.Rng != nil {
+		cfg.Rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	}
+	for _, n := range nodes {
+		if !e.budgetLeft() {
+			break
+		}
+		e.addNode(n)
+		if e.cls.status(n) != Unclassified {
+			continue
+		}
+		e.classify(n)
+	}
+	return e.result()
+}
+
+// classify collects answers for one node from the crowd until the aggregator
+// decides (or the crowd is exhausted, forcing a verdict).
+func (e *engine) classify(node assign.Assignment) {
+	if e.cls.status(node) != Unclassified {
+		return
+	}
+	for _, m := range e.cfg.Members {
+		if !e.budgetLeft() {
+			return
+		}
+		if !e.memberActive(m) {
+			continue
+		}
+		e.memberSupport(m, node)
+		if e.cls.status(node) != Unclassified {
+			return
+		}
+	}
+	if e.cls.status(node) == Unclassified {
+		e.forceClassify(node)
+	}
+}
+
+// BaselineQuestions computes the question count of the paper's baseline%
+// comparator (Fig. 4a–4c): an algorithm that asks K questions for every
+// valid assignment, without any traversal order or inference.
+func BaselineQuestions(sp *assign.Space, k int) int {
+	return len(sp.ValidBase) * k
+}
+
+// RunSingleUser is a convenience wrapper running Algorithm 1 with a single
+// crowd member and a one-answer aggregator (the §4.1 setting).
+func RunSingleUser(cfg Config) *Result {
+	cfg.Agg = aggregate.NewFixedSample(1)
+	return Run(cfg)
+}

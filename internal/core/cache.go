@@ -1,0 +1,105 @@
+package core
+
+import (
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+// Cache is the CrowdCache of the paper's architecture (§6.1): it records
+// every answer collected from the crowd, keyed by question fact-set and
+// member. Cached answers are independent of the support threshold, so a
+// query can be re-evaluated for a different threshold by replaying the cache
+// (§6.3) — CachedMember wraps the cache as a crowd member for that purpose.
+type Cache struct {
+	answers map[string]map[string]float64 // question key -> member -> support
+	order   []CachedAnswer                // insertion order, for inspection
+}
+
+// CachedAnswer is one recorded answer.
+type CachedAnswer struct {
+	QuestionKey string
+	Member      string
+	Support     float64
+	Kind        QuestionKind
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{answers: make(map[string]map[string]float64)}
+}
+
+// Record stores an answer; re-recording the same (question, member) pair is
+// ignored.
+func (c *Cache) Record(qKey, member string, support float64, kind QuestionKind) {
+	byMember := c.answers[qKey]
+	if byMember == nil {
+		byMember = make(map[string]float64)
+		c.answers[qKey] = byMember
+	}
+	if _, dup := byMember[member]; dup {
+		return
+	}
+	byMember[member] = support
+	c.order = append(c.order, CachedAnswer{QuestionKey: qKey, Member: member, Support: support, Kind: kind})
+}
+
+// Lookup returns the recorded answer of member for the question.
+func (c *Cache) Lookup(qKey, member string) (float64, bool) {
+	s, ok := c.answers[qKey][member]
+	return s, ok
+}
+
+// Members returns the distinct member IDs appearing in the cache, in first-
+// answer order.
+func (c *Cache) Members() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range c.order {
+		if !seen[a.Member] {
+			seen[a.Member] = true
+			out = append(out, a.Member)
+		}
+	}
+	return out
+}
+
+// Len reports the number of recorded answers.
+func (c *Cache) Len() int { return len(c.order) }
+
+// Answers returns the recorded answers in insertion order.
+func (c *Cache) Answers() []CachedAnswer { return c.order }
+
+// CachedMember replays a member's cached answers: concrete questions are
+// answered from the cache (with Misses counting questions the original run
+// never asked this member), specialization questions are declined, and no
+// pruning clicks are offered — matching the paper's replay methodology,
+// which counts only the cached answers the algorithm actually uses (§6.3).
+type CachedMember struct {
+	Name   string
+	Cache  *Cache
+	Misses int
+	Hits   int
+}
+
+// ID implements crowd.Member.
+func (m *CachedMember) ID() string { return m.Name }
+
+// Concrete implements crowd.Member.
+func (m *CachedMember) Concrete(fs fact.Set) float64 {
+	if s, ok := m.Cache.Lookup(fs.Key(), m.Name); ok {
+		m.Hits++
+		return s
+	}
+	m.Misses++
+	return 0
+}
+
+// ChooseSpecialization implements crowd.Member by declining.
+func (m *CachedMember) ChooseSpecialization([]fact.Set) (int, float64, bool, bool) {
+	return 0, 0, false, true
+}
+
+// Irrelevant implements crowd.Member by never pruning.
+func (m *CachedMember) Irrelevant([]vocab.Term) (vocab.Term, bool) {
+	return vocab.None, false
+}

@@ -1,0 +1,706 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/assign"
+	"oassis/internal/crowd"
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+// Config parameterizes a mining run.
+type Config struct {
+	Space *assign.Space
+	Theta float64
+
+	// Members is the crowd. A single member with a FixedSample(1)
+	// aggregator reproduces the single-user vertical algorithm of §4.1.
+	Members []crowd.Member
+
+	// Agg decides overall significance; nil means aggregate.NewFixedSample(1).
+	Agg aggregate.Aggregator
+
+	// SpecializationRatio is the probability of posing a specialization
+	// question instead of concrete questions while descending (§4.1, §6.4).
+	SpecializationRatio float64
+	// MaxSpecializationCandidates bounds the choices offered per
+	// specialization question (the UI's auto-completion list).
+	MaxSpecializationCandidates int
+
+	// EnablePruning offers user-guided pruning clicks to members (§6.2).
+	EnablePruning bool
+
+	// MaxQuestions is a safety budget on counted answers (0 = unlimited).
+	MaxQuestions int
+	// MaxQuestionsPerMember ends a member's participation after this many
+	// counted answers (0 = unlimited); members may leave at any point
+	// (§4.2, item 1).
+	MaxQuestionsPerMember int
+
+	// TrackTimeline records a Stats.Timeline point after every counted
+	// answer (needed for the pace-of-collection figures).
+	TrackTimeline bool
+
+	// Prime is a CrowdCache from an earlier run of the same query: answers
+	// found there are reused instead of re-asking the member, enabling the
+	// threshold-replay methodology of §6.3 (crowd answers are independent
+	// of the threshold, so a query can be re-evaluated for a different
+	// threshold mostly from cache). Used primed answers are counted, as in
+	// the paper's statistics; questions the original run never asked fall
+	// through to the live member.
+	Prime *Cache
+
+	// MaxMSPs, when positive, stops the run as soon as that many MSPs are
+	// confirmed (significant with every successor classified
+	// insignificant) — the top-k extension sketched in §8 of the paper.
+	// Incremental evaluation returns the first-discovered answers early.
+	MaxMSPs int
+
+	// SpamMaxViolations, when positive, enables the §4.2 crowd-member
+	// selection: a member whose answers violate support monotonicity (a
+	// more specific fact-set reported more frequent than a more general
+	// one, beyond SpamTolerance) more than this many times is excluded
+	// from further questions and their answers are ignored by the
+	// aggregator.
+	SpamMaxViolations int
+	// SpamTolerance is the slack allowed before an answer pair counts as a
+	// violation (one answer-scale step, 0.25, is a good default).
+	SpamTolerance float64
+
+	// Rng drives the specialization-ratio coin flips; nil disables
+	// specialization questions unless the ratio is 1.
+	Rng *rand.Rand
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// MSPs is the set M of Algorithm 1: the maximal significant patterns,
+	// possibly including assignments that are not valid w.r.t. the query.
+	MSPs []assign.Assignment
+	// ValidMSPs is M ∩ 𝒜valid — the query output (SELECT without ALL).
+	ValidMSPs []assign.Assignment
+	Stats     Stats
+	Cache     *Cache
+
+	// MSPQuestion maps each MSP (by key) to the number of counted answers
+	// at the moment it was first classified significant — the basis of the
+	// pace-of-collection curves.
+	MSPQuestion map[string]int
+
+	// InsigMinimal is the number of minimal insignificant anchors (the
+	// |msp⁻| quantity of Propositions 4.7/4.8).
+	InsigMinimal int
+
+	// AnswersByMember counts each member's counted answers — the data
+	// behind the paper's top-20 contributors statistics page (§6.2).
+	AnswersByMember map[string]int
+}
+
+// engine carries the run state of the vertical multi-user algorithm.
+type engine struct {
+	cfg Config
+	sp  *assign.Space
+	agg aggregate.Aggregator
+	cls *classifier
+
+	pool      map[string]assign.Assignment // generated lattice nodes
+	poolOrder []string
+
+	memberAns  map[string]map[string]float64 // member -> question key -> answer
+	pruned     map[string][]vocab.Term       // member -> pruned terms
+	stats      Stats
+	cache      *Cache
+	uniqueQ    map[string]struct{}
+	mspLog     map[string]int // chain maxima -> question count at discovery
+	newAnswers int            // answers recorded in the current round
+
+	classifiedRows []bool // per ValidBase row, for the timeline
+	classifiedN    int
+
+	expanded map[string]struct{} // nodes whose successors were generated
+	toExpand []assign.Assignment // significant nodes awaiting expansion
+
+	instCache map[string]instEntry // node key -> instantiation + question key
+
+	answersBy map[string]int // counted answers per member (§6.2 stats page)
+
+	consistency *aggregate.ConsistencyTracker // §4.2 spammer filter (optional)
+	banned      map[string]bool               // members excluded as inconsistent
+}
+
+type instEntry struct {
+	fs   fact.Set
+	qKey string
+}
+
+// instantiate memoizes the node's fact-set question.
+func (e *engine) instantiate(node assign.Assignment) (fact.Set, string) {
+	k := node.Key()
+	if ent, ok := e.instCache[k]; ok {
+		return ent.fs, ent.qKey
+	}
+	fs := e.sp.Instantiate(node)
+	ent := instEntry{fs: fs, qKey: fs.Key()}
+	e.instCache[k] = ent
+	return ent.fs, ent.qKey
+}
+
+// Run executes the vertical algorithm (Algorithm 1 with the multi-user
+// modifications of §4.2) and returns the mined MSPs.
+func Run(cfg Config) *Result {
+	e := newEngine(cfg)
+	e.seed()
+	e.mainLoop()
+	return e.result()
+}
+
+func newEngine(cfg Config) *engine {
+	agg := cfg.Agg
+	if agg == nil {
+		agg = aggregate.NewFixedSample(1)
+	}
+	e := &engine{
+		cfg:            cfg,
+		sp:             cfg.Space,
+		agg:            agg,
+		cls:            newClassifier(cfg.Space),
+		pool:           make(map[string]assign.Assignment),
+		memberAns:      make(map[string]map[string]float64),
+		pruned:         make(map[string][]vocab.Term),
+		cache:          NewCache(),
+		uniqueQ:        make(map[string]struct{}),
+		mspLog:         make(map[string]int),
+		classifiedRows: make([]bool, len(cfg.Space.ValidBase)),
+		expanded:       make(map[string]struct{}),
+		instCache:      make(map[string]instEntry),
+		answersBy:      make(map[string]int),
+	}
+	// Every node that turns significant — explicitly or by inference — is
+	// scheduled for lattice expansion (Algorithm 1 iterates over all of 𝒜,
+	// so successors of inferred-significant nodes must be generated too).
+	e.cls.onSignificant = func(a assign.Assignment) {
+		e.toExpand = append(e.toExpand, a)
+	}
+	if cfg.SpamMaxViolations > 0 {
+		e.consistency = aggregate.NewConsistencyTracker(cfg.Space.Voc, cfg.SpamTolerance)
+		e.banned = make(map[string]bool)
+	}
+	return e
+}
+
+// drainExpansions expands every scheduled significant node; expansion can
+// schedule more (newly registered significant successors), so the queue is
+// drained to a fixpoint.
+func (e *engine) drainExpansions() {
+	for i := 0; i < len(e.toExpand); i++ {
+		e.expand(e.toExpand[i])
+	}
+	e.toExpand = e.toExpand[:0]
+}
+
+func (e *engine) seed() {
+	for _, m := range e.sp.Minimal() {
+		e.addNode(m)
+	}
+}
+
+func (e *engine) addNode(a assign.Assignment) {
+	k := a.Key()
+	if _, ok := e.pool[k]; ok {
+		return
+	}
+	e.pool[k] = a
+	e.poolOrder = append(e.poolOrder, k)
+	e.stats.GeneratedNodes++
+	e.cls.register(a) // track its status incrementally from now on
+}
+
+// expand generates the successors of a significant node into the pool.
+func (e *engine) expand(a assign.Assignment) {
+	k := a.Key()
+	if _, done := e.expanded[k]; done {
+		return
+	}
+	e.expanded[k] = struct{}{}
+	for _, s := range e.sp.Successors(a) {
+		e.addNode(s)
+	}
+}
+
+// pickMinimalUnclassified returns a most general unclassified generated
+// node, or ok=false when every generated node is classified. It scans the
+// classifier's incrementally-maintained unclassified set and picks the
+// (size, key)-least pool node: a node of minimal size is minimal in the
+// order up to rare multi-cover DAG absorptions, which cost at most a few
+// extra questions, never correctness.
+func (e *engine) pickMinimalUnclassified() (assign.Assignment, bool) {
+	bestKey := ""
+	bestSize := -1
+	for key := range e.cls.unclassified {
+		n, inPool := e.pool[key]
+		if !inPool {
+			continue
+		}
+		size := n.Size()
+		if bestSize < 0 || size < bestSize || (size == bestSize && key < bestKey) {
+			bestKey, bestSize = key, size
+		}
+	}
+	if bestSize < 0 {
+		return assign.Assignment{}, false
+	}
+	return e.pool[bestKey], true
+}
+
+func (e *engine) budgetLeft() bool {
+	return e.cfg.MaxQuestions == 0 || e.stats.TotalQuestions < e.cfg.MaxQuestions
+}
+
+// countAnswer books one counted crowd answer.
+func (e *engine) countAnswer(kind QuestionKind) {
+	e.stats.TotalQuestions++
+	e.newAnswers++
+	switch kind {
+	case KindConcrete:
+		e.stats.Concrete++
+	case KindSpecialization:
+		e.stats.Specialization++
+	case KindNoneOfThese:
+		e.stats.NoneOfThese++
+	case KindPruning:
+		e.stats.Pruning++
+	}
+	if e.cfg.TrackTimeline {
+		e.stats.Timeline = append(e.stats.Timeline, Point{
+			Questions:       e.stats.TotalQuestions,
+			ClassifiedValid: e.classifiedN,
+			MSPsFound:       len(e.mspLog),
+		})
+	}
+}
+
+// pruneHit reports whether the member has marked a term generalizing (or
+// equal to) one of fs's terms as irrelevant.
+func (e *engine) pruneHit(member string, fs fact.Set) bool {
+	for _, t := range e.pruned[member] {
+		for _, f := range fs {
+			if e.sp.Voc.Leq(t, f.S) || e.sp.Voc.Leq(t, f.R) || e.sp.Voc.Leq(t, f.O) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recordAnswer stores an answer in the member cache, the CrowdCache and the
+// aggregator, then updates the node classification from the verdict.
+func (e *engine) recordAnswer(node assign.Assignment, qKey string, member string,
+	sup float64, kind QuestionKind, counted bool) {
+	ma := e.memberAns[member]
+	if ma == nil {
+		ma = make(map[string]float64)
+		e.memberAns[member] = ma
+	}
+	if _, dup := ma[qKey]; !dup {
+		ma[qKey] = sup
+		e.cache.Record(qKey, member, sup, kind)
+		e.agg.Record(qKey, member, sup)
+		if counted {
+			e.uniqueQ[qKey] = struct{}{}
+			e.countAnswer(kind)
+			e.answersBy[member]++
+		} else {
+			e.stats.FreeAnswers++
+		}
+		if e.consistency != nil && !e.banned[member] {
+			fs, _ := e.instantiate(node)
+			e.consistency.Record(member, fs, sup)
+			if e.consistency.Violations(member) > e.cfg.SpamMaxViolations {
+				e.banned[member] = true
+				e.stats.BannedMembers++
+			}
+		}
+	}
+	e.applyVerdict(node, qKey)
+}
+
+// leaver is implemented by members that can end their participation
+// mid-run (interactive sessions, §4.2 item 1).
+type leaver interface{ Left() bool }
+
+// memberActive reports whether a member may still be asked questions.
+func (e *engine) memberActive(m crowd.Member) bool {
+	if l, ok := m.(leaver); ok && l.Left() {
+		return false
+	}
+	return e.banned == nil || !e.banned[m.ID()]
+}
+
+// confirmedMSPs counts the significant anchors whose successors are all
+// classified (hence confirmed maximal) — the top-k early-stop condition.
+func (e *engine) confirmedMSPs() int {
+	n := 0
+	for _, a := range e.cls.maximalSignificant() {
+		confirmed := true
+		for _, s := range e.sp.Successors(a) {
+			if e.cls.status(s) == Unclassified {
+				confirmed = false
+				break
+			}
+		}
+		if confirmed {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *engine) applyVerdict(node assign.Assignment, qKey string) {
+	switch e.agg.Verdict(qKey, e.cfg.Theta) {
+	case aggregate.Significant:
+		if e.cls.status(node) != Significant {
+			e.cls.markSignificant(node)
+			e.recordChainMax(node) // discovery time for the pace curves
+			e.onClassified(node, true)
+			e.expand(node)
+		}
+	case aggregate.Insignificant:
+		if e.cls.status(node) != Insignificant {
+			e.cls.markInsignificant(node)
+			e.onClassified(node, false)
+		}
+	}
+}
+
+// onClassified updates the classified-valid-rows counter for the timeline.
+func (e *engine) onClassified(a assign.Assignment, significant bool) {
+	for i, row := range e.sp.ValidBase {
+		if e.classifiedRows[i] {
+			continue
+		}
+		r := e.sp.Singleton(row...)
+		if significant && e.sp.Leq(r, a) || !significant && e.sp.Leq(a, r) {
+			e.classifiedRows[i] = true
+			e.classifiedN++
+		}
+	}
+}
+
+// memberSupport obtains the member's answer for node's question, via the
+// member answer cache, pruning inference, a fresh pruning click, or a
+// concrete question. It reports the support and whether the member is done
+// (budget exhausted).
+func (e *engine) memberSupport(m crowd.Member, node assign.Assignment) float64 {
+	fs, qKey := e.instantiate(node)
+	if s, ok := e.memberAns[m.ID()][qKey]; ok {
+		e.stats.FreeAnswers++
+		e.applyVerdict(node, qKey)
+		return s
+	}
+	if e.pruneHit(m.ID(), fs) {
+		e.recordAnswer(node, qKey, m.ID(), 0, KindConcrete, false)
+		return 0
+	}
+	if e.cfg.Prime != nil {
+		if s, ok := e.cfg.Prime.Lookup(qKey, m.ID()); ok {
+			e.stats.PrimedAnswers++
+			e.recordAnswer(node, qKey, m.ID(), s, KindConcrete, true)
+			return s
+		}
+	}
+	if e.cfg.EnablePruning {
+		if t, ok := m.Irrelevant(termsOf(fs)); ok {
+			e.pruned[m.ID()] = append(e.pruned[m.ID()], t)
+			e.recordAnswer(node, qKey, m.ID(), 0, KindPruning, true)
+			return 0
+		}
+	}
+	s := m.Concrete(fs)
+	e.recordAnswer(node, qKey, m.ID(), s, KindConcrete, true)
+	return s
+}
+
+func termsOf(fs fact.Set) []vocab.Term {
+	seen := map[vocab.Term]struct{}{}
+	var out []vocab.Term
+	for _, f := range fs {
+		for _, t := range []vocab.Term{f.S, f.R, f.O} {
+			if t == vocab.Any {
+				continue
+			}
+			if _, ok := seen[t]; !ok {
+				seen[t] = struct{}{}
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// ask implements the ask(·) function of Algorithm 1 with the §4.2
+// modification: it returns true iff the member's own support reaches the
+// threshold AND the node is not overall insignificant, so that members are
+// not sent down branches that are already globally dead.
+func (e *engine) ask(m crowd.Member, node assign.Assignment) bool {
+	s := e.memberSupport(m, node)
+	return s >= e.cfg.Theta-aggregate.Eps && e.cls.status(node) != Insignificant
+}
+
+// unclassifiedSuccessors lists node's immediate successors that are still
+// unclassified, generating them into the pool.
+func (e *engine) unclassifiedSuccessors(node assign.Assignment) []assign.Assignment {
+	var out []assign.Assignment
+	for _, s := range e.sp.Successors(node) {
+		if e.cls.status(s) == Unclassified {
+			e.addNode(s)
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// recordChainMax records node as the maximum of a member's descent chain
+// (line 8 of Algorithm 1).
+func (e *engine) recordChainMax(node assign.Assignment) {
+	k := node.Key()
+	if _, ok := e.mspLog[k]; !ok {
+		e.mspLog[k] = e.stats.TotalQuestions
+	}
+}
+
+// specializeCoin decides whether to pose a specialization question.
+func (e *engine) specializeCoin() bool {
+	r := e.cfg.SpecializationRatio
+	if r >= 1 {
+		return true
+	}
+	if r <= 0 || e.cfg.Rng == nil {
+		return false
+	}
+	return e.cfg.Rng.Float64() < r
+}
+
+// descend runs the inner loop of Algorithm 1 for one member from a node the
+// member answered positively.
+func (e *engine) descend(m crowd.Member, node assign.Assignment, budget *int) {
+	for e.budgetLeft() && *budget != 0 {
+		succs := e.unclassifiedSuccessors(node)
+		if len(succs) == 0 {
+			break
+		}
+		if e.specializeCoin() {
+			next, done := e.askSpecialization(m, node, succs, budget)
+			if done {
+				node = next
+				continue
+			}
+			break
+		}
+		advanced := false
+		for _, s := range succs {
+			if *budget == 0 || !e.budgetLeft() {
+				break
+			}
+			if e.ask(m, s) {
+				e.decBudget(budget)
+				node = s
+				advanced = true
+				break
+			}
+			e.decBudget(budget)
+		}
+		if !advanced {
+			break
+		}
+	}
+	e.recordChainMax(node)
+}
+
+// decBudget decrements a member's per-question budget if bounded.
+func (e *engine) decBudget(budget *int) {
+	if *budget > 0 {
+		*budget--
+	}
+}
+
+// askSpecialization poses one specialization question over the candidate
+// successors. It returns the chosen successor and true when the member named
+// a significant specialization to continue from.
+func (e *engine) askSpecialization(m crowd.Member, node assign.Assignment,
+	succs []assign.Assignment, budget *int) (assign.Assignment, bool) {
+	max := e.cfg.MaxSpecializationCandidates
+	if max <= 0 {
+		max = 10
+	}
+	if len(succs) > max {
+		succs = succs[:max]
+	}
+	sets := make([]fact.Set, len(succs))
+	for i, s := range succs {
+		sets[i], _ = e.instantiate(s)
+	}
+	idx, sup, ok, declined := m.ChooseSpecialization(sets)
+	if declined {
+		// Fall back to concrete questions on the first candidate.
+		if e.ask(m, succs[0]) {
+			e.decBudget(budget)
+			return succs[0], true
+		}
+		e.decBudget(budget)
+		return node, false
+	}
+	if !ok {
+		// "None of these": support 0 for every offered candidate at once,
+		// one counted answer (§6.2).
+		e.countAnswer(KindNoneOfThese)
+		e.answersBy[m.ID()]++
+		e.decBudget(budget)
+		for _, s := range succs {
+			_, qk := e.instantiate(s)
+			e.recordAnswer(s, qk, m.ID(), 0, KindNoneOfThese, false)
+		}
+		return node, false
+	}
+	chosen := succs[idx]
+	qKey := sets[idx].Key()
+	e.uniqueQ[qKey] = struct{}{}
+	e.countAnswer(KindSpecialization)
+	e.answersBy[m.ID()]++
+	e.decBudget(budget)
+	e.recordAnswer(chosen, qKey, m.ID(), sup, KindSpecialization, false)
+	if sup >= e.cfg.Theta-aggregate.Eps && e.cls.status(chosen) != Insignificant {
+		return chosen, true
+	}
+	return node, false
+}
+
+// mainLoop drives the per-member outer loops until every generated node is
+// classified or the crowd/budget is exhausted.
+func (e *engine) mainLoop() {
+	budgets := make([]int, len(e.cfg.Members))
+	for i := range budgets {
+		if e.cfg.MaxQuestionsPerMember > 0 {
+			budgets[i] = e.cfg.MaxQuestionsPerMember
+		} else {
+			budgets[i] = -1
+		}
+	}
+	for e.budgetLeft() {
+		e.drainExpansions()
+		node, ok := e.pickMinimalUnclassified()
+		if !ok {
+			return // every generated node classified
+		}
+		if e.cfg.MaxMSPs > 0 && e.confirmedMSPs() >= e.cfg.MaxMSPs {
+			return // top-k extension: enough answers confirmed
+		}
+		e.newAnswers = 0
+		for i, m := range e.cfg.Members {
+			if budgets[i] == 0 || !e.budgetLeft() || !e.memberActive(m) {
+				continue
+			}
+			if e.cls.status(node) != Unclassified {
+				break
+			}
+			if e.ask(m, node) {
+				e.decBudget(&budgets[i])
+				e.descend(m, node, &budgets[i])
+			} else {
+				e.decBudget(&budgets[i])
+			}
+		}
+		if e.cls.status(node) == Unclassified {
+			if e.newAnswers == 0 {
+				// The remaining crowd cannot decide this node: force a
+				// verdict from the current mean (crowd exhausted).
+				e.forceClassify(node)
+			}
+		}
+	}
+}
+
+// forceClassify decides a node from the aggregator's current mean.
+func (e *engine) forceClassify(node assign.Assignment) {
+	_, qKey := e.instantiate(node)
+	e.stats.ForcedClassifications++
+	if e.agg.Mean(qKey) >= e.cfg.Theta-aggregate.Eps && e.agg.Answers(qKey) > 0 {
+		e.cls.markSignificant(node)
+		e.recordChainMax(node)
+		e.onClassified(node, true)
+		e.expand(node)
+	} else {
+		e.cls.markInsignificant(node)
+		e.onClassified(node, false)
+	}
+}
+
+// result finalizes the run.
+func (e *engine) result() *Result {
+	e.stats.UniqueQuestions = len(e.uniqueQ)
+	msps := e.cls.maximalSignificant()
+	sort.Slice(msps, func(i, j int) bool { return msps[i].Key() < msps[j].Key() })
+	var valid []assign.Assignment
+	for _, m := range msps {
+		if e.sp.IsValid(m) {
+			valid = append(valid, m)
+		}
+	}
+	mspQ := make(map[string]int, len(msps))
+	for _, m := range msps {
+		if q, ok := e.mspLog[m.Key()]; ok {
+			mspQ[m.Key()] = q
+		} else {
+			mspQ[m.Key()] = e.stats.TotalQuestions
+		}
+	}
+	answersBy := make(map[string]int, len(e.answersBy))
+	for m, n := range e.answersBy {
+		answersBy[m] = n
+	}
+	return &Result{
+		MSPs:            msps,
+		ValidMSPs:       valid,
+		Stats:           e.stats,
+		Cache:           e.cache,
+		MSPQuestion:     mspQ,
+		InsigMinimal:    len(e.cls.insig),
+		AnswersByMember: answersBy,
+	}
+}
+
+// AllSignificant enumerates the significant valid assignments implied by a
+// result (the SELECT ... ALL form): the valid base assignments below some
+// MSP, plus the valid multiplicity nodes among the MSPs themselves and their
+// recorded predecessors. It is computed from the MSP set by downward
+// closure over the valid base rows.
+func AllSignificant(sp *assign.Space, msps []assign.Assignment) []assign.Assignment {
+	var out []assign.Assignment
+	seen := map[string]struct{}{}
+	add := func(a assign.Assignment) {
+		k := a.Key()
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		out = append(out, a)
+	}
+	for _, row := range sp.ValidBase {
+		r := sp.Singleton(row...)
+		for _, m := range msps {
+			if sp.Leq(r, m) {
+				add(r)
+				break
+			}
+		}
+	}
+	for _, m := range msps {
+		if sp.IsValid(m) {
+			add(m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

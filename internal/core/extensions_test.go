@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/crowd"
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+func TestTopKEarlyStop(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	full := Run(Config{
+		Space:   sp,
+		Theta:   q.Support,
+		Members: sampleMembers(s),
+		Agg:     aggregate.NewFixedSample(2),
+	})
+	if len(full.MSPs) < 2 {
+		t.Skip("need at least 2 MSPs for the top-k test")
+	}
+	_, _, sp2 := buildSpace(t, figure3Restricted)
+	topk := Run(Config{
+		Space:   sp2,
+		Theta:   q.Support,
+		Members: sampleMembers(s),
+		Agg:     aggregate.NewFixedSample(2),
+		MaxMSPs: 1,
+	})
+	if topk.Stats.TotalQuestions >= full.Stats.TotalQuestions {
+		t.Errorf("top-1 used %d questions, full run %d",
+			topk.Stats.TotalQuestions, full.Stats.TotalQuestions)
+	}
+	// Every early answer must be one of the full run's MSPs... at least one
+	// confirmed MSP must exist among the anchors and be a true MSP.
+	fullKeys := map[string]bool{}
+	for _, m := range full.MSPs {
+		fullKeys[m.Key()] = true
+	}
+	confirmed := 0
+	for _, m := range topk.MSPs {
+		if fullKeys[m.Key()] {
+			confirmed++
+		}
+	}
+	if confirmed == 0 {
+		t.Error("top-k run confirmed no true MSP")
+	}
+}
+
+// spammer answers randomly, violating support monotonicity.
+type spammer struct {
+	name string
+	rng  *rand.Rand
+}
+
+func (s *spammer) ID() string                { return s.name }
+func (s *spammer) Concrete(fact.Set) float64 { return s.rng.Float64() }
+func (s *spammer) ChooseSpecialization([]fact.Set) (int, float64, bool, bool) {
+	return 0, 0, false, true
+}
+func (s *spammer) Irrelevant([]vocab.Term) (vocab.Term, bool) { return vocab.None, false }
+
+func TestSpamFilterBansInconsistentMember(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	// The spammer goes first and three answers are required per question,
+	// so it participates in every aggregation until caught.
+	members := append([]crowd.Member{&spammer{name: "spam", rng: rand.New(rand.NewSource(3))}},
+		sampleMembers(s)...)
+	res := Run(Config{
+		Space:             sp,
+		Theta:             q.Support,
+		Members:           members,
+		Agg:               aggregate.NewFixedSample(3),
+		SpamMaxViolations: 2,
+		SpamTolerance:     0.25,
+	})
+	if res.Stats.BannedMembers != 1 {
+		t.Fatalf("banned %d members, want 1", res.Stats.BannedMembers)
+	}
+	// The honest members' MSPs must survive despite the spammer's noise
+	// contaminating a few early aggregations: at minimum the run finishes
+	// and the biking MSP is found (both honest members agree strongly).
+	got := mspNames(sp, res.ValidMSPs)
+	if !got["y↦{Biking}, x↦{Central Park}"] {
+		t.Errorf("biking MSP lost to spam: %v", got)
+	}
+}
+
+func TestSpamFilterOffByDefault(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	res := Run(Config{
+		Space:   sp,
+		Theta:   q.Support,
+		Members: sampleMembers(s),
+		Agg:     aggregate.NewFixedSample(2),
+	})
+	if res.Stats.BannedMembers != 0 {
+		t.Error("members banned with filter disabled")
+	}
+}
+
+func TestConfidenceAggregatorInEngine(t *testing.T) {
+	// The CI-based aggregator (the SIGMOD'13-style black box) also drives
+	// the engine; with unanimous members it needs no more than MinN
+	// answers per question.
+	s, q, sp := buildSpace(t, figure3Restricted)
+	u1, u2 := crowd.SampleDBs(s)
+	members := []crowd.Member{
+		&crowd.SimMember{Name: "u1", DB: u1, Disc: crowd.Exact},
+		&crowd.SimMember{Name: "u2", DB: u2, Disc: crowd.Exact},
+		&crowd.SimMember{Name: "u3", DB: u1, Disc: crowd.Exact}, // u1's twin
+		&crowd.SimMember{Name: "u4", DB: u2, Disc: crowd.Exact},
+	}
+	res := Run(Config{
+		Space:   sp,
+		Theta:   q.Support,
+		Members: members,
+		Agg:     aggregate.NewConfidence(1.96, 2, 4),
+	})
+	if len(res.ValidMSPs) == 0 {
+		t.Fatal("no MSPs with the confidence aggregator")
+	}
+	got := mspNames(sp, res.ValidMSPs)
+	if !got["y↦{Feed a Monkey}, x↦{Bronx Zoo}"] {
+		t.Errorf("MSPs = %v", got)
+	}
+}
+
+func TestMaxSpecializationCandidates(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	u1, u2 := crowd.SampleDBs(s)
+	members := []crowd.Member{
+		&crowd.SimMember{Name: "u1", DB: u1, Disc: crowd.Exact, SpecializeProb: 1, Theta: 0.3},
+		&crowd.SimMember{Name: "u2", DB: u2, Disc: crowd.Exact, SpecializeProb: 1, Theta: 0.3},
+	}
+	res := Run(Config{
+		Space:                       sp,
+		Theta:                       q.Support,
+		Members:                     members,
+		Agg:                         aggregate.NewFixedSample(2),
+		SpecializationRatio:         1,
+		MaxSpecializationCandidates: 2,
+		Rng:                         rand.New(rand.NewSource(5)),
+	})
+	got := mspNames(sp, res.ValidMSPs)
+	// Limiting the choice list must not lose correctness.
+	for _, w := range []string{
+		"y↦{Biking}, x↦{Central Park}",
+		"y↦{Feed a Monkey}, x↦{Bronx Zoo}",
+	} {
+		if !got[w] {
+			t.Errorf("missing MSP %s with capped candidate list", w)
+		}
+	}
+}
+
+func TestMemberBudget(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	res := Run(Config{
+		Space:                 sp,
+		Theta:                 q.Support,
+		Members:               sampleMembers(s),
+		Agg:                   aggregate.NewFixedSample(2),
+		MaxQuestionsPerMember: 3,
+	})
+	// 2 members × 3 questions plus free/forced classifications: the total
+	// counted answers cannot exceed the members' combined budget.
+	if res.Stats.TotalQuestions > 6 {
+		t.Errorf("counted answers %d exceed member budgets", res.Stats.TotalQuestions)
+	}
+}
+
+func TestBraceMultiplicityMining(t *testing.T) {
+	// {2}: mine pairs of activities done together at the same place.
+	src := `SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity
+SATISFYING
+  $y{2} doAt $x
+WITH SUPPORT = 0.3`
+	s, q, sp := buildSpace(t, src)
+	res := Run(Config{
+		Space:   sp,
+		Theta:   q.Support,
+		Members: sampleMembers(s),
+		Agg:     aggregate.NewFixedSample(2),
+	})
+	// Supports: {Biking, Baseball} doAt CP is in T4 (1/6) and T7 (1/2):
+	// mean 1/3 ≥ 0.3 — the only instance-level significant pair.
+	got := mspNames(sp, res.ValidMSPs)
+	if !got["y↦{Biking, Baseball}, x↦{Central Park}"] {
+		t.Errorf("pair MSP missing: %v", got)
+	}
+	// Every reported node has exactly two activity values.
+	for _, m := range res.MSPs {
+		if len(m.Vals[0]) != 2 {
+			t.Errorf("MSP with %d values under {2}: %s", len(m.Vals[0]), sp.Format(m))
+		}
+	}
+}

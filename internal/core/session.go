@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"oassis/internal/crowd"
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+// Interactive runs the mining engine with inverted control, playing the
+// role of the paper's QueueManager (§6.1): instead of the engine calling
+// into crowd members, external sessions pull the next question for their
+// member and push answers back. This is the shape a crowdsourcing UI (web
+// or TTY) needs.
+//
+//	it := core.NewInteractive(cfg, []string{"ann", "bob"})
+//	for q, ok := it.NextQuestion("ann"); ok; q, ok = it.NextQuestion("ann") {
+//	    it.Answer(q, askHuman(q))
+//	}
+//	res := it.Wait()
+//
+// Each member's questions are delivered in the engine's order; NextQuestion
+// blocks until a question for that member is ready or the run ends. Answer
+// unblocks the engine. The engine goroutine finishes when the lattice is
+// classified, every member stops (Leave), or the question budget runs out;
+// Wait returns the result.
+type Interactive struct {
+	res  *Result
+	done chan struct{}
+
+	mu      sync.Mutex
+	members map[string]*sessionMember
+}
+
+// Question is one crowd question delivered to a session.
+type Question struct {
+	// Member is the member the question is addressed to.
+	Member string
+	// Facts is the fact-set whose frequency is asked (concrete question),
+	// or nil for a specialization question.
+	Facts fact.Set
+	// Choices holds the candidate fact-sets of a specialization question.
+	Choices []fact.Set
+
+	reply chan answerMsg
+}
+
+// Specialization reports whether the question asks to pick a choice.
+func (q *Question) Specialization() bool { return len(q.Choices) > 0 }
+
+type answerMsg struct {
+	support  float64
+	choice   int
+	ok       bool // specialization: a choice was made
+	declined bool // specialization: member prefers concrete questions
+}
+
+// sessionMember adapts the pull API to the engine's crowd.Member interface.
+type sessionMember struct {
+	id        string
+	questions chan *Question
+	left      chan struct{}
+	leaveOnce sync.Once
+}
+
+func (m *sessionMember) ID() string { return m.id }
+
+// deliver sends q to the session and waits for the answer; if the member
+// left, it reports false.
+func (m *sessionMember) deliver(q *Question) (answerMsg, bool) {
+	q.Member = m.id
+	q.reply = make(chan answerMsg, 1)
+	select {
+	case m.questions <- q:
+	case <-m.left:
+		return answerMsg{}, false
+	}
+	select {
+	case a := <-q.reply:
+		return a, true
+	case <-m.left:
+		return answerMsg{}, false
+	}
+}
+
+func (m *sessionMember) Concrete(fs fact.Set) float64 {
+	a, ok := m.deliver(&Question{Facts: fs})
+	if !ok {
+		return 0
+	}
+	return a.support
+}
+
+func (m *sessionMember) ChooseSpecialization(candidates []fact.Set) (int, float64, bool, bool) {
+	a, ok := m.deliver(&Question{Choices: candidates})
+	if !ok {
+		return 0, 0, false, true
+	}
+	return a.choice, a.support, a.ok, a.declined
+}
+
+func (m *sessionMember) Irrelevant([]vocab.Term) (vocab.Term, bool) {
+	// User-guided pruning is not exposed through the pull protocol; the
+	// five-answer UI flow covers the paper's question types.
+	return vocab.None, false
+}
+
+// Left implements the engine's leaver interface.
+func (m *sessionMember) Left() bool {
+	select {
+	case <-m.left:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewInteractive starts the engine over the given member IDs. cfg.Members
+// is ignored; sessions are created per ID.
+func NewInteractive(cfg Config, memberIDs []string) *Interactive {
+	it := &Interactive{
+		done:    make(chan struct{}),
+		members: make(map[string]*sessionMember, len(memberIDs)),
+	}
+	var members []crowd.Member
+	for _, id := range memberIDs {
+		sm := &sessionMember{
+			id:        id,
+			questions: make(chan *Question),
+			left:      make(chan struct{}),
+		}
+		it.members[id] = sm
+		members = append(members, sm)
+	}
+	cfg.Members = members
+	go func() {
+		res := Run(cfg)
+		it.mu.Lock()
+		it.res = res
+		it.mu.Unlock()
+		close(it.done)
+	}()
+	return it
+}
+
+// NextQuestion blocks until the engine has a question for the member or the
+// run ends (ok == false).
+func (it *Interactive) NextQuestion(memberID string) (*Question, bool) {
+	q, ok, _ := it.nextQuestion(memberID, nil)
+	return q, ok
+}
+
+// NextQuestionTimeout is NextQuestion with a deadline, for long-polling
+// servers: it returns (nil, false, true) when no question arrived in time
+// but the run is still going, and running == false when the run has ended.
+// A question is never lost to a timeout — the engine's send blocks until
+// some call receives it.
+func (it *Interactive) NextQuestionTimeout(memberID string, d time.Duration) (q *Question, ok, running bool) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	return it.nextQuestion(memberID, timer.C)
+}
+
+func (it *Interactive) nextQuestion(memberID string, timeout <-chan time.Time) (*Question, bool, bool) {
+	it.mu.Lock()
+	m := it.members[memberID]
+	it.mu.Unlock()
+	if m == nil {
+		return nil, false, false
+	}
+	select {
+	case q := <-m.questions:
+		return q, true, true
+	case <-it.done:
+		return nil, false, false
+	case <-timeout:
+		return nil, false, true
+	}
+}
+
+// Answer replies to a concrete question.
+func (it *Interactive) Answer(q *Question, support float64) {
+	q.reply <- answerMsg{support: support}
+}
+
+// AnswerChoice replies to a specialization question with the chosen
+// candidate and its frequency.
+func (it *Interactive) AnswerChoice(q *Question, choice int, support float64) {
+	q.reply <- answerMsg{choice: choice, support: support, ok: true}
+}
+
+// AnswerNoneOfThese replies to a specialization question with "none of
+// these" (all candidates get frequency 0).
+func (it *Interactive) AnswerNoneOfThese(q *Question) {
+	q.reply <- answerMsg{}
+}
+
+// Decline replies to a specialization question by asking for concrete
+// questions instead.
+func (it *Interactive) Decline(q *Question) {
+	q.reply <- answerMsg{declined: true}
+}
+
+// Leave ends a member's participation: the engine stops asking them (a
+// single question already in flight is recorded as support 0, a harmless
+// one-answer bias the aggregator absorbs).
+func (it *Interactive) Leave(memberID string) {
+	it.mu.Lock()
+	m := it.members[memberID]
+	it.mu.Unlock()
+	if m != nil {
+		m.leaveOnce.Do(func() { close(m.left) })
+	}
+}
+
+// Wait blocks until the run finishes and returns the result.
+func (it *Interactive) Wait() *Result {
+	<-it.done
+	return it.res
+}
+
+// Done reports a channel closed when the run finishes.
+func (it *Interactive) Done() <-chan struct{} { return it.done }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/crowd"
+	"oassis/internal/fact"
+	"oassis/internal/ontology"
+)
+
+// driveSession answers every question for one member from a personal DB,
+// like a human with that history would.
+func driveSession(t *testing.T, it *Interactive, id string, db *crowd.PersonalDB, wg *sync.WaitGroup) {
+	t.Helper()
+	defer wg.Done()
+	for {
+		q, ok := it.NextQuestion(id)
+		if !ok {
+			return
+		}
+		if q.Member != id {
+			t.Errorf("question for %s delivered to %s", q.Member, id)
+		}
+		if q.Specialization() {
+			picked := false
+			for i, c := range q.Choices {
+				if db.Support(c) >= 0.3 {
+					it.AnswerChoice(q, i, db.Support(c))
+					picked = true
+					break
+				}
+			}
+			if !picked {
+				it.AnswerNoneOfThese(q)
+			}
+			continue
+		}
+		it.Answer(q, db.Support(q.Facts))
+	}
+}
+
+func TestInteractiveSessionMatchesBatchRun(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	batch := Run(Config{
+		Space:   sp,
+		Theta:   q.Support,
+		Members: sampleMembers(s),
+		Agg:     aggregate.NewFixedSample(2),
+	})
+
+	_, _, sp2 := buildSpace(t, figure3Restricted)
+	it := NewInteractive(Config{
+		Space: sp2,
+		Theta: q.Support,
+		Agg:   aggregate.NewFixedSample(2),
+	}, []string{"u1", "u2"})
+
+	u1, u2 := crowd.SampleDBs(s)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go driveSession(t, it, "u1", u1, &wg)
+	go driveSession(t, it, "u2", u2, &wg)
+	res := it.Wait()
+	wg.Wait()
+
+	want := mspNames(sp, batch.ValidMSPs)
+	got := mspNames(sp2, res.ValidMSPs)
+	if len(got) != len(want) {
+		t.Fatalf("interactive %v vs batch %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("interactive run missing MSP %s", k)
+		}
+	}
+}
+
+func TestInteractiveSpecializationFlow(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	it := NewInteractive(Config{
+		Space:               sp,
+		Theta:               q.Support,
+		Agg:                 aggregate.NewFixedSample(1),
+		SpecializationRatio: 1,
+	}, []string{"u1"})
+	u1, _ := crowd.SampleDBs(s)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	sawSpecialization := false
+	go func() {
+		defer wg.Done()
+		for {
+			qq, ok := it.NextQuestion("u1")
+			if !ok {
+				return
+			}
+			if qq.Specialization() {
+				sawSpecialization = true
+				it.Decline(qq) // always prefer concrete questions
+				continue
+			}
+			it.Answer(qq, u1.Support(qq.Facts))
+		}
+	}()
+	res := it.Wait()
+	wg.Wait()
+	if !sawSpecialization {
+		t.Error("no specialization question delivered at ratio 1")
+	}
+	if len(res.MSPs) == 0 {
+		t.Error("no MSPs from interactive specialization flow")
+	}
+}
+
+func TestInteractiveLeave(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	it := NewInteractive(Config{
+		Space: sp,
+		Theta: q.Support,
+		Agg:   aggregate.NewFixedSample(2),
+	}, []string{"u1", "quitter"})
+	u1, _ := crowd.SampleDBs(s)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	answered := 0
+	go func() {
+		defer wg.Done()
+		for {
+			qq, ok := it.NextQuestion("quitter")
+			if !ok {
+				return
+			}
+			answered++
+			it.Answer(qq, 0.5)
+			if answered >= 2 {
+				it.Leave("quitter")
+				return
+			}
+		}
+	}()
+	go driveSession(t, it, "u1", u1, &wg)
+	res := it.Wait()
+	wg.Wait()
+	if res == nil {
+		t.Fatal("no result after a member left")
+	}
+	// Leaving twice is harmless; leaving an unknown member too.
+	it.Leave("quitter")
+	it.Leave("nobody")
+	if _, ok := it.NextQuestion("nobody"); ok {
+		t.Error("question delivered to unknown member")
+	}
+}
+
+func TestInteractiveDoneUnblocksWaiters(t *testing.T) {
+	s := ontology.NewSample()
+	_ = s
+	_, q, sp := buildSpace(t, figure3Restricted)
+	it := NewInteractive(Config{
+		Space:        sp,
+		Theta:        q.Support,
+		Agg:          aggregate.NewFixedSample(1),
+		MaxQuestions: 1,
+	}, []string{"u1"})
+	// Answer one question, then the budget ends the run; NextQuestion must
+	// return ok=false rather than hang.
+	qq, ok := it.NextQuestion("u1")
+	if !ok {
+		t.Fatal("no first question")
+	}
+	it.Answer(qq, 1)
+	done := make(chan struct{})
+	go func() {
+		if _, ok := it.NextQuestion("u1"); ok {
+			// A second question may arrive before the budget check; answer
+			// it so the run can end.
+			t.Error("question beyond budget")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("NextQuestion hung after run end")
+	}
+	_ = it.Wait()
+	select {
+	case <-it.Done():
+	default:
+		t.Error("Done not closed after Wait")
+	}
+	_ = fact.Set{}
+}

@@ -1,0 +1,75 @@
+package core
+
+import "fmt"
+
+// QuestionKind classifies crowd answers, matching the breakdown the paper
+// reports in §6.3 (concrete, specialization, "none of these", user-guided
+// pruning clicks).
+type QuestionKind int
+
+// Answer kinds.
+const (
+	KindConcrete QuestionKind = iota
+	KindSpecialization
+	KindNoneOfThese
+	KindPruning
+)
+
+func (k QuestionKind) String() string {
+	switch k {
+	case KindConcrete:
+		return "concrete"
+	case KindSpecialization:
+		return "specialization"
+	case KindNoneOfThese:
+		return "none-of-these"
+	case KindPruning:
+		return "pruning"
+	default:
+		return fmt.Sprintf("QuestionKind(%d)", int(k))
+	}
+}
+
+// Point is one timeline sample, taken after each counted crowd answer.
+type Point struct {
+	Questions       int // cumulative counted answers
+	ClassifiedValid int // valid base assignments classified so far
+	MSPsFound       int // chain maxima recorded so far (MSP candidates)
+}
+
+// Stats aggregates the measurements the paper's figures are built from.
+type Stats struct {
+	TotalQuestions  int // all counted crowd answers, including repetitions
+	UniqueQuestions int // distinct fact-set questions (crowd complexity, §4.1)
+
+	Concrete       int
+	Specialization int
+	NoneOfThese    int
+	Pruning        int
+
+	// FreeAnswers are answers derived without user effort (member answer
+	// cache hits and pruning inferences); they are not counted above.
+	FreeAnswers int
+
+	// PrimedAnswers counts answers served from a prior run's CrowdCache
+	// (threshold replay, §6.3); they are included in TotalQuestions.
+	PrimedAnswers int
+
+	// ForcedClassifications counts nodes classified by mean because the
+	// crowd was exhausted before the aggregator could decide.
+	ForcedClassifications int
+
+	// BannedMembers counts members excluded by the consistency spam filter
+	// (§4.2 crowd-member selection).
+	BannedMembers int
+
+	GeneratedNodes int // lattice nodes generated lazily
+
+	Timeline []Point // present when Config.TrackTimeline
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("questions=%d unique=%d (concrete=%d special=%d none=%d prune=%d free=%d) nodes=%d",
+		s.TotalQuestions, s.UniqueQuestions, s.Concrete, s.Specialization,
+		s.NoneOfThese, s.Pruning, s.FreeAnswers, s.GeneratedNodes)
+}

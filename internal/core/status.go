@@ -1,0 +1,182 @@
+// Package core implements the paper's primary contribution: the query
+// evaluation algorithm of Sections 4–5. It contains the vertical algorithm
+// (Algorithm 1) with its inference scheme (Observation 4.4), the multi-user
+// engine with per-member question queues (§4.2, §6.1 QueueManager), the
+// specialization-question and user-guided-pruning optimizations (§4.1,
+// §6.2), the CrowdCache answer store enabling threshold replay (§6.3), and
+// the Horizontal and Naive baseline algorithms of §6.4.
+package core
+
+import (
+	"oassis/internal/assign"
+)
+
+// Status is the classification state of an assignment.
+type Status int
+
+// Classification states.
+const (
+	Unclassified Status = iota
+	Significant
+	Insignificant
+)
+
+func (s Status) String() string {
+	switch s {
+	case Significant:
+		return "significant"
+	case Insignificant:
+		return "insignificant"
+	default:
+		return "unclassified"
+	}
+}
+
+// classifier tracks the classification of the whole (lazily explored)
+// assignment lattice without materializing closures: it keeps the maximal
+// known-significant nodes and the minimal known-insignificant nodes as
+// anchors (Observation 4.4: significance is downward closed, insignificance
+// upward closed). Nodes seen once are registered and their status is
+// maintained incrementally — each new anchor performs a single order test
+// per still-unclassified registered node — so repeated status queries over
+// the engine's node pool are O(1).
+type classifier struct {
+	sp    *assign.Space
+	sig   []assign.Assignment // maximal significant anchors
+	insig []assign.Assignment // minimal insignificant anchors
+
+	watched      map[string]assign.Assignment // registered nodes by key
+	status_      map[string]Status
+	unclassified map[string]struct{} // registered nodes still unclassified
+
+	// onSignificant, when set, is invoked once for every registered node
+	// that becomes significant (explicitly or by inference); the engine
+	// uses it to schedule lattice expansion incrementally.
+	onSignificant func(a assign.Assignment)
+}
+
+func newClassifier(sp *assign.Space) *classifier {
+	return &classifier{
+		sp:           sp,
+		watched:      make(map[string]assign.Assignment),
+		status_:      make(map[string]Status),
+		unclassified: make(map[string]struct{}),
+	}
+}
+
+// register adds a to the watch list, computing its status against the
+// current anchors once.
+func (c *classifier) register(a assign.Assignment) Status {
+	key := a.Key()
+	if st, ok := c.status_[key]; ok {
+		return st
+	}
+	st := Unclassified
+	for _, s := range c.sig {
+		if c.sp.Leq(a, s) {
+			st = Significant
+			break
+		}
+	}
+	if st == Unclassified {
+		for _, i := range c.insig {
+			if c.sp.Leq(i, a) {
+				st = Insignificant
+				break
+			}
+		}
+	}
+	c.watched[key] = a
+	c.status_[key] = st
+	if st == Unclassified {
+		c.unclassified[key] = struct{}{}
+	} else if st == Significant && c.onSignificant != nil {
+		c.onSignificant(a)
+	}
+	return st
+}
+
+// status returns the classification of a, registering it if new.
+func (c *classifier) status(a assign.Assignment) Status {
+	if st, ok := c.status_[a.Key()]; ok {
+		return st
+	}
+	return c.register(a)
+}
+
+// markSignificant records that a (and hence every predecessor of a) is
+// significant. The anchor list keeps only maximal elements, and registered
+// unclassified nodes are re-tested against the new anchor only.
+func (c *classifier) markSignificant(a assign.Assignment) {
+	for _, s := range c.sig {
+		if c.sp.Leq(a, s) {
+			c.setStatus(a, Significant)
+			return // already implied
+		}
+	}
+	kept := c.sig[:0]
+	for _, s := range c.sig {
+		if !c.sp.Leq(s, a) {
+			kept = append(kept, s)
+		}
+	}
+	c.sig = append(kept, a)
+	c.setStatus(a, Significant)
+	for key := range c.unclassified {
+		w := c.watched[key]
+		if c.sp.Leq(w, a) {
+			c.status_[key] = Significant
+			delete(c.unclassified, key)
+			if c.onSignificant != nil {
+				c.onSignificant(w)
+			}
+		}
+	}
+}
+
+// markInsignificant records that a (and hence every successor of a) is
+// insignificant.
+func (c *classifier) markInsignificant(a assign.Assignment) {
+	for _, i := range c.insig {
+		if c.sp.Leq(i, a) {
+			c.setStatus(a, Insignificant)
+			return
+		}
+	}
+	kept := c.insig[:0]
+	for _, i := range c.insig {
+		if !c.sp.Leq(a, i) {
+			kept = append(kept, i)
+		}
+	}
+	c.insig = append(kept, a)
+	c.setStatus(a, Insignificant)
+	for key := range c.unclassified {
+		if c.sp.Leq(a, c.watched[key]) {
+			c.status_[key] = Insignificant
+			delete(c.unclassified, key)
+		}
+	}
+}
+
+func (c *classifier) setStatus(a assign.Assignment, st Status) {
+	key := a.Key()
+	if _, ok := c.status_[key]; !ok {
+		c.watched[key] = a
+	}
+	prev := c.status_[key]
+	c.status_[key] = st
+	delete(c.unclassified, key)
+	if st == Significant && prev != Significant && c.onSignificant != nil {
+		c.onSignificant(a)
+	}
+}
+
+// maximalSignificant returns the maximal significant nodes discovered — the
+// set M of Algorithm 1 (which may include invalid assignments; the valid
+// ones are the query's MSP output).
+func (c *classifier) maximalSignificant() []assign.Assignment {
+	out := make([]assign.Assignment, len(c.sig))
+	copy(out, c.sig)
+	return out
+}

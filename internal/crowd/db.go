@@ -1,0 +1,87 @@
+// Package crowd models the crowd of Section 2 of the paper: each member has
+// a virtual personal database of transactions (bags of fact-sets describing
+// past occasions) which can never be accessed directly — only probed through
+// questions. The package provides the personal-DB support computation, the
+// member question interfaces used by the mining engine (concrete questions,
+// specialization questions, "none of these", user-guided pruning), simulated
+// members backed by personal DBs, the answer discretization of the paper's
+// UI (never / rarely / sometimes / often / very often), and natural-language
+// question rendering (§6.2).
+package crowd
+
+import (
+	"fmt"
+
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+// PersonalDB is the virtual personal database D_u of a crowd member: a bag
+// of transactions, each a fact-set describing one occasion.
+type PersonalDB struct {
+	Voc          *vocab.Vocabulary
+	Transactions []fact.Set
+}
+
+// NewPersonalDB builds a personal DB over v.
+func NewPersonalDB(v *vocab.Vocabulary, transactions ...fact.Set) *PersonalDB {
+	return &PersonalDB{Voc: v, Transactions: transactions}
+}
+
+// Add appends a transaction.
+func (db *PersonalDB) Add(t fact.Set) { db.Transactions = append(db.Transactions, t) }
+
+// Len reports |D_u|, the number of transactions.
+func (db *PersonalDB) Len() int { return len(db.Transactions) }
+
+// Support computes supp_u(A) = |{T ∈ D_u : A ≤ T}| / |D_u| (Section 2).
+// The support of any fact-set over an empty DB is 0, except the empty
+// fact-set, which has support 1 by convention.
+func (db *PersonalDB) Support(a fact.Set) float64 {
+	if len(a) == 0 {
+		return 1
+	}
+	if len(db.Transactions) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range db.Transactions {
+		if fact.Implies(db.Voc, t, a) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(db.Transactions))
+}
+
+// FrequentSupersets returns, among the given candidate fact-sets, those with
+// support at least theta, with their supports. Used by simulated members to
+// answer specialization questions.
+func (db *PersonalDB) FrequentSupersets(candidates []fact.Set, theta float64) ([]int, []float64) {
+	var idx []int
+	var sup []float64
+	for i, c := range candidates {
+		if s := db.Support(c); s >= theta {
+			idx = append(idx, i)
+			sup = append(sup, s)
+		}
+	}
+	return idx, sup
+}
+
+// ContainsTerm reports whether any transaction mentions a term at or below
+// t (used to decide that t is irrelevant to this member).
+func (db *PersonalDB) ContainsTerm(t vocab.Term) bool {
+	for _, tr := range db.Transactions {
+		for _, f := range tr {
+			if db.Voc.Leq(t, f.S) || db.Voc.Leq(t, f.R) || db.Voc.Leq(t, f.O) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String summarizes the DB.
+func (db *PersonalDB) String() string {
+	return fmt.Sprintf("personalDB(%d transactions)", len(db.Transactions))
+}

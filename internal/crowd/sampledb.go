@@ -1,0 +1,33 @@
+package crowd
+
+import (
+	"oassis/internal/fact"
+	"oassis/internal/ontology"
+)
+
+// SampleDBs builds the two personal databases of Table 3 in the paper
+// (crowd members u1 and u2) over the Figure 1 sample ontology.
+func SampleDBs(s *ontology.Sample) (u1, u2 *PersonalDB) {
+	p := func(text string) fact.Set { return fact.MustParse(s.Voc, text) }
+	u1 = NewPersonalDB(s.Voc,
+		// T1
+		p("Basketball doAt Central Park. Falafel eatAt Maoz Veg"),
+		// T2
+		p("Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine"),
+		// T3
+		p("Biking doAt Central Park. Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg"),
+		// T4
+		p("Baseball doAt Central Park. Biking doAt Central Park. Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg"),
+		// T5
+		p("Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine"),
+		// T6
+		p("Feed a Monkey doAt Bronx Zoo"),
+	)
+	u2 = NewPersonalDB(s.Voc,
+		// T7
+		p("Baseball doAt Central Park. Biking doAt Central Park. Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg"),
+		// T8
+		p("Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine"),
+	)
+	return u1, u2
+}

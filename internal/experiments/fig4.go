@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/assign"
+	"oassis/internal/core"
+	"oassis/internal/synth"
+)
+
+// DomainScale shrinks the crowd of the domain experiments while keeping the
+// paper's DAG sizes; 1.0 is the full 248-member crowd.
+type DomainScale struct {
+	Members  int
+	Patterns int
+	Sample   int // answers per assignment (the paper's black box uses 5)
+}
+
+// FullScale is the paper's crowd setting.
+var FullScale = DomainScale{Members: 248, Patterns: 0, Sample: 5}
+
+// QuickScale keeps runtimes short while preserving the figures' shape.
+var QuickScale = DomainScale{Members: 40, Patterns: 14, Sample: 5}
+
+func applyScale(cfg synth.DomainConfig, sc DomainScale) synth.DomainConfig {
+	if sc.Members > 0 {
+		cfg.Members = sc.Members
+	}
+	if sc.Patterns > 0 {
+		cfg.Patterns = sc.Patterns
+	}
+	return cfg
+}
+
+// runDomain mines one domain at the given threshold, optionally priming
+// from a previous run's cache (the §6.3 threshold-replay methodology).
+func runDomain(d *synth.Domain, theta float64, sample int, prime *core.Cache, timeline bool) *core.Result {
+	return core.Run(core.Config{
+		Space:         d.Sp,
+		Theta:         theta,
+		Members:       d.Members,
+		Agg:           aggregate.NewFixedSample(sample),
+		Prime:         prime,
+		TrackTimeline: timeline,
+	})
+}
+
+// rebuildSpace re-creates the domain's space so that runs at different
+// thresholds do not share lattice caches (the crowd answers are shared via
+// the prime cache instead, as in the paper).
+func rebuildSpace(cfg synth.DomainConfig) (*synth.Domain, error) {
+	return synth.GenerateDomain(cfg)
+}
+
+// Fig4Domain regenerates one of Figures 4a–4c: per support threshold, the
+// number of MSPs, valid MSPs, crowd questions, and the percentage of the
+// baseline algorithm's questions (5 per valid assignment, no traversal
+// order or inference).
+func Fig4Domain(id string, base synth.DomainConfig, sc DomainScale) (*Report, error) {
+	cfg := applyScale(base, sc)
+	r := &Report{
+		ID:     id,
+		Title:  fmt.Sprintf("Crowd statistics — %s (DAG %s)", cfg.Name, dagSizeNote(cfg)),
+		Header: []string{"theta", "#MSPs", "#valid", "#questions", "baseline%"},
+	}
+	r.Note("paper: Fig 4%s; %d members simulated (paper: 248 real), %d answers/assignment",
+		id[len(id)-1:], cfg.Members, sc.Sample)
+	r.Note("thresholds above 0.2 replay the 0.2 run's CrowdCache (§6.3)")
+
+	var prime *core.Cache
+	for _, theta := range []float64{0.2, 0.3, 0.4, 0.5} {
+		d, err := rebuildSpace(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res := runDomain(d, theta, sc.Sample, prime, false)
+		if theta == 0.2 {
+			prime = res.Cache
+		}
+		baseline := core.BaselineQuestions(d.Sp, sc.Sample)
+		r.Add(theta, len(res.MSPs), len(res.ValidMSPs), res.Stats.TotalQuestions,
+			pct(res.Stats.TotalQuestions, baseline))
+	}
+	return r, nil
+}
+
+func dagSizeNote(cfg synth.DomainConfig) string {
+	return fmt.Sprintf("%d nodes", cfg.YTerms*cfg.XTerms)
+}
+
+// Fig4Pace regenerates Figure 4d/4e: the number of questions as a function
+// of the percentage of discovered MSPs, valid MSPs, and classified valid
+// assignments, at threshold 0.2.
+func Fig4Pace(id string, base synth.DomainConfig, sc DomainScale) (*Report, error) {
+	cfg := applyScale(base, sc)
+	r := &Report{
+		ID:     id,
+		Title:  fmt.Sprintf("Pace of data collection — %s (theta 0.2)", cfg.Name),
+		Header: []string{"%discovered", "classified assign.", "valid MSPs", "all MSPs"},
+	}
+	r.Note("paper: Fig 4d/4e; questions needed to reach each discovery percentage")
+	d, err := rebuildSpace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := runDomain(d, 0.2, sc.Sample, nil, true)
+
+	classified := classifiedCurve(res)
+	allMSPs := mspCurve(res, res.MSPs)
+	validMSPs := mspCurve(res, res.ValidMSPs)
+	for _, p := range []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		r.Add(fmt.Sprintf("%d%%", p),
+			atPct(classified, p), atPct(validMSPs, p), atPct(allMSPs, p))
+	}
+	r.Note("total questions: %d; MSPs: %d (%d valid)",
+		res.Stats.TotalQuestions, len(res.MSPs), len(res.ValidMSPs))
+	return r, nil
+}
+
+// classifiedCurve extracts, from the timeline, the question counts at which
+// the classified-valid-assignment count increased (sorted ascending).
+func classifiedCurve(res *core.Result) []int {
+	var out []int
+	last := 0
+	for _, p := range res.Stats.Timeline {
+		for last < p.ClassifiedValid {
+			out = append(out, p.Questions)
+			last++
+		}
+	}
+	return out
+}
+
+// mspCurve lists the discovery question of each given MSP, ascending.
+func mspCurve(res *core.Result, msps []assign.Assignment) []int {
+	var out []int
+	for _, m := range msps {
+		if q, ok := res.MSPQuestion[m.Key()]; ok {
+			out = append(out, q)
+		} else {
+			out = append(out, res.Stats.TotalQuestions)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// atPct returns the value of the sorted curve at the given percentage of
+// its length ("questions needed to reach p% of the discoveries").
+func atPct(curve []int, p int) string {
+	if len(curve) == 0 {
+		return "n/a"
+	}
+	idx := (p*len(curve)+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(curve) {
+		idx = len(curve) - 1
+	}
+	return fmt.Sprintf("%d", curve[idx])
+}
+
+// CrowdSummary regenerates the §6.3 run statistics across the three
+// domains: questions to completion (paper: 340–1416), answers per member
+// (paper: ~20 average), answer-type shares (paper: 12% specialization, half
+// of them "none of these", 13% pruning), and multiplicity MSP counts
+// (paper: up to 25 per query).
+func CrowdSummary(sc DomainScale) (*Report, error) {
+	r := &Report{
+		ID:    "crowd-summary",
+		Title: "Crowd-experiment summary across domains (theta 0.2)",
+		Header: []string{"domain", "DAG", "#questions", "unique", "per-member",
+			"special%", "none%", "prune%", "#MSPs", "mult-MSPs"},
+	}
+	r.Note("paper §6.3: 340–1416 questions to completion, 248 members × ~20 answers,")
+	r.Note("12%% specialization (half none-of-these), 13%% pruning, ≤25 multiplicity MSPs")
+	for _, base := range []synth.DomainConfig{synth.Travel, synth.Culinary, synth.SelfTreatment} {
+		cfg := applyScale(base, sc)
+		d, err := rebuildSpace(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res := core.Run(core.Config{
+			Space:               d.Sp,
+			Theta:               0.2,
+			Members:             d.Members,
+			Agg:                 aggregate.NewFixedSample(sc.Sample),
+			SpecializationRatio: 0.35,
+			EnablePruning:       true,
+			Rng:                 newRng(cfg.Seed),
+		})
+		mult := 0
+		for _, m := range res.MSPs {
+			for _, vs := range m.Vals {
+				if len(vs) > 1 {
+					mult++
+					break
+				}
+			}
+		}
+		total := res.Stats.TotalQuestions
+		perMember := float64(total) / float64(len(d.Members))
+		r.Add(cfg.Name, d.DAGSize(), total, res.Stats.UniqueQuestions,
+			fmt.Sprintf("%.1f", perMember),
+			pct(res.Stats.Specialization+res.Stats.NoneOfThese, total),
+			pct(res.Stats.NoneOfThese, total),
+			pct(res.Stats.Pruning, total),
+			len(res.MSPs), mult)
+	}
+	return r, nil
+}

@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). Each experiment returns a Report whose rows are
+// the series the paper plots; the benchmark harness (bench_test.go) and the
+// oassis-bench CLI render them as aligned text tables or CSV. See DESIGN.md
+// for the experiment index (E1–E17) and the simulation substitutions.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID     string // experiment id, e.g. "fig4a"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string // methodology notes and paper-reference numbers
+}
+
+// Add appends a row, formatting each cell with %v.
+func (r *Report) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Note records a methodology note.
+func (r *Report) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Table renders the report as an aligned text table.
+func (r *Report) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Header, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the report as CSV (header first, notes as # comments).
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	esc := func(cells []string) string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		return strings.Join(out, ",")
+	}
+	sb.WriteString(esc(r.Header))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		sb.WriteString(esc(row))
+		sb.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
+	}
+	return sb.String()
+}
+
+// pct formats a ratio as a percentage string.
+func pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/synth"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SweepDAGShape regenerates the §6.4 DAG-shape study: the vertical
+// algorithm over widths 500–2000 and depths 4–7 (scaled), reporting that
+// the trends do not change with the shape.
+func SweepDAGShape(scale float64, trials int) (*Report, error) {
+	r := &Report{
+		ID:     "sweep-dag-shape",
+		Title:  "Effect of DAG width and depth (vertical algorithm)",
+		Header: []string{"width", "depth", "nodes", "questions", "unique", "MSPs found", "q/MSP"},
+	}
+	r.Note("paper §6.4: varying shape showed no significant effect on the trends")
+	widths := []int{scaleInt(500, scale), scaleInt(1000, scale), scaleInt(2000, scale)}
+	for _, w := range widths {
+		for _, depth := range []int{4, 7} {
+			var qSum, uSum, mSum, nodeSum float64
+			for trial := 0; trial < trials; trial++ {
+				seed := int64(w*100+depth*10) + int64(trial)
+				s, err := synth.GenerateSpace(synth.DAGConfig{Width: w, Depth: depth, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				count := s.NodeCount() / 50 // 2% MSPs
+				if count < 1 {
+					count = 1
+				}
+				planted, err := s.PlantMSPs(synth.MSPConfig{Count: count, ValidOnly: true, Seed: seed + 3})
+				if err != nil {
+					return nil, err
+				}
+				res := core.Run(core.Config{
+					Space:   s.Sp,
+					Theta:   0.5,
+					Members: []crowd.Member{synth.NewOracle("u", s, planted)},
+				})
+				qSum += float64(res.Stats.TotalQuestions)
+				uSum += float64(res.Stats.UniqueQuestions)
+				mSum += float64(len(res.MSPs))
+				nodeSum += float64(s.NodeCount())
+			}
+			n := float64(trials)
+			r.Add(w, depth, fmt.Sprintf("%.0f", nodeSum/n), fmt.Sprintf("%.0f", qSum/n),
+				fmt.Sprintf("%.0f", uSum/n), fmt.Sprintf("%.1f", mSum/n),
+				fmt.Sprintf("%.1f", qSum/math.Max(mSum, 1)))
+		}
+	}
+	return r, nil
+}
+
+func scaleInt(v int, scale float64) int {
+	out := int(float64(v) * scale)
+	if out < 10 {
+		out = 10
+	}
+	return out
+}
+
+// SweepMSPDistribution regenerates the §6.4 MSP-distribution study:
+// uniform vs nearby vs far placement, in the whole DAG or among valid
+// assignments only.
+func SweepMSPDistribution(scale float64, trials int) (*Report, error) {
+	r := &Report{
+		ID:     "sweep-msp-dist",
+		Title:  "Effect of MSP distribution in the DAG (vertical algorithm)",
+		Header: []string{"distribution", "validOnly", "questions", "MSPs found"},
+	}
+	r.Note("paper §6.4: the distribution showed no significant effect")
+	for _, dist := range []synth.MSPDist{synth.Uniform, synth.Nearby, synth.Far} {
+		for _, validOnly := range []bool{true, false} {
+			var qSum, mSum float64
+			for trial := 0; trial < trials; trial++ {
+				seed := int64(trial)*97 + int64(dist)*7
+				s, err := synth.GenerateSpace(synth.DAGConfig{
+					Width: scaleInt(500, scale), Depth: 7,
+					ValidLeavesOnly: validOnly, Seed: seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				count := s.NodeCount() / 50
+				if count < 1 {
+					count = 1
+				}
+				planted, err := s.PlantMSPs(synth.MSPConfig{
+					Count: count, Dist: dist, ValidOnly: validOnly, Seed: seed + 3,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res := core.Run(core.Config{
+					Space:   s.Sp,
+					Theta:   0.5,
+					Members: []crowd.Member{synth.NewOracle("u", s, planted)},
+				})
+				qSum += float64(res.Stats.TotalQuestions)
+				mSum += float64(len(res.MSPs))
+			}
+			n := float64(trials)
+			r.Add(dist.String(), validOnly, fmt.Sprintf("%.0f", qSum/n), fmt.Sprintf("%.1f", mSum/n))
+		}
+	}
+	return r, nil
+}
+
+// SweepMultiplicities regenerates the §6.4 multiplicity study: the share of
+// MSPs with multiplicities (sizes up to 4) does not change the question
+// count materially, and the lazy node generation touches well under 1% of
+// the nodes an eager algorithm would materialize.
+func SweepMultiplicities(scale float64, trials int) (*Report, error) {
+	r := &Report{
+		ID:     "sweep-multiplicities",
+		Title:  "Effect of MSPs with multiplicities; lazy vs eager node generation",
+		Header: []string{"mult-MSP share", "questions", "MSPs found", "generated nodes", "eager nodes", "generated/eager"},
+	}
+	r.Note("paper §6.4: OASSIS generated <1%% of the nodes an eager algorithm would")
+	for _, share := range []float64{0, 0.01, 0.02, 0.05} {
+		var qSum, mSum, gSum float64
+		var eager float64
+		for trial := 0; trial < trials; trial++ {
+			seed := int64(share*1000) + int64(trial)*31
+			s, err := synth.GenerateSpace(synth.DAGConfig{
+				Width: scaleInt(500, scale), Depth: 7, Multiplicities: true, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			nodes := s.NodeCount()
+			count := nodes / 50
+			if count < 1 {
+				count = 1
+			}
+			multCount := int(float64(nodes) * share)
+			if multCount > count {
+				multCount = count
+			}
+			planted, err := s.PlantMSPs(synth.MSPConfig{
+				Count: count, MultCount: multCount, MaxMultSize: 4, ValidOnly: true, Seed: seed + 3,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res := core.Run(core.Config{
+				Space:   s.Sp,
+				Theta:   0.5,
+				Members: []crowd.Member{synth.NewOracle("u", s, planted)},
+			})
+			qSum += float64(res.Stats.TotalQuestions)
+			mSum += float64(len(res.MSPs))
+			gSum += float64(res.Stats.GeneratedNodes)
+			eager = eagerNodeCount(nodes, 4)
+		}
+		n := float64(trials)
+		r.Add(fmt.Sprintf("%.0f%%", share*100),
+			fmt.Sprintf("%.0f", qSum/n), fmt.Sprintf("%.1f", mSum/n),
+			fmt.Sprintf("%.0f", gSum/n), fmt.Sprintf("%.3g", eager),
+			fmt.Sprintf("%.4f%%", 100*(gSum/n)/eager))
+	}
+	return r, nil
+}
+
+// eagerNodeCount estimates the nodes an eager algorithm materializes: all
+// value sets of size ≤ maxSize over n values (Σ C(n, k)).
+func eagerNodeCount(n, maxSize int) float64 {
+	total := 0.0
+	term := 1.0
+	for k := 1; k <= maxSize; k++ {
+		term *= float64(n-k+1) / float64(k)
+		total += term
+	}
+	return total
+}
+
+// ComplexityBounds empirically checks Propositions 4.7 and 4.8: the number
+// of unique crowd questions against the upper bound
+// (|E|+|R|)·|msp| + |msp⁻| and the lower bound |msp_valid| + |msp⁻_valid|.
+func ComplexityBounds(scale float64) (*Report, error) {
+	r := &Report{
+		ID:     "complexity-bounds",
+		Title:  "Crowd complexity vs Prop 4.7/4.8 bounds",
+		Header: []string{"MSPs planted", "unique questions", "upper bound", "lower bound", "within"},
+	}
+	r.Note("upper: (|E|+|R|)·|msp| + |msp⁻| (Prop 4.7); lower: |msp|+|msp⁻| (Prop 4.8)")
+	for _, count := range []int{5, 10, 20} {
+		s, err := synth.GenerateSpace(synth.DAGConfig{
+			Width: scaleInt(300, scale), Depth: 6, Seed: int64(count),
+		})
+		if err != nil {
+			return nil, err
+		}
+		planted, err := s.PlantMSPs(synth.MSPConfig{Count: count, ValidOnly: true, Seed: int64(count) + 1})
+		if err != nil {
+			return nil, err
+		}
+		res := core.Run(core.Config{
+			Space:   s.Sp,
+			Theta:   0.5,
+			Members: []crowd.Member{synth.NewOracle("u", s, planted)},
+		})
+		terms := s.Voc.Len()
+		upper := terms*len(res.MSPs) + res.InsigMinimal
+		lower := len(res.MSPs) + res.InsigMinimal
+		ok := res.Stats.UniqueQuestions <= upper && res.Stats.UniqueQuestions >= lower
+		r.Add(len(planted), res.Stats.UniqueQuestions, upper, lower, ok)
+	}
+	return r, nil
+}

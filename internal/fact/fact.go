@@ -1,0 +1,179 @@
+// Package fact implements facts and fact-sets over a vocabulary
+// (Definition 2.2 of the paper) together with their semantic partial order
+// (Definition 2.5): a fact f = ⟨e1, r, e2⟩ is more general than f' iff each
+// component is more general, and a fact-set A is more general than B iff
+// every fact of A has a more specific counterpart in B. A transaction T
+// implies a fact-set A when A ≤ T.
+package fact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"oassis/internal/vocab"
+)
+
+// Fact is a triple ⟨Subject, Rel, Object⟩ ∈ E × R × E.
+type Fact struct {
+	S vocab.Term // subject element
+	R vocab.Term // relation
+	O vocab.Term // object element
+}
+
+// Less orders facts lexicographically by (S, R, O); it is used only for
+// canonical sorting and has no semantic meaning.
+func (f Fact) Less(g Fact) bool {
+	if f.S != g.S {
+		return f.S < g.S
+	}
+	if f.R != g.R {
+		return f.R < g.R
+	}
+	return f.O < g.O
+}
+
+// Format renders the fact in the paper's RDF-like notation using v's names.
+// The wildcard vocab.Any prints as [].
+func (f Fact) Format(v *vocab.Vocabulary) string {
+	name := func(t vocab.Term) string {
+		if t == vocab.Any {
+			return "[]"
+		}
+		return v.Name(t)
+	}
+	return fmt.Sprintf("%s %s %s", name(f.S), name(f.R), name(f.O))
+}
+
+// Leq reports whether f ≤ g under v, i.e. f is a (not necessarily proper)
+// generalization of g.
+func Leq(v *vocab.Vocabulary, f, g Fact) bool {
+	return v.Leq(f.S, g.S) && v.Leq(f.R, g.R) && v.Leq(f.O, g.O)
+}
+
+// Set is a fact-set. The exported operations treat it as a set; the
+// canonical representation (see Canon) is sorted and duplicate-free.
+type Set []Fact
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Canon returns the canonical representation of s: sorted by (S, R, O) with
+// duplicates removed. The receiver is not modified.
+func (s Set) Canon() Set {
+	out := s.Clone()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	w := 0
+	for i, f := range out {
+		if i > 0 && f == out[w-1] {
+			continue
+		}
+		out[w] = f
+		w++
+	}
+	return out[:w]
+}
+
+// Contains reports whether s contains exactly f.
+func (s Set) Contains(f Fact) bool {
+	for _, g := range s {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns the canonical union of s and t.
+func (s Set) Union(t Set) Set {
+	return append(s.Clone(), t...).Canon()
+}
+
+// Equal reports whether s and t contain the same facts.
+func (s Set) Equal(t Set) bool {
+	a, b := s.Canon(), t.Canon()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SetLeq reports whether a ≤ b under v: every fact of a has a more specific
+// counterpart in b (Definition 2.5).
+func SetLeq(v *vocab.Vocabulary, a, b Set) bool {
+	for _, f := range a {
+		found := false
+		for _, g := range b {
+			if Leq(v, f, g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies reports whether transaction t (viewed as a fact-set) implies a,
+// i.e. a ≤ t.
+func Implies(v *vocab.Vocabulary, t, a Set) bool { return SetLeq(v, a, t) }
+
+// Reduce drops from s every fact that is a proper generalization of another
+// fact in s (such facts are implied and thus redundant), returning a
+// canonical set of the maximally specific facts.
+func Reduce(v *vocab.Vocabulary, s Set) Set {
+	c := s.Canon()
+	var out Set
+	for i, f := range c {
+		redundant := false
+		for j, g := range c {
+			if i == j || f == g {
+				continue
+			}
+			if Leq(v, f, g) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Key returns a compact byte-string key identifying the canonical form of s,
+// suitable for use as a map key.
+func (s Set) Key() string {
+	c := s.Canon()
+	buf := make([]byte, 0, len(c)*12)
+	var tmp [4]byte
+	for _, f := range c {
+		for _, t := range [3]vocab.Term{f.S, f.R, f.O} {
+			binary.LittleEndian.PutUint32(tmp[:], uint32(t))
+			buf = append(buf, tmp[:]...)
+		}
+	}
+	return string(buf)
+}
+
+// Format renders s in the paper's notation, facts joined by ". ".
+func (s Set) Format(v *vocab.Vocabulary) string {
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = f.Format(v)
+	}
+	return strings.Join(parts, ". ")
+}

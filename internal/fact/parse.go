@@ -1,0 +1,74 @@
+package fact
+
+import (
+	"fmt"
+	"strings"
+
+	"oassis/internal/vocab"
+)
+
+// Parse parses a fact-set in the paper's textual notation, e.g.
+//
+//	"Basketball doAt Central Park. Falafel eatAt Maoz Veg"
+//
+// Facts are separated by periods. Because element names may contain spaces
+// ("Central Park"), each fact is resolved by scanning for a split of its
+// tokens into ⟨element, relation, element⟩ where all three name groups are
+// known vocabulary terms of the right kind. The split must be unique;
+// ambiguous facts are an error.
+func Parse(v *vocab.Vocabulary, text string) (Set, error) {
+	var out Set
+	for _, part := range strings.Split(text, ".") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := ParseFact(v, part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out.Canon(), nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(v *vocab.Vocabulary, text string) Set {
+	s, err := Parse(v, text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseFact parses a single fact in "subject relation object" notation.
+func ParseFact(v *vocab.Vocabulary, text string) (Fact, error) {
+	tokens := strings.Fields(text)
+	if len(tokens) < 3 {
+		return Fact{}, fmt.Errorf("fact: %q has fewer than three tokens", text)
+	}
+	join := func(ts []string) string { return strings.Join(ts, " ") }
+	var found []Fact
+	for i := 1; i < len(tokens)-1; i++ {
+		for j := i + 1; j < len(tokens); j++ {
+			s, okS := v.Lookup(join(tokens[:i]))
+			r, okR := v.Lookup(join(tokens[i:j]))
+			o, okO := v.Lookup(join(tokens[j:]))
+			if !okS || !okR || !okO {
+				continue
+			}
+			if v.KindOf(s) != vocab.Element || v.KindOf(r) != vocab.Relation || v.KindOf(o) != vocab.Element {
+				continue
+			}
+			found = append(found, Fact{S: s, R: r, O: o})
+		}
+	}
+	switch len(found) {
+	case 0:
+		return Fact{}, fmt.Errorf("fact: cannot resolve %q against vocabulary", text)
+	case 1:
+		return found[0], nil
+	default:
+		return Fact{}, fmt.Errorf("fact: %q is ambiguous (%d readings)", text, len(found))
+	}
+}

@@ -1,0 +1,264 @@
+package itemset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"oassis/internal/vocab"
+)
+
+// classic example database (from the Apriori paper tradition):
+// bread=1 milk=2 beer=3 eggs=4 diapers=5
+var groceries = []Itemset{
+	{1, 2},
+	{1, 5, 3, 4},
+	{2, 5, 3},
+	{1, 2, 5, 3},
+	{1, 2, 5},
+}
+
+func findSupport(t *testing.T, sets []Support, items ...int) float64 {
+	t.Helper()
+	want := canon(items)
+	for _, s := range sets {
+		if reflect.DeepEqual(s.Items, want) {
+			return s.Support
+		}
+	}
+	return -1
+}
+
+func TestAprioriGroceries(t *testing.T) {
+	sets := Apriori(groceries, 0.6)
+	cases := []struct {
+		items []int
+		want  float64
+	}{
+		{[]int{1}, 0.8},
+		{[]int{2}, 0.8},
+		{[]int{5}, 0.8},
+		{[]int{3}, 0.6},
+		{[]int{1, 2}, 0.6},
+		{[]int{2, 5}, 0.6},
+		{[]int{1, 5}, 0.6},
+		{[]int{3, 5}, 0.6},
+	}
+	for _, c := range cases {
+		if got := findSupport(t, sets, c.items...); got != c.want {
+			t.Errorf("support%v = %v, want %v", c.items, got, c.want)
+		}
+	}
+	// Eggs occur once: not frequent.
+	if got := findSupport(t, sets, 4); got != -1 {
+		t.Errorf("eggs should be infrequent, got %v", got)
+	}
+	// No 3-itemset reaches 0.6.
+	for _, s := range sets {
+		if len(s.Items) > 2 {
+			t.Errorf("unexpected large frequent set %v (%v)", s.Items, s.Support)
+		}
+	}
+}
+
+func TestAprioriDownwardClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	check := func() bool {
+		db := make([]Itemset, 8+rng.Intn(8))
+		for i := range db {
+			n := 1 + rng.Intn(5)
+			tx := make(Itemset, n)
+			for j := range tx {
+				tx[j] = rng.Intn(8)
+			}
+			db[i] = tx
+		}
+		sets := Apriori(db, 0.3)
+		freq := map[string]float64{}
+		for _, s := range sets {
+			freq[s.Items.key()] = s.Support
+		}
+		// Every subset of a frequent set is frequent with ≥ support.
+		for _, s := range sets {
+			if len(s.Items) < 2 {
+				continue
+			}
+			for drop := range s.Items {
+				sub := append(append(Itemset(nil), s.Items[:drop]...), s.Items[drop+1:]...)
+				sup, ok := freq[canon(sub).key()]
+				if !ok || sup < s.Support {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAprioriEdgeCases(t *testing.T) {
+	if Apriori(nil, 0.5) != nil {
+		t.Error("nil db should mine nothing")
+	}
+	if Apriori(groceries, 0) != nil {
+		t.Error("zero support should mine nothing")
+	}
+	sets := Apriori([]Itemset{{7, 7, 7}}, 1)
+	if len(sets) != 1 || len(sets[0].Items) != 1 {
+		t.Errorf("duplicate items mishandled: %v", sets)
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	sets := Apriori(groceries, 0.6)
+	max := Maximal(sets)
+	for _, m := range max {
+		if len(m.Items) != 2 {
+			t.Errorf("maximal set %v has size %d, want 2", m.Items, len(m.Items))
+		}
+	}
+	// {1},{2},… are all subsumed.
+	for _, m := range max {
+		if len(m.Items) == 1 {
+			t.Errorf("singleton %v should be dominated", m.Items)
+		}
+	}
+	if len(max) != 4 {
+		t.Errorf("got %d maximal sets, want 4", len(max))
+	}
+}
+
+func TestRules(t *testing.T) {
+	sets := Apriori(groceries, 0.6)
+	rules := Rules(sets, 0.7)
+	found := false
+	for _, r := range rules {
+		if reflect.DeepEqual(r.Antecedent, Itemset{3}) && reflect.DeepEqual(r.Consequent, Itemset{5}) {
+			found = true
+			if r.Confidence != 1.0 {
+				t.Errorf("conf(beer→diapers) = %v, want 1.0", r.Confidence)
+			}
+			if r.Support != 0.6 {
+				t.Errorf("supp(beer→diapers) = %v", r.Support)
+			}
+		}
+		if r.Confidence < 0.7 {
+			t.Errorf("rule below confidence: %+v", r)
+		}
+	}
+	if !found {
+		t.Error("beer→diapers not derived")
+	}
+}
+
+// taxonomy: clothes > (outerwear > (jackets, ski pants), shirts)
+// the classic Srikant-Agrawal example.
+func buildTaxonomy(t *testing.T) (*vocab.Vocabulary, map[string]vocab.Term) {
+	t.Helper()
+	v := vocab.New()
+	m := map[string]vocab.Term{}
+	for _, n := range []string{"clothes", "outerwear", "shirts", "jackets", "ski pants", "footwear", "shoes", "hiking boots"} {
+		m[n] = v.MustAddElement(n)
+	}
+	v.MustAddOrder(m["clothes"], m["outerwear"])
+	v.MustAddOrder(m["clothes"], m["shirts"])
+	v.MustAddOrder(m["outerwear"], m["jackets"])
+	v.MustAddOrder(m["outerwear"], m["ski pants"])
+	v.MustAddOrder(m["footwear"], m["shoes"])
+	v.MustAddOrder(m["footwear"], m["hiking boots"])
+	if err := v.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return v, m
+}
+
+func TestGeneralizedApriori(t *testing.T) {
+	v, m := buildTaxonomy(t)
+	db := []TermSet{
+		{m["shirts"]},
+		{m["jackets"], m["hiking boots"]},
+		{m["ski pants"], m["hiking boots"]},
+		{m["shoes"]},
+		{m["shoes"]},
+		{m["jackets"]},
+	}
+	sets := GeneralizedApriori(v, db, 1.0/3)
+	find := func(names ...string) float64 {
+		want := make(TermSet, len(names))
+		for i, n := range names {
+			want[i] = m[n]
+		}
+		want = canonTerms(want)
+		for _, s := range sets {
+			if reflect.DeepEqual(s.Items, want) {
+				return s.Support
+			}
+		}
+		return -1
+	}
+	// Srikant-Agrawal: outerwear appears in 3/6 transactions (jackets ×2 +
+	// ski pants), clothes in 4/6, footwear in 4/6.
+	if got := find("outerwear"); got != 0.5 {
+		t.Errorf("supp(outerwear) = %v, want 0.5", got)
+	}
+	if got := find("clothes"); got != 2.0/3 {
+		t.Errorf("supp(clothes) = %v, want 2/3", got)
+	}
+	if got := find("outerwear", "hiking boots"); got != 1.0/3 {
+		t.Errorf("supp(outerwear, hiking boots) = %v, want 1/3", got)
+	}
+	// jackets alone: 2/6 = 1/3, frequent at threshold 1/3.
+	if got := find("jackets"); got != 1.0/3 {
+		t.Errorf("supp(jackets) = %v", got)
+	}
+	// Redundant sets (term + its ancestor) must not appear.
+	for _, s := range sets {
+		if !v.IsAntichain([]vocab.Term(s.Items)) {
+			t.Errorf("non-antichain set %v", s.Items)
+		}
+	}
+}
+
+func TestMaximalTerms(t *testing.T) {
+	v, m := buildTaxonomy(t)
+	db := []TermSet{
+		{m["jackets"], m["hiking boots"]},
+		{m["jackets"], m["hiking boots"]},
+		{m["ski pants"]},
+	}
+	sets := GeneralizedApriori(v, db, 0.6)
+	max := MaximalTerms(v, sets)
+	// The most specific frequent set is {jackets, hiking boots} (2/3).
+	found := false
+	for _, s := range max {
+		if reflect.DeepEqual(s.Items, canonTerms(TermSet{m["jackets"], m["hiking boots"]})) {
+			found = true
+		}
+		// No maximal set may be dominated by {jackets, hiking boots}.
+		if len(s.Items) == 1 && (s.Items[0] == m["outerwear"] || s.Items[0] == m["clothes"] || s.Items[0] == m["footwear"]) {
+			t.Errorf("dominated set %v reported maximal", s.Items)
+		}
+	}
+	if !found {
+		t.Error("maximal generalized set missing")
+	}
+}
+
+func BenchmarkApriori(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := make([]Itemset, 200)
+	for i := range db {
+		tx := make(Itemset, 3+rng.Intn(5))
+		for j := range tx {
+			tx[j] = rng.Intn(30)
+		}
+		db[i] = tx
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Apriori(db, 0.05)
+	}
+}

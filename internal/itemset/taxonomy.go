@@ -1,0 +1,207 @@
+package itemset
+
+import (
+	"sort"
+
+	"oassis/internal/vocab"
+)
+
+// TermSet is a set of vocabulary terms (a generalized itemset).
+type TermSet []vocab.Term
+
+// TermSupport pairs a term-set with its support.
+type TermSupport struct {
+	Items   TermSet
+	Support float64
+}
+
+func termKey(s TermSet) string {
+	b := make([]byte, 0, len(s)*4)
+	for _, t := range s {
+		b = append(b, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
+	}
+	return string(b)
+}
+
+func canonTerms(s TermSet) TermSet {
+	out := append(TermSet(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, t := range out {
+		if i > 0 && t == out[w-1] {
+			continue
+		}
+		out[w] = t
+		w++
+	}
+	return out[:w]
+}
+
+// GeneralizedApriori mines frequent generalized itemsets over a taxonomy
+// (Srikant & Agrawal [28]): a transaction supports a term-set when each term
+// is matched by an equal-or-more-specific transaction term. Itemsets
+// containing a term together with one of its ancestors are redundant and
+// pruned (antichains only). The result is sorted by (size, lexicographic).
+func GeneralizedApriori(v *vocab.Vocabulary, db []TermSet, minSupport float64) []TermSupport {
+	if len(db) == 0 || minSupport <= 0 {
+		return nil
+	}
+	// Extend transactions with all ancestors (the classic preprocessing),
+	// so that set containment becomes plain subset testing.
+	ext := make([]map[vocab.Term]struct{}, len(db))
+	itemSet := map[vocab.Term]struct{}{}
+	for i, t := range db {
+		m := make(map[vocab.Term]struct{})
+		for _, term := range t {
+			m[term] = struct{}{}
+			itemSet[term] = struct{}{}
+			for _, a := range v.Ancestors(term) {
+				m[a] = struct{}{}
+				itemSet[a] = struct{}{}
+			}
+		}
+		ext[i] = m
+	}
+	n := float64(len(db))
+	support := func(s TermSet) float64 {
+		c := 0
+		for _, m := range ext {
+			ok := true
+			for _, t := range s {
+				if _, hit := m[t]; !hit {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				c++
+			}
+		}
+		return float64(c) / n
+	}
+
+	items := make([]vocab.Term, 0, len(itemSet))
+	for t := range itemSet {
+		items = append(items, t)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	var out []TermSupport
+	var level []TermSet
+	for _, t := range items {
+		s := TermSet{t}
+		if sup := support(s); sup >= minSupport {
+			out = append(out, TermSupport{Items: s, Support: sup})
+			level = append(level, s)
+		}
+	}
+	for len(level) > 0 {
+		freq := map[string]struct{}{}
+		for _, s := range level {
+			freq[termKey(s)] = struct{}{}
+		}
+		candSet := map[string]TermSet{}
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if !equalTermPrefix(a, b) {
+					continue
+				}
+				c := canonTerms(append(append(TermSet(nil), a...), b[len(b)-1]))
+				if len(c) != len(a)+1 {
+					continue
+				}
+				if !v.IsAntichain([]vocab.Term(c)) {
+					continue // redundant: contains a term and its ancestor
+				}
+				if !allTermSubsetsFrequent(c, freq) {
+					continue
+				}
+				candSet[termKey(c)] = c
+			}
+		}
+		keys := make([]string, 0, len(candSet))
+		for k := range candSet {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var next []TermSet
+		for _, k := range keys {
+			c := candSet[k]
+			if sup := support(c); sup >= minSupport {
+				out = append(out, TermSupport{Items: c, Support: sup})
+				next = append(next, c)
+			}
+		}
+		level = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Items) != len(out[j].Items) {
+			return len(out[i].Items) < len(out[j].Items)
+		}
+		return termKey(out[i].Items) < termKey(out[j].Items)
+	})
+	return out
+}
+
+func equalTermPrefix(a, b TermSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+func allTermSubsetsFrequent(c TermSet, freq map[string]struct{}) bool {
+	tmp := make(TermSet, len(c)-1)
+	for drop := range c {
+		copy(tmp, c[:drop])
+		copy(tmp[drop:], c[drop+1:])
+		if _, ok := freq[termKey(tmp)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MaximalTerms filters generalized frequent itemsets down to the maximal
+// ones under the taxonomy order: a set is dominated if another frequent set
+// is pointwise more specific and covers it.
+func MaximalTerms(v *vocab.Vocabulary, sets []TermSupport) []TermSupport {
+	leq := func(a, b TermSet) bool { // a more general than b
+		for _, x := range a {
+			ok := false
+			for _, y := range b {
+				if v.Leq(x, y) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	var out []TermSupport
+	for i, a := range sets {
+		dominated := false
+		for j, b := range sets {
+			if i == j {
+				continue
+			}
+			if leq(a.Items, b.Items) && !leq(b.Items, a.Items) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package oassisql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// keywords maps upper-cased identifier text to keyword kinds.
+var keywords = map[string]TokenKind{
+	"SELECT":     SELECT,
+	"FACT-SETS":  FACTSETS,
+	"VARIABLES":  VARIABLES,
+	"ALL":        ALL,
+	"WHERE":      WHERE,
+	"SATISFYING": SATISFYING,
+	"MORE":       MORE,
+	"WITH":       WITH,
+	"SUPPORT":    SUPPORT,
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col, Offset: l.off} }
+
+func (l *lexer) errf(p Pos, format string, args ...interface{}) error {
+	return &SyntaxError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance()
+			continue
+		}
+		if c == '#' { // comment to end of line
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '-' ||
+		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// next scans the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: start, End: l.off}, nil
+	}
+	c := l.src[l.off]
+	switch {
+	case c == '.':
+		// Distinguish the pattern separator '.' from a leading-dot number
+		// like .4 (not supported; numbers need a leading digit).
+		l.advance()
+		return Token{Kind: DOT, Pos: start, End: l.off}, nil
+	case c == '*':
+		l.advance()
+		return Token{Kind: STAR, Pos: start, End: l.off}, nil
+	case c == '+':
+		l.advance()
+		return Token{Kind: PLUS, Pos: start, End: l.off}, nil
+	case c == '?':
+		l.advance()
+		return Token{Kind: QUESTION, Pos: start, End: l.off}, nil
+	case c == '=':
+		l.advance()
+		return Token{Kind: EQUALS, Pos: start, End: l.off}, nil
+	case c == '[':
+		l.advance()
+		return Token{Kind: LBRACKET, Pos: start, End: l.off}, nil
+	case c == ']':
+		l.advance()
+		return Token{Kind: RBRACKET, Pos: start, End: l.off}, nil
+	case c == '{':
+		l.advance()
+		return Token{Kind: LBRACE, Pos: start, End: l.off}, nil
+	case c == '}':
+		l.advance()
+		return Token{Kind: RBRACE, Pos: start, End: l.off}, nil
+	case c == ',':
+		l.advance()
+		return Token{Kind: COMMA, Pos: start, End: l.off}, nil
+	case c == '$':
+		l.advance()
+		s := l.off
+		for l.off < len(l.src) && isIdentByte(l.src[l.off]) {
+			l.advance()
+		}
+		if l.off == s {
+			return Token{}, l.errf(start, "empty variable name after $")
+		}
+		return Token{Kind: VAR, Text: l.src[s:l.off], Pos: start, End: l.off}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, l.errf(start, "unterminated string")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return Token{}, l.errf(start, "unterminated escape")
+				}
+				e := l.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"', '\\':
+					sb.WriteByte(e)
+				default:
+					return Token{}, l.errf(start, "unknown escape \\%c", e)
+				}
+				continue
+			}
+			if ch == '\n' {
+				return Token{}, l.errf(start, "newline in string")
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: STRING, Text: sb.String(), Pos: start, End: l.off}, nil
+	case isDigit(c):
+		s := l.off
+		for l.off < len(l.src) && (isDigit(l.src[l.off]) || l.src[l.off] == '.') {
+			// A '.' is part of the number only if followed by a digit;
+			// otherwise it is the pattern separator.
+			if l.src[l.off] == '.' && (l.off+1 >= len(l.src) || !isDigit(l.src[l.off+1])) {
+				break
+			}
+			l.advance()
+		}
+		return Token{Kind: NUMBER, Text: l.src[s:l.off], Pos: start, End: l.off}, nil
+	case isIdentByte(c):
+		s := l.off
+		for l.off < len(l.src) && isIdentByte(l.src[l.off]) {
+			l.advance()
+		}
+		text := l.src[s:l.off]
+		if k, ok := keywords[strings.ToUpper(text)]; ok {
+			return Token{Kind: k, Text: text, Pos: start, End: l.off}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: start, End: l.off}, nil
+	default:
+		return Token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+// lexAll scans the whole source.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

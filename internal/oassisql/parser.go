@@ -1,0 +1,322 @@
+package oassisql
+
+import (
+	"strconv"
+)
+
+// labelRelations are relation names whose quoted objects are label literals
+// rather than term names (the hasLabel feature of Figure 2).
+var labelRelations = map[string]bool{
+	"hasLabel": true,
+	"label":    true,
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+
+func (p *parser) take() Token {
+	t := p.toks[p.i]
+	if t.Kind != EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, msg string) error {
+	return &SyntaxError{Pos: t.Pos, Msg: msg}
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	t := p.take()
+	if t.Kind != k {
+		return t, p.errf(t, "expected "+k.String()+", found "+describe(t))
+	}
+	return t, nil
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return "'" + t.Text + "'"
+	case VAR:
+		return "'$" + t.Text + "'"
+	case STRING:
+		return "string " + strconv.Quote(t.Text)
+	default:
+		return "'" + t.Kind.String() + "'"
+	}
+}
+
+// Parse parses an OASSIS-QL query.
+func Parse(src string) (*Query, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if _, err := p.expect(SELECT); err != nil {
+		return nil, err
+	}
+	switch t := p.take(); t.Kind {
+	case FACTSETS:
+		q.Select = SelectFactSets
+	case VARIABLES:
+		q.Select = SelectVariables
+	default:
+		return nil, p.errf(t, "expected FACT-SETS or VARIABLES after SELECT")
+	}
+	if p.peek().Kind == ALL {
+		p.take()
+		q.All = true
+	}
+	if _, err := p.expect(WHERE); err != nil {
+		return nil, err
+	}
+	where, _, err := p.parsePatterns(false, SATISFYING)
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+	if _, err := p.expect(SATISFYING); err != nil {
+		return nil, err
+	}
+	sat, more, err := p.parsePatterns(true, WITH)
+	if err != nil {
+		return nil, err
+	}
+	q.Satisfying = sat
+	q.More = more
+	if _, err := p.expect(WITH); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SUPPORT); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(EQUALS); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(NUMBER)
+	if err != nil {
+		return nil, err
+	}
+	val, err := strconv.ParseFloat(num.Text, 64)
+	if err != nil {
+		return nil, p.errf(num, "invalid support value '"+num.Text+"'")
+	}
+	q.Support = val
+	if t := p.take(); t.Kind != EOF {
+		return nil, p.errf(t, "unexpected "+describe(t)+" after query")
+	}
+	return q, nil
+}
+
+// parsePatterns parses a dot-separated pattern list up to (not including)
+// the terminator keyword. inSatisfying enables multiplicity markers and the
+// MORE keyword.
+func (p *parser) parsePatterns(inSatisfying bool, term TokenKind) ([]Pattern, bool, error) {
+	var out []Pattern
+	more := false
+	for {
+		t := p.peek()
+		if t.Kind == term || t.Kind == EOF {
+			return out, more, nil
+		}
+		if inSatisfying && t.Kind == MORE {
+			p.take()
+			more = true
+			if p.peek().Kind == DOT {
+				p.take()
+			}
+			continue
+		}
+		pat, err := p.parsePattern(inSatisfying)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, pat)
+		if p.peek().Kind == DOT {
+			p.take()
+			continue
+		}
+		// Without a separating dot the next token must end the list.
+		if k := p.peek().Kind; k != term && k != EOF && !(inSatisfying && k == MORE) {
+			return nil, false, p.errf(p.peek(), "expected '.' or "+term.String()+", found "+describe(p.peek()))
+		}
+	}
+}
+
+func (p *parser) parsePattern(inSatisfying bool) (Pattern, error) {
+	pos := p.peek().Pos
+	s, sMult, err := p.parseSubjectOrObject(inSatisfying, false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	r, path, err := p.parseRelation(inSatisfying)
+	if err != nil {
+		return Pattern{}, err
+	}
+	isLabelRel := r.Kind == AtomTerm && labelRelations[r.Name]
+	o, oMult, err := p.parseSubjectOrObject(inSatisfying, isLabelRel)
+	if err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{S: s, SMult: sMult, R: r, Path: path, O: o, OMult: oMult, Pos: pos}, nil
+}
+
+// parseSubjectOrObject parses a subject or object atom with an optional
+// multiplicity marker. If labelPos is true, a quoted string is a label
+// literal; otherwise a quoted string is a (multi-word) term name.
+func (p *parser) parseSubjectOrObject(inSatisfying, labelPos bool) (Atom, Mult, error) {
+	t := p.take()
+	var a Atom
+	switch t.Kind {
+	case VAR:
+		a = Atom{Kind: AtomVar, Name: t.Text}
+	case IDENT:
+		a = Atom{Kind: AtomTerm, Name: t.Text}
+	case STRING:
+		if labelPos {
+			a = Atom{Kind: AtomLiteral, Name: t.Text}
+		} else {
+			a = Atom{Kind: AtomTerm, Name: t.Text}
+		}
+	case LBRACKET:
+		if _, err := p.expect(RBRACKET); err != nil {
+			return Atom{}, MultOne, err
+		}
+		a = Atom{Kind: AtomAny}
+	default:
+		return Atom{}, MultOne, p.errf(t, "expected term, variable, string or [], found "+describe(t))
+	}
+	mult := MultOne
+	if a.Kind == AtomVar {
+		m, ok, err := p.postfixMult(t.End)
+		if err != nil {
+			return Atom{}, MultOne, err
+		}
+		if ok {
+			if !inSatisfying {
+				return Atom{}, MultOne, p.errf(t, "multiplicity markers are only allowed in the SATISFYING clause")
+			}
+			mult = m
+		}
+	}
+	return a, mult, nil
+}
+
+// postfixMult consumes an adjacent +, *, ? or {n[,m]} marker (adjacent
+// means no whitespace: the marker's offset equals the previous token's
+// end). The brace form is this implementation's extension: {2} means
+// exactly two values, {1,3} one to three, {2,} at least two.
+func (p *parser) postfixMult(end int) (Mult, bool, error) {
+	t := p.peek()
+	if t.Pos.Offset != end {
+		return MultOne, false, nil
+	}
+	switch t.Kind {
+	case PLUS:
+		p.take()
+		return MultPlus, true, nil
+	case STAR:
+		p.take()
+		return MultStar, true, nil
+	case QUESTION:
+		p.take()
+		return MultOptional, true, nil
+	case LBRACE:
+		p.take()
+		m, err := p.braceMult(t)
+		return m, true, err
+	}
+	return MultOne, false, nil
+}
+
+// braceMult parses the remainder of a {n[,m]} marker.
+func (p *parser) braceMult(open Token) (Mult, error) {
+	num, err := p.expect(NUMBER)
+	if err != nil {
+		return MultOne, err
+	}
+	min, err := strconv.Atoi(num.Text)
+	if err != nil || min < 0 {
+		return MultOne, p.errf(num, "invalid multiplicity bound '"+num.Text+"'")
+	}
+	m := Mult{Min: min, Max: min}
+	if p.peek().Kind == COMMA {
+		p.take()
+		if p.peek().Kind == NUMBER {
+			num2 := p.take()
+			max, err := strconv.Atoi(num2.Text)
+			if err != nil || max < min {
+				return MultOne, p.errf(num2, "invalid multiplicity upper bound '"+num2.Text+"'")
+			}
+			m.Max = max
+		} else {
+			m.Max = -1 // {n,} — unbounded
+		}
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return MultOne, err
+	}
+	if m.Min == 0 && m.Max == 0 {
+		return MultOne, p.errf(open, "multiplicity {0} would delete the variable; use {0,m} or *")
+	}
+	return m, nil
+}
+
+func (p *parser) parseRelation(inSatisfying bool) (Atom, bool, error) {
+	t := p.take()
+	var a Atom
+	switch t.Kind {
+	case VAR:
+		a = Atom{Kind: AtomVar, Name: t.Text}
+	case IDENT:
+		a = Atom{Kind: AtomTerm, Name: t.Text}
+	case STRING:
+		a = Atom{Kind: AtomTerm, Name: t.Text}
+	case LBRACKET:
+		if _, err := p.expect(RBRACKET); err != nil {
+			return Atom{}, false, err
+		}
+		a = Atom{Kind: AtomAny}
+	default:
+		return Atom{}, false, p.errf(t, "expected relation, found "+describe(t))
+	}
+	// Adjacent * is the zero-or-more path operator.
+	if nt := p.peek(); nt.Kind == STAR && nt.Pos.Offset == t.End {
+		if a.Kind != AtomTerm {
+			return Atom{}, false, p.errf(nt, "path '*' requires a named relation (SPARQL does not allow path quantification over variables)")
+		}
+		if inSatisfying {
+			return Atom{}, false, p.errf(nt, "path patterns are not allowed in the SATISFYING clause")
+		}
+		p.take()
+		return a, true, nil
+	}
+	return a, false, nil
+}

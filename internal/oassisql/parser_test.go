@@ -1,0 +1,286 @@
+package oassisql
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure2 is the paper's example query, verbatim (Figure 2).
+const figure2 = `
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity .
+  $z instanceOf Restaurant.
+  $z nearBy $x
+SATISFYING
+  $y+ doAt $x .
+  [] eatAt $z.
+  MORE
+WITH SUPPORT = 0.4
+`
+
+func TestParseFigure2(t *testing.T) {
+	q, err := Parse(figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select != SelectFactSets || q.All {
+		t.Errorf("Select = %v All=%v", q.Select, q.All)
+	}
+	if len(q.Where) != 7 {
+		t.Fatalf("len(Where) = %d, want 7", len(q.Where))
+	}
+	if len(q.Satisfying) != 2 {
+		t.Fatalf("len(Satisfying) = %d, want 2", len(q.Satisfying))
+	}
+	if !q.More {
+		t.Error("More not detected")
+	}
+	if q.Support != 0.4 {
+		t.Errorf("Support = %g", q.Support)
+	}
+	// Pattern 0: $w subClassOf* Attraction
+	p := q.Where[0]
+	if p.S != Var("w") || p.R != TermAtom("subClassOf") || !p.Path || p.O != TermAtom("Attraction") {
+		t.Errorf("where[0] = %+v", p)
+	}
+	// Pattern 3: $x hasLabel "child-friendly" — literal object.
+	p = q.Where[3]
+	if p.O.Kind != AtomLiteral || p.O.Name != "child-friendly" {
+		t.Errorf("where[3].O = %+v", p.O)
+	}
+	// Satisfying 0: $y+ doAt $x — plus multiplicity on subject.
+	p = q.Satisfying[0]
+	if p.S != Var("y") || p.SMult != MultPlus || p.R != TermAtom("doAt") || p.O != Var("x") {
+		t.Errorf("satisfying[0] = %+v", p)
+	}
+	if p.OMult != MultOne {
+		t.Errorf("satisfying[0].OMult = %v", p.OMult)
+	}
+	// Satisfying 1: [] eatAt $z.
+	p = q.Satisfying[1]
+	if p.S.Kind != AtomAny || p.O != Var("z") {
+		t.Errorf("satisfying[1] = %+v", p)
+	}
+	vars := Vars(q.Where)
+	if strings.Join(vars, ",") != "w,x,y,z" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestRoundTripPrint(t *testing.T) {
+	q1 := MustParse(figure2)
+	text := q1.String()
+	q2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if q2.String() != text {
+		t.Errorf("print not stable:\n%s\nvs\n%s", text, q2.String())
+	}
+	if len(q2.Where) != len(q1.Where) || len(q2.Satisfying) != len(q1.Satisfying) ||
+		q2.More != q1.More || q2.Support != q1.Support || q2.Select != q1.Select {
+		t.Error("round trip changed query structure")
+	}
+}
+
+func TestItemsetCaptureForm(t *testing.T) {
+	// Section 4.1: "to capture mining for frequent itemsets, use an empty
+	// WHERE clause and $x+ [] [] as the SATISFYING clause".
+	q, err := Parse(`SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT = 0.1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 0 || len(q.Satisfying) != 1 {
+		t.Fatalf("clauses: %d/%d", len(q.Where), len(q.Satisfying))
+	}
+	p := q.Satisfying[0]
+	if p.SMult != MultPlus || p.R.Kind != AtomAny || p.O.Kind != AtomAny {
+		t.Errorf("pattern = %+v", p)
+	}
+}
+
+func TestSelectVariants(t *testing.T) {
+	q := MustParse(`SELECT VARIABLES ALL WHERE $x instanceOf Park SATISFYING $x doAt $x WITH SUPPORT = 0.5`)
+	if q.Select != SelectVariables || !q.All {
+		t.Errorf("Select=%v All=%v", q.Select, q.All)
+	}
+}
+
+func TestQuotedTermNames(t *testing.T) {
+	q := MustParse(`SELECT FACT-SETS WHERE $x instanceOf Park
+		SATISFYING "Rent Bikes" doAt $x WITH SUPPORT = 0.2`)
+	p := q.Satisfying[0]
+	if p.S.Kind != AtomTerm || p.S.Name != "Rent Bikes" {
+		t.Errorf("quoted subject = %+v", p.S)
+	}
+	// Round trip keeps the quoting.
+	if !strings.Contains(q.String(), `"Rent Bikes"`) {
+		t.Errorf("print lost quoting: %s", q)
+	}
+}
+
+func TestMultiplicityMarkers(t *testing.T) {
+	q := MustParse(`SELECT FACT-SETS WHERE $x instanceOf Park . $y subClassOf* Activity
+		SATISFYING $y* doAt $x . $x? inside $x WITH SUPPORT = 0.3`)
+	if q.Satisfying[0].SMult != MultStar {
+		t.Errorf("star mult = %v", q.Satisfying[0].SMult)
+	}
+	if q.Satisfying[1].SMult != MultOptional {
+		t.Errorf("question mult = %v", q.Satisfying[1].SMult)
+	}
+}
+
+func TestMarkerAdjacencyRequired(t *testing.T) {
+	// `$y +` (with a space) is not a multiplicity marker; the stray + is a
+	// syntax error at the relation position... it actually parses + as the
+	// relation? No: + is not a valid relation token, so this must fail.
+	_, err := Parse(`SELECT FACT-SETS WHERE $x instanceOf Park
+		SATISFYING $y + doAt $x WITH SUPPORT = 0.3`)
+	if err == nil {
+		t.Fatal("spaced + accepted")
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	q, err := Parse(`select fact-sets where $x instanceOf Park satisfying $x doAt $x with support = 0.25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Support != 0.25 {
+		t.Error("support lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ``},
+		{"missing select form", `SELECT WHERE SATISFYING $x [] [] WITH SUPPORT = 0.1`},
+		{"missing where", `SELECT FACT-SETS SATISFYING $x [] [] WITH SUPPORT = 0.1`},
+		{"missing support value", `SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT =`},
+		{"support zero", `SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT = 0`},
+		{"support above one", `SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT = 1.5`},
+		{"empty satisfying", `SELECT FACT-SETS WHERE $x instanceOf Park SATISFYING WITH SUPPORT = 0.2`},
+		{"mult in where", `SELECT FACT-SETS WHERE $x+ instanceOf Park SATISFYING $x [] [] WITH SUPPORT = 0.2`},
+		{"path in satisfying", `SELECT FACT-SETS WHERE $x instanceOf Park SATISFYING $x subClassOf* Park WITH SUPPORT = 0.2`},
+		{"path on variable", `SELECT FACT-SETS WHERE $x $p* Park SATISFYING $x doAt $x WITH SUPPORT = 0.2`},
+		{"unbound satisfying var", `SELECT FACT-SETS WHERE $x instanceOf Park SATISFYING $q doAt $x WITH SUPPORT = 0.2`},
+		{"unterminated string", `SELECT FACT-SETS WHERE $x hasLabel "oops SATISFYING $x [] [] WITH SUPPORT = 0.2`},
+		{"empty var", `SELECT FACT-SETS WHERE $ instanceOf Park SATISFYING $x [] [] WITH SUPPORT = 0.2`},
+		{"junk char", `SELECT FACT-SETS WHERE $x @ Park SATISFYING $x [] [] WITH SUPPORT = 0.2`},
+		{"trailing garbage", `SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT = 0.1 extra`},
+		{"literal subject", `SELECT FACT-SETS WHERE "x" hasLabel "y" SATISFYING $x [] [] WITH SUPPORT = 0.1`},
+		{"bracket unclosed", `SELECT FACT-SETS WHERE SATISFYING $x+ [ [] WITH SUPPORT = 0.1`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: error expected", c.name)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT FACT-SETS\nWHERE\n  $x @ Park\nSATISFYING $x [] [] WITH SUPPORT = 0.1")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Pos.Line != 3 {
+		t.Errorf("error line = %d, want 3 (%v)", se.Pos.Line, err)
+	}
+}
+
+func TestCommentsInQuery(t *testing.T) {
+	q, err := Parse(`SELECT FACT-SETS # answer format
+WHERE
+  $x instanceOf Park # bind x
+SATISFYING
+  $x doAt $x
+WITH SUPPORT = 0.2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 1 {
+		t.Error("comment broke parsing")
+	}
+}
+
+func TestMultAllows(t *testing.T) {
+	cases := []struct {
+		m    Mult
+		n    int
+		want bool
+	}{
+		{MultOne, 1, true}, {MultOne, 0, false}, {MultOne, 2, false},
+		{MultPlus, 1, true}, {MultPlus, 5, true}, {MultPlus, 0, false},
+		{MultStar, 0, true}, {MultStar, 9, true},
+		{MultOptional, 0, true}, {MultOptional, 1, true}, {MultOptional, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.m.Allows(c.n); got != c.want {
+			t.Errorf("%v.Allows(%d) = %v", c.m, c.n, got)
+		}
+	}
+}
+
+func TestMoreOnlyQuery(t *testing.T) {
+	// A query whose SATISFYING clause is just MORE is accepted (mine any
+	// frequently co-occurring facts in context).
+	q, err := Parse(`SELECT FACT-SETS WHERE $x instanceOf Park SATISFYING MORE WITH SUPPORT = 0.2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.More || len(q.Satisfying) != 0 {
+		t.Errorf("More=%v len=%d", q.More, len(q.Satisfying))
+	}
+}
+
+func TestBraceMultiplicities(t *testing.T) {
+	q := MustParse(`SELECT FACT-SETS WHERE $y subClassOf* Activity . $x instanceOf Park
+		SATISFYING $y{2} doAt $x WITH SUPPORT = 0.3`)
+	if got := q.Satisfying[0].SMult; got != (Mult{2, 2}) {
+		t.Errorf("SMult = %v", got)
+	}
+	q = MustParse(`SELECT FACT-SETS WHERE $y subClassOf* Activity . $x instanceOf Park
+		SATISFYING $y{1,3} doAt $x WITH SUPPORT = 0.3`)
+	if got := q.Satisfying[0].SMult; got != (Mult{1, 3}) {
+		t.Errorf("SMult = %v", got)
+	}
+	q = MustParse(`SELECT FACT-SETS WHERE $y subClassOf* Activity . $x instanceOf Park
+		SATISFYING $y{2,} doAt $x WITH SUPPORT = 0.3`)
+	if got := q.Satisfying[0].SMult; got != (Mult{2, -1}) {
+		t.Errorf("SMult = %v", got)
+	}
+	// Round trip through the printer.
+	text := q.String()
+	q2, err := Parse(text)
+	if err != nil || q2.Satisfying[0].SMult != (Mult{2, -1}) {
+		t.Errorf("brace round trip failed: %v\n%s", err, text)
+	}
+}
+
+func TestBraceMultiplicityErrors(t *testing.T) {
+	cases := []string{
+		`SELECT FACT-SETS WHERE SATISFYING $y{} [] [] WITH SUPPORT = 0.3`,
+		`SELECT FACT-SETS WHERE SATISFYING $y{3,1} [] [] WITH SUPPORT = 0.3`,
+		`SELECT FACT-SETS WHERE SATISFYING $y{0} [] [] WITH SUPPORT = 0.3`,
+		`SELECT FACT-SETS WHERE SATISFYING $y{2 [] [] WITH SUPPORT = 0.3`,
+		`SELECT FACT-SETS WHERE $y{2} instanceOf Park SATISFYING $y [] [] WITH SUPPORT = 0.3`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+	// Spaced braces are not markers: `$y {2}` must fail differently but fail.
+	if _, err := Parse(`SELECT FACT-SETS WHERE SATISFYING $y {2} [] WITH SUPPORT = 0.3`); err == nil {
+		t.Error("spaced brace accepted")
+	}
+}

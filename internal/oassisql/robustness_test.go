@@ -1,0 +1,95 @@
+package oassisql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics feeds the parser random mutations of a valid query
+// and pure noise; it must return an error or a query, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	base := `SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction .
+  $x instanceOf $w .
+  $x hasLabel "child-friendly"
+SATISFYING
+  $y+ doAt $x .
+  [] eatAt $z .
+  MORE
+WITH SUPPORT = 0.4`
+	rng := rand.New(rand.NewSource(1))
+	alphabet := `abcXYZ $.*+?[]"=0123456789\n\t#`
+	for i := 0; i < 3000; i++ {
+		b := []byte(base)
+		for mutations := rng.Intn(6) + 1; mutations > 0; mutations-- {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				b[rng.Intn(len(b))] = alphabet[rng.Intn(len(alphabet))]
+			case 1: // delete a span
+				start := rng.Intn(len(b))
+				end := start + rng.Intn(10)
+				if end > len(b) {
+					end = len(b)
+				}
+				b = append(b[:start], b[end:]...)
+				if len(b) == 0 {
+					b = []byte("x")
+				}
+			case 2: // duplicate a span
+				start := rng.Intn(len(b))
+				end := start + rng.Intn(10)
+				if end > len(b) {
+					end = len(b)
+				}
+				b = append(b[:end], b[start:]...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", string(b), r)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+	// Pure noise.
+	for i := 0; i < 1000; i++ {
+		n := rng.Intn(60)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on noise %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = Parse(sb.String())
+		}()
+	}
+}
+
+// TestPrintParseFixpoint: for every mutated query that still parses, the
+// printed form must reparse to the same printed form.
+func TestPrintParseFixpoint(t *testing.T) {
+	base := `SELECT VARIABLES ALL
+WHERE $a subClassOf* B . $a hasLabel "x" . [] r $a
+SATISFYING $a? r "Multi Word" . $a r [] . MORE
+WITH SUPPORT = 0.123`
+	q1, err := Parse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := q1.String()
+	q2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("printed form does not parse: %v\n%s", err, text)
+	}
+	if q2.String() != text {
+		t.Fatalf("print/parse not a fixpoint:\n%s\nvs\n%s", text, q2.String())
+	}
+}

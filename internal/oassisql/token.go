@@ -1,0 +1,103 @@
+// Package oassisql implements the OASSIS-QL query language of Section 3 of
+// the paper: a SPARQL-derived declarative language in which the WHERE clause
+// selects variable assignments from the ontology and the SATISFYING clause
+// states the data patterns whose support is to be mined from the crowd.
+//
+// The concrete syntax follows Figure 2 of the paper:
+//
+//	SELECT FACT-SETS            -- or VARIABLES; optional ALL
+//	WHERE
+//	  $w subClassOf* Attraction .
+//	  $x instanceOf $w .
+//	  $x hasLabel "child-friendly" .
+//	  ...
+//	SATISFYING
+//	  $y+ doAt $x .
+//	  [] eatAt $z .
+//	  MORE
+//	WITH SUPPORT = 0.4
+//
+// Keywords are case-insensitive. Vocabulary term names are bare identifiers
+// (letters, digits, '_', '-'); names containing spaces are written as quoted
+// strings. A quoted string in the object position of a hasLabel pattern is a
+// label literal rather than a term name. `rel*` is the zero-or-more path
+// operator; `$y+`, `$y*`, `$y?` attach multiplicities to variables in the
+// SATISFYING clause; `[]` is the anything wildcard; the MORE keyword asks
+// for additional frequently co-occurring facts.
+package oassisql
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	EOF TokenKind = iota
+	IDENT
+	VAR    // $name
+	STRING // "..."
+	NUMBER
+	DOT
+	STAR     // *
+	PLUS     // +
+	QUESTION // ?
+	EQUALS
+	LBRACKET // [
+	RBRACKET // ]
+	LBRACE   // {
+	RBRACE   // }
+	COMMA    // ,
+	// Keywords.
+	SELECT
+	FACTSETS // FACT-SETS
+	VARIABLES
+	ALL
+	WHERE
+	SATISFYING
+	MORE
+	WITH
+	SUPPORT
+)
+
+var kindNames = map[TokenKind]string{
+	EOF: "end of query", IDENT: "identifier", VAR: "variable", STRING: "string",
+	NUMBER: "number", DOT: ".", STAR: "*", PLUS: "+", QUESTION: "?",
+	EQUALS: "=", LBRACKET: "[", RBRACKET: "]",
+	LBRACE: "{", RBRACE: "}", COMMA: ",",
+	SELECT: "SELECT", FACTSETS: "FACT-SETS", VARIABLES: "VARIABLES", ALL: "ALL",
+	WHERE: "WHERE", SATISFYING: "SATISFYING", MORE: "MORE", WITH: "WITH",
+	SUPPORT: "SUPPORT",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Pos is a position in the query source.
+type Pos struct {
+	Line, Col int
+	Offset    int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source position and end offset (used to
+// detect postfix adjacency, e.g. subClassOf* vs subClassOf *).
+type Token struct {
+	Kind TokenKind
+	Text string // identifier/variable/string/number text
+	Pos  Pos
+	End  int // byte offset just past the token
+}
+
+// SyntaxError is a parse or lex error with a position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("oassisql: %s: %s", e.Pos, e.Msg) }

@@ -1,0 +1,297 @@
+// Package ontology implements the ontology of Section 2 of the paper: a
+// fact-set holding "universal truth" facts over a vocabulary, with indexes
+// for pattern matching, semantic entailment, a label store for hasLabel
+// selections, and path reachability used by SPARQL-style rel* patterns.
+//
+// Matching semantics: the WHERE clause of an OASSIS-QL query is evaluated as
+// standard SPARQL graph-pattern matching over the stored triples (plus
+// relation subsumption: a pattern relation r matches a stored fact with
+// relation r' when r ≤R r', e.g. a nearBy pattern matches an inside fact).
+// Element generalization does not occur during matching; generalized
+// assignments enter the picture later through the expansion step of the
+// mining algorithm (Algorithm 1, line 1). Full semantic entailment of
+// arbitrary fact-sets (A ≤ O) is available via Entails.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+// Ontology is an indexed store of universal facts over a vocabulary.
+type Ontology struct {
+	voc   *vocab.Vocabulary
+	facts map[fact.Fact]struct{}
+	byRel map[vocab.Term][]fact.Fact // exact relation -> facts
+	byS   map[vocab.Term][]fact.Fact
+	byO   map[vocab.Term][]fact.Fact
+
+	labels map[vocab.Term]map[string]struct{}
+}
+
+// New returns an empty ontology over v.
+func New(v *vocab.Vocabulary) *Ontology {
+	return &Ontology{
+		voc:    v,
+		facts:  make(map[fact.Fact]struct{}),
+		byRel:  make(map[vocab.Term][]fact.Fact),
+		byS:    make(map[vocab.Term][]fact.Fact),
+		byO:    make(map[vocab.Term][]fact.Fact),
+		labels: make(map[vocab.Term]map[string]struct{}),
+	}
+}
+
+// Vocabulary returns the vocabulary the ontology is defined over.
+func (o *Ontology) Vocabulary() *vocab.Vocabulary { return o.voc }
+
+// Len reports the number of stored facts.
+func (o *Ontology) Len() int { return len(o.facts) }
+
+// Add stores a universal fact. Adding an existing fact is a no-op. All three
+// terms must belong to the vocabulary, with element/relation kinds in the
+// right positions.
+func (o *Ontology) Add(f fact.Fact) error {
+	if !o.voc.Contains(f.S) || !o.voc.Contains(f.R) || !o.voc.Contains(f.O) {
+		return fmt.Errorf("ontology: fact with unknown term")
+	}
+	if o.voc.KindOf(f.S) != vocab.Element || o.voc.KindOf(f.O) != vocab.Element {
+		return fmt.Errorf("ontology: subject/object of %s must be elements", f.Format(o.voc))
+	}
+	if o.voc.KindOf(f.R) != vocab.Relation {
+		return fmt.Errorf("ontology: relation of fact must be a relation term")
+	}
+	if _, ok := o.facts[f]; ok {
+		return nil
+	}
+	o.facts[f] = struct{}{}
+	o.byRel[f.R] = append(o.byRel[f.R], f)
+	o.byS[f.S] = append(o.byS[f.S], f)
+	o.byO[f.O] = append(o.byO[f.O], f)
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (o *Ontology) MustAdd(f fact.Fact) {
+	if err := o.Add(f); err != nil {
+		panic(err)
+	}
+}
+
+// AddSubsumption records that specific is subsumed by general through rel
+// (typically subClassOf or instanceOf): it stores the fact
+// ⟨specific, rel, general⟩ and mirrors it into the vocabulary order as
+// general ≤ specific, keeping the ontology and the order relation in sync as
+// in Example 2.3 of the paper.
+func (o *Ontology) AddSubsumption(general, specific, rel vocab.Term) error {
+	if err := o.Add(fact.Fact{S: specific, R: rel, O: general}); err != nil {
+		return err
+	}
+	return o.voc.AddOrder(general, specific)
+}
+
+// AddLabel attaches a free-text label to an element (the hasLabel store).
+func (o *Ontology) AddLabel(t vocab.Term, label string) error {
+	if !o.voc.Contains(t) {
+		return fmt.Errorf("ontology: label on unknown term")
+	}
+	set := o.labels[t]
+	if set == nil {
+		set = make(map[string]struct{})
+		o.labels[t] = set
+	}
+	set[label] = struct{}{}
+	return nil
+}
+
+// HasLabel reports whether t carries the given label.
+func (o *Ontology) HasLabel(t vocab.Term, label string) bool {
+	_, ok := o.labels[t][label]
+	return ok
+}
+
+// Labeled returns all elements carrying the given label, in term order.
+func (o *Ontology) Labeled(label string) []vocab.Term {
+	var out []vocab.Term
+	for t, set := range o.labels {
+		if _, ok := set[label]; ok {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LabelsOf returns the labels attached to t, sorted.
+func (o *Ontology) LabelsOf(t vocab.Term) []string {
+	set := o.labels[t]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether exactly f is stored.
+func (o *Ontology) Contains(f fact.Fact) bool {
+	_, ok := o.facts[f]
+	return ok
+}
+
+// Facts returns all stored facts in canonical order.
+func (o *Ontology) Facts() fact.Set {
+	out := make(fact.Set, 0, len(o.facts))
+	for f := range o.facts {
+		out = append(out, f)
+	}
+	return out.Canon()
+}
+
+// MatchRel returns the stored facts whose relation r' is compatible with a
+// pattern relation r, i.e. r ≤R r'. The result is in canonical order.
+func (o *Ontology) MatchRel(r vocab.Term) fact.Set {
+	var out fact.Set
+	out = append(out, o.byRel[r]...)
+	for _, r2 := range o.voc.Descendants(r) {
+		out = append(out, o.byRel[r2]...)
+	}
+	return out.Canon()
+}
+
+// Match returns the stored facts matching a triple pattern in which any
+// component may be vocab.None (wildcard). The relation matches with
+// subsumption (r ≤R r'); subject and object match exactly.
+func (o *Ontology) Match(s, r, obj vocab.Term) fact.Set {
+	var candidates []fact.Fact
+	switch {
+	case s != vocab.None:
+		candidates = o.byS[s]
+	case obj != vocab.None:
+		candidates = o.byO[obj]
+	case r != vocab.None:
+		candidates = o.MatchRel(r)
+	default:
+		candidates = o.Facts()
+	}
+	var out fact.Set
+	for _, f := range candidates {
+		if s != vocab.None && f.S != s {
+			continue
+		}
+		if obj != vocab.None && f.O != obj {
+			continue
+		}
+		if r != vocab.None && !o.voc.Leq(r, f.R) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out.Canon()
+}
+
+// Holds reports whether the triple ⟨s, r, o⟩ holds in the ontology under
+// relation subsumption (some stored ⟨s, r', o⟩ with r ≤R r').
+func (o *Ontology) Holds(s, r, obj vocab.Term) bool {
+	for _, f := range o.byS[s] {
+		if f.O == obj && o.voc.Leq(r, f.R) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable reports whether `to` can be reached from `from` by a path of
+// zero or more rel-compatible edges (the SPARQL rel* pattern, e.g.
+// $w subClassOf* Attraction walks subClassOf edges from w up to Attraction).
+func (o *Ontology) Reachable(from, rel, to vocab.Term) bool {
+	if from == to {
+		return true
+	}
+	seen := map[vocab.Term]struct{}{from: {}}
+	queue := []vocab.Term{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, f := range o.byS[cur] {
+			if !o.voc.Leq(rel, f.R) {
+				continue
+			}
+			if f.O == to {
+				return true
+			}
+			if _, ok := seen[f.O]; ok {
+				continue
+			}
+			seen[f.O] = struct{}{}
+			queue = append(queue, f.O)
+		}
+	}
+	return false
+}
+
+// ReachableSet returns every term reachable from `from` by zero or more
+// rel-compatible edges, including `from` itself, in term order.
+func (o *Ontology) ReachableSet(from, rel vocab.Term) []vocab.Term {
+	seen := map[vocab.Term]struct{}{from: {}}
+	queue := []vocab.Term{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, f := range o.byS[cur] {
+			if !o.voc.Leq(rel, f.R) {
+				continue
+			}
+			if _, ok := seen[f.O]; ok {
+				continue
+			}
+			seen[f.O] = struct{}{}
+			queue = append(queue, f.O)
+		}
+	}
+	out := make([]vocab.Term, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SourcesReaching returns every term from which `to` is reachable by zero or
+// more rel-compatible edges, including `to` itself (the inverse of
+// ReachableSet), in term order.
+func (o *Ontology) SourcesReaching(to, rel vocab.Term) []vocab.Term {
+	seen := map[vocab.Term]struct{}{to: {}}
+	queue := []vocab.Term{to}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, f := range o.byO[cur] {
+			if !o.voc.Leq(rel, f.R) {
+				continue
+			}
+			if _, ok := seen[f.S]; ok {
+				continue
+			}
+			seen[f.S] = struct{}{}
+			queue = append(queue, f.S)
+		}
+	}
+	out := make([]vocab.Term, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Entails reports whether the ontology semantically implies the fact-set a,
+// i.e. a ≤ O under Definition 2.5.
+func (o *Ontology) Entails(a fact.Set) bool {
+	return fact.SetLeq(o.voc, a, o.Facts())
+}

@@ -1,0 +1,201 @@
+package ontology
+
+import (
+	"testing"
+
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+func TestAddAndIndexes(t *testing.T) {
+	s := NewSample()
+	o := s.Onto
+	if o.Len() == 0 {
+		t.Fatal("sample ontology empty")
+	}
+	f := s.Fact("Central Park", "inside", "NYC")
+	if !o.Contains(f) {
+		t.Fatal("Central Park inside NYC missing")
+	}
+	// Re-adding is a no-op.
+	n := o.Len()
+	o.MustAdd(f)
+	if o.Len() != n {
+		t.Fatal("duplicate add changed Len")
+	}
+	if o.Contains(s.Fact("NYC", "inside", "Central Park")) {
+		t.Fatal("reversed fact present")
+	}
+}
+
+func TestAddRejectsBadFacts(t *testing.T) {
+	s := NewSample()
+	o := s.Onto
+	if err := o.Add(fact.Fact{S: vocab.Term(9999), R: s.T("inside"), O: s.T("NYC")}); err == nil {
+		t.Error("unknown subject accepted")
+	}
+	if err := o.Add(fact.Fact{S: s.T("NYC"), R: s.T("NYC"), O: s.T("NYC")}); err == nil {
+		t.Error("element in relation position accepted")
+	}
+	if err := o.Add(fact.Fact{S: s.T("inside"), R: s.T("inside"), O: s.T("NYC")}); err == nil {
+		t.Error("relation in subject position accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	s := NewSample()
+	o := s.Onto
+	if !o.HasLabel(s.T("Central Park"), "child-friendly") {
+		t.Error("Central Park should be child-friendly")
+	}
+	if o.HasLabel(s.T("Madison Square"), "child-friendly") {
+		t.Error("Madison Square should not be child-friendly")
+	}
+	got := o.Labeled("child-friendly")
+	if len(got) != 2 {
+		t.Errorf("Labeled = %v", s.Voc.Names(got))
+	}
+	if o.HasLabel(s.T("Central Park"), "noisy") {
+		t.Error("unknown label matched")
+	}
+}
+
+func TestMatchRelationSubsumption(t *testing.T) {
+	s := NewSample()
+	o := s.Onto
+	// nearBy ≤ inside: a nearBy pattern must also match inside facts.
+	near := o.MatchRel(s.T("nearBy"))
+	if len(near) != 7 {
+		t.Errorf("MatchRel(nearBy) = %d facts, want 7 (2 nearBy + 5 inside): %v", len(near), near.Format(s.Voc))
+	}
+	ins := o.MatchRel(s.T("inside"))
+	if len(ins) != 5 {
+		t.Errorf("MatchRel(inside) = %d facts, want 5", len(ins))
+	}
+
+	// Pattern: ⟨Maoz Veg, nearBy, ?⟩ matches both the explicit nearBy fact
+	// and the more specific inside fact.
+	m := o.Match(s.T("Maoz Veg"), s.T("nearBy"), vocab.None)
+	if len(m) != 2 {
+		t.Errorf("Match(Maoz Veg, nearBy, ?) = %v", m.Format(s.Voc))
+	}
+	// Holds under subsumption.
+	if !o.Holds(s.T("Maoz Veg"), s.T("nearBy"), s.T("NYC")) {
+		t.Error("Maoz Veg nearBy NYC should hold via inside")
+	}
+	if o.Holds(s.T("Maoz Veg"), s.T("inside"), s.T("Central Park")) {
+		t.Error("Maoz Veg inside Central Park should not hold")
+	}
+}
+
+func TestMatchWildcards(t *testing.T) {
+	s := NewSample()
+	o := s.Onto
+	all := o.Match(vocab.None, vocab.None, vocab.None)
+	if len(all) != o.Len() {
+		t.Errorf("full wildcard Match = %d, want %d", len(all), o.Len())
+	}
+	byObj := o.Match(vocab.None, s.T("instanceOf"), s.T("Restaurant"))
+	if len(byObj) != 2 {
+		t.Errorf("instances of Restaurant = %v", byObj.Format(s.Voc))
+	}
+	bySubj := o.Match(s.T("Central Park"), vocab.None, vocab.None)
+	if len(bySubj) != 2 { // instanceOf Park, inside NYC
+		t.Errorf("facts about Central Park = %v", bySubj.Format(s.Voc))
+	}
+}
+
+func TestReachability(t *testing.T) {
+	s := NewSample()
+	o := s.Onto
+	sc := s.T("subClassOf")
+	if !o.Reachable(s.T("Park"), sc, s.T("Attraction")) {
+		t.Error("Park subClassOf* Attraction expected")
+	}
+	if !o.Reachable(s.T("Attraction"), sc, s.T("Attraction")) {
+		t.Error("zero-length path expected")
+	}
+	if o.Reachable(s.T("Sport"), sc, s.T("Attraction")) {
+		t.Error("Sport should not reach Attraction")
+	}
+	// Central Park is an instance, not a subclass: instanceOf edges must not
+	// count as subClassOf.
+	if o.Reachable(s.T("Central Park"), sc, s.T("Attraction")) {
+		t.Error("instanceOf edge treated as subClassOf")
+	}
+
+	set := o.ReachableSet(s.T("Park"), sc)
+	want := map[string]bool{"Park": true, "Outdoor": true, "Attraction": true, "Place": true, "Thing": true}
+	if len(set) != len(want) {
+		t.Fatalf("ReachableSet(Park) = %v", s.Voc.Names(set))
+	}
+	for _, g := range set {
+		if !want[s.Voc.Name(g)] {
+			t.Errorf("unexpected reachable %s", s.Voc.Name(g))
+		}
+	}
+
+	srcs := o.SourcesReaching(s.T("Attraction"), sc)
+	// Attraction itself + Outdoor, Indoor, Zoo, Park, Swimming Pool.
+	if len(srcs) != 6 {
+		t.Fatalf("SourcesReaching(Attraction) = %v", s.Voc.Names(srcs))
+	}
+}
+
+func TestEntails(t *testing.T) {
+	s := NewSample()
+	o := s.Onto
+	// Directly stored.
+	if !o.Entails(fact.Set{s.Fact("Central Park", "inside", "NYC")}) {
+		t.Error("stored fact not entailed")
+	}
+	// Relation generalization: nearBy ≤ inside.
+	if !o.Entails(fact.Set{s.Fact("Central Park", "nearBy", "NYC")}) {
+		t.Error("nearBy generalization not entailed")
+	}
+	// Subject generalization: Park ≤ Central Park.
+	if !o.Entails(fact.Set{s.Fact("Park", "inside", "NYC")}) {
+		t.Error("subject generalization not entailed")
+	}
+	if o.Entails(fact.Set{s.Fact("NYC", "inside", "Central Park")}) {
+		t.Error("reversed fact entailed")
+	}
+	if o.Entails(fact.Set{s.Fact("Biking", "doAt", "Central Park")}) {
+		t.Error("personal fact entailed by ontology")
+	}
+}
+
+func TestSampleVocabularyOrderMirrorsOntology(t *testing.T) {
+	s := NewSample()
+	v := s.Voc
+	// subClassOf and instanceOf edges must appear in ≤E (Example 2.3).
+	cases := [][2]string{
+		{"Activity", "Sport"},
+		{"Sport", "Basketball"},
+		{"Attraction", "Central Park"},
+		{"Restaurant", "Maoz Veg"},
+		{"Thing", "Water Polo"},
+	}
+	for _, c := range cases {
+		if !v.Leq(s.T(c[0]), s.T(c[1])) {
+			t.Errorf("%s ≤ %s expected in vocabulary order", c[0], c[1])
+		}
+	}
+	if v.Leq(s.T("Sport"), s.T("Central Park")) {
+		t.Error("Sport ≤ Central Park unexpected")
+	}
+	// Boathouse is vocabulary-only: no order edges, no ontology facts.
+	if len(s.Onto.Match(s.T("Boathouse"), vocab.None, vocab.None)) != 0 {
+		t.Error("Boathouse should have no ontology facts")
+	}
+}
+
+func TestSubsumptionErrorsPropagate(t *testing.T) {
+	v := vocab.New()
+	a := v.MustAddElement("a")
+	r := v.MustAddRelation("subClassOf")
+	o := New(v)
+	if err := o.AddSubsumption(a, a, r); err == nil {
+		t.Error("self subsumption accepted")
+	}
+}

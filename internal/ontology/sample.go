@@ -1,0 +1,131 @@
+package ontology
+
+import (
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+// Sample holds the paper's running-example data: the Figure 1 ontology, its
+// vocabulary, and a name→term map for convenience in tests and examples.
+type Sample struct {
+	Voc   *vocab.Vocabulary
+	Onto  *Ontology
+	Terms map[string]vocab.Term
+}
+
+// T returns the term with the given name, panicking if absent. It keeps
+// example code short.
+func (s *Sample) T(name string) vocab.Term {
+	t, ok := s.Terms[name]
+	if !ok {
+		panic("sample: unknown term " + name)
+	}
+	return t
+}
+
+// Fact builds a fact from three term names.
+func (s *Sample) Fact(subj, rel, obj string) fact.Fact {
+	return fact.Fact{S: s.T(subj), R: s.T(rel), O: s.T(obj)}
+}
+
+// NewSample builds the Figure 1 ontology of the paper, including the
+// "child-friendly" labels used by the Figure 2 query, the nearBy ≤ inside
+// relation order, and the vocabulary-only terms (Boathouse, Rent Bikes) that
+// appear in personal transactions but not in the ontology. The returned
+// vocabulary is frozen.
+func NewSample() *Sample {
+	v := vocab.New()
+	s := &Sample{Voc: v, Terms: make(map[string]vocab.Term)}
+
+	elements := []string{
+		"Thing", "Place", "Activity",
+		"City", "Restaurant", "Attraction",
+		"NYC", "Maoz Veg", "Pine",
+		"Outdoor", "Indoor", "Zoo", "Park", "Swimming Pool",
+		"Bronx Zoo", "Central Park", "Madison Square",
+		"Sport", "Food", "Feed a Monkey",
+		"Water Sport", "Biking", "Ball Game",
+		"Basketball", "Baseball", "Swimming", "Water Polo",
+		"Falafel", "Pasta",
+		// Vocabulary-only terms (appear in transactions, not in the ontology).
+		"Boathouse", "Rent Bikes",
+	}
+	for _, e := range elements {
+		s.Terms[e] = v.MustAddElement(e)
+	}
+	relations := []string{"subClassOf", "instanceOf", "inside", "nearBy", "doAt", "eatAt", "hasLabel"}
+	for _, r := range relations {
+		s.Terms[r] = v.MustAddRelation(r)
+	}
+	// Relation order of Figure 1: nearBy ≤ inside.
+	v.MustAddOrder(s.T("nearBy"), s.T("inside"))
+
+	o := New(v)
+	s.Onto = o
+
+	sub := func(general, specific string) {
+		if err := o.AddSubsumption(s.T(general), s.T(specific), s.T("subClassOf")); err != nil {
+			panic(err)
+		}
+	}
+	inst := func(class, instance string) {
+		if err := o.AddSubsumption(s.T(class), s.T(instance), s.T("instanceOf")); err != nil {
+			panic(err)
+		}
+	}
+
+	// Class hierarchy (Figure 1).
+	sub("Thing", "Place")
+	sub("Thing", "Activity")
+	sub("Place", "City")
+	sub("Place", "Restaurant")
+	sub("Place", "Attraction")
+	sub("Attraction", "Outdoor")
+	sub("Attraction", "Indoor")
+	sub("Outdoor", "Zoo")
+	sub("Outdoor", "Park")
+	sub("Indoor", "Swimming Pool")
+	sub("Activity", "Sport")
+	sub("Activity", "Food")
+	sub("Activity", "Feed a Monkey")
+	sub("Sport", "Water Sport")
+	sub("Sport", "Biking")
+	sub("Sport", "Ball Game")
+	sub("Ball Game", "Basketball")
+	sub("Ball Game", "Baseball")
+	sub("Ball Game", "Water Polo") // multi-parent: also a water sport
+	sub("Water Sport", "Swimming")
+	sub("Water Sport", "Water Polo")
+	sub("Food", "Falafel")
+	sub("Food", "Pasta")
+
+	// Instances.
+	inst("City", "NYC")
+	inst("Restaurant", "Maoz Veg")
+	inst("Restaurant", "Pine")
+	inst("Zoo", "Bronx Zoo")
+	inst("Park", "Central Park")
+	inst("Park", "Madison Square")
+
+	// Geographic facts.
+	add := func(subj, rel, obj string) { o.MustAdd(s.Fact(subj, rel, obj)) }
+	add("Central Park", "inside", "NYC")
+	add("Bronx Zoo", "inside", "NYC")
+	add("Madison Square", "inside", "NYC")
+	add("Maoz Veg", "inside", "NYC")
+	add("Pine", "inside", "NYC")
+	add("Maoz Veg", "nearBy", "Central Park")
+	add("Pine", "nearBy", "Bronx Zoo")
+
+	// Labels for the Figure 2 query.
+	for _, t := range []string{"Central Park", "Bronx Zoo"} {
+		if err := o.AddLabel(s.T(t), "child-friendly"); err != nil {
+			panic(err)
+		}
+	}
+
+	if err := v.Freeze(); err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package rdfio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// Write serializes an ontology (facts, subsumptions, relation order and
+// labels) in the Turtle subset understood by Load, so that
+// Load(Write(o)) reproduces o.
+func Write(w io.Writer, o *ontology.Ontology) error {
+	bw := bufio.NewWriter(w)
+	v := o.Vocabulary()
+
+	fmt.Fprintf(bw, "@prefix e: <%s> .\n", defaultElemNS)
+	fmt.Fprintf(bw, "@prefix r: <%s> .\n", defaultRelNS)
+	fmt.Fprintf(bw, "@prefix kind: <%s> .\n\n", kindNS)
+
+	elem := func(t vocab.Term) string { return "e:" + percentEncode(v.Name(t)) }
+	rel := func(t vocab.Term) string { return "r:" + percentEncode(v.Name(t)) }
+
+	// Vocabulary-only terms (no facts, labels or order edges) would be lost
+	// without explicit declarations.
+	used := make([]bool, v.Len())
+	for _, f := range o.Facts() {
+		used[f.S], used[f.R], used[f.O] = true, true, true
+	}
+	for t := 0; t < v.Len(); t++ {
+		term := vocab.Term(t)
+		if len(o.LabelsOf(term)) > 0 {
+			used[t] = true
+		}
+		if v.KindOf(term) == vocab.Relation {
+			for _, c := range v.Children(term) {
+				used[t], used[c] = true, true
+			}
+		}
+	}
+	for t := 0; t < v.Len(); t++ {
+		if used[t] {
+			continue
+		}
+		term := vocab.Term(t)
+		if v.KindOf(term) == vocab.Element {
+			fmt.Fprintf(bw, "%s a kind:Element .\n", elem(term))
+		} else {
+			fmt.Fprintf(bw, "%s a kind:Relation .\n", rel(term))
+		}
+	}
+
+	// Relation order edges (≤R) as subPropertyOf: specific subPropertyOf general.
+	for t := 0; t < v.Len(); t++ {
+		term := vocab.Term(t)
+		if v.KindOf(term) != vocab.Relation {
+			continue
+		}
+		for _, child := range v.Children(term) {
+			fmt.Fprintf(bw, "%s r:subPropertyOf %s .\n", rel(child), rel(term))
+		}
+	}
+
+	// Facts (subsumption facts are stored like any other facts, so this
+	// also reproduces the element order when loaded back).
+	for _, f := range o.Facts() {
+		fmt.Fprintf(bw, "%s %s %s .\n", elem(f.S), rel(f.R), elem(f.O))
+	}
+
+	// Labels.
+	var labeled []vocab.Term
+	for t := 0; t < v.Len(); t++ {
+		labeled = append(labeled, vocab.Term(t))
+	}
+	sort.Slice(labeled, func(i, j int) bool { return labeled[i] < labeled[j] })
+	for _, t := range labeled {
+		for _, l := range o.LabelsOf(t) {
+			fmt.Fprintf(bw, "%s r:hasLabel %q .\n", elem(t), l)
+		}
+	}
+	return bw.Flush()
+}

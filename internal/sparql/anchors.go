@@ -1,0 +1,105 @@
+package sparql
+
+import (
+	"sort"
+
+	"oassis/internal/oassisql"
+	"oassis/internal/vocab"
+)
+
+// SubsumptionRelations are the relation names whose ontology edges mirror
+// the vocabulary order ≤E (Example 2.3 of the paper). They are the relations
+// from which generalization anchors are derived.
+var SubsumptionRelations = map[string]bool{
+	"subClassOf": true,
+	"instanceOf": true,
+}
+
+// Anchors derives, for each WHERE variable, the set of anchor terms that cap
+// its generalization during the expansion step of the mining algorithm
+// (Algorithm 1, line 1). A pattern `$w subClassOf* C` or `$x instanceOf C`
+// anchors the variable at C; `$x instanceOf $w` propagates w's anchors to x.
+// Variables without anchors may generalize up to the vocabulary roots.
+//
+// For the Figure 2 query this yields w,x ↦ {Attraction}, y ↦ {Activity},
+// z ↦ {Restaurant}, reproducing the top node "(Attraction, Activity)" of the
+// Figure 3 lattice.
+func Anchors(v *vocab.Vocabulary, patterns []oassisql.Pattern) map[string][]vocab.Term {
+	anchors := make(map[string]map[vocab.Term]struct{})
+	addTerm := func(name string, t vocab.Term) bool {
+		set := anchors[name]
+		if set == nil {
+			set = make(map[vocab.Term]struct{})
+			anchors[name] = set
+		}
+		if _, ok := set[t]; ok {
+			return false
+		}
+		set[t] = struct{}{}
+		return true
+	}
+
+	type propagation struct{ from, to string } // anchors of `from` flow to `to`
+	var props []propagation
+
+	for _, p := range patterns {
+		if p.R.Kind != oassisql.AtomTerm || !SubsumptionRelations[p.R.Name] {
+			continue
+		}
+		if p.S.Kind != oassisql.AtomVar {
+			continue
+		}
+		switch p.O.Kind {
+		case oassisql.AtomTerm:
+			if t, ok := v.Lookup(p.O.Name); ok {
+				addTerm(p.S.Name, t)
+			}
+		case oassisql.AtomVar:
+			props = append(props, propagation{from: p.O.Name, to: p.S.Name})
+		}
+	}
+
+	// Propagate to fixpoint (handles chains like $x instanceOf $w,
+	// $w subClassOf* Attraction regardless of pattern order).
+	for changed := true; changed; {
+		changed = false
+		for _, pr := range props {
+			for t := range anchors[pr.from] {
+				if addTerm(pr.to, t) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	out := make(map[string][]vocab.Term, len(anchors))
+	for name, set := range anchors {
+		ts := make([]vocab.Term, 0, len(set))
+		for t := range set {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		// Keep only the most specific anchors: if a ≤ b for anchors a and b,
+		// the tighter cap b subsumes a.
+		out[name] = keepMaximal(v, ts)
+	}
+	return out
+}
+
+// keepMaximal drops anchors that are proper generalizations of other anchors.
+func keepMaximal(v *vocab.Vocabulary, ts []vocab.Term) []vocab.Term {
+	var out []vocab.Term
+	for i, a := range ts {
+		dominated := false
+		for j, b := range ts {
+			if i != j && v.Lt(a, b) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package sparql evaluates the WHERE clause of an OASSIS-QL query against an
+// ontology, producing the set of valid variable bindings (the SPARQL-engine
+// role that the paper's prototype delegates to RDFLIB, §6.1).
+//
+// Matching follows standard SPARQL graph-pattern semantics over the stored
+// triples: triple patterns join on shared variables, `rel*` patterns are
+// zero-or-more path reachability, and hasLabel patterns select elements by
+// label literal. Relations match with subsumption (a nearBy pattern matches
+// an inside fact when nearBy ≤R inside).
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// Binding maps variable names to vocabulary terms.
+type Binding map[string]vocab.Term
+
+// clone copies b.
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// key returns a canonical key of b over the given variable order.
+func (b Binding) key(vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&sb, "%d;", b[v])
+	}
+	return sb.String()
+}
+
+// Evaluate computes all bindings of the pattern variables that satisfy the
+// patterns on o. Term names are resolved against o's vocabulary; unknown
+// names are an error. The result is deterministic (sorted by binding key)
+// and duplicate-free.
+func Evaluate(o *ontology.Ontology, patterns []oassisql.Pattern) ([]Binding, error) {
+	v := o.Vocabulary()
+	resolved := make([]pattern, len(patterns))
+	for i, p := range patterns {
+		rp, err := resolve(v, p)
+		if err != nil {
+			return nil, err
+		}
+		resolved[i] = rp
+	}
+
+	bindings := []Binding{{}}
+	remaining := append([]pattern(nil), resolved...)
+	for len(remaining) > 0 {
+		// Greedy join order: prefer the pattern with the fewest unbound
+		// variables (w.r.t. the first current binding; all bindings share a
+		// domain) to keep intermediate results small.
+		best, bestUnbound := 0, 4
+		for i, p := range remaining {
+			u := p.unbound(bindings[0])
+			if u < bestUnbound {
+				best, bestUnbound = i, u
+			}
+		}
+		p := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		var next []Binding
+		for _, b := range bindings {
+			next = p.extend(o, b, next)
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil, nil
+		}
+	}
+
+	vars := oassisql.Vars(patterns)
+	seen := map[string]bool{}
+	var out []Binding
+	for _, b := range bindings {
+		k := b.key(vars)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key(vars) < out[j].key(vars) })
+	return out, nil
+}
+
+// atom is a resolved pattern component.
+type atom struct {
+	varName string     // non-empty for variables
+	term    vocab.Term // vocab.Any for [], otherwise a concrete term unless varName != ""
+	literal string     // label literal (object of hasLabel patterns)
+	isLit   bool
+}
+
+// pattern is a resolved triple pattern.
+type pattern struct {
+	s, r, o atom
+	path    bool
+	isLabel bool // hasLabel with literal object
+}
+
+func resolve(v *vocab.Vocabulary, p oassisql.Pattern) (pattern, error) {
+	conv := func(a oassisql.Atom, kind vocab.Kind) (atom, error) {
+		switch a.Kind {
+		case oassisql.AtomVar:
+			return atom{varName: a.Name}, nil
+		case oassisql.AtomAny:
+			return atom{term: vocab.Any}, nil
+		case oassisql.AtomLiteral:
+			return atom{literal: a.Name, isLit: true}, nil
+		default:
+			t, ok := v.Lookup(a.Name)
+			if !ok {
+				return atom{}, fmt.Errorf("sparql: %s: unknown term %q", p.Pos, a.Name)
+			}
+			if v.KindOf(t) != kind {
+				return atom{}, fmt.Errorf("sparql: %s: %q is a %v, used as %v",
+					p.Pos, a.Name, v.KindOf(t), kind)
+			}
+			return atom{term: t}, nil
+		}
+	}
+	var rp pattern
+	var err error
+	if rp.s, err = conv(p.S, vocab.Element); err != nil {
+		return pattern{}, err
+	}
+	if p.O.Kind == oassisql.AtomLiteral {
+		// Label pattern: labels live in the label store, not the fact
+		// store, so the label relation (hasLabel) need not be a vocabulary
+		// term at all.
+		rp.o = atom{literal: p.O.Name, isLit: true}
+		rp.isLabel = true
+		return rp, nil
+	}
+	if rp.r, err = conv(p.R, vocab.Relation); err != nil {
+		return pattern{}, err
+	}
+	rp.path = p.Path
+	if rp.o, err = conv(p.O, vocab.Element); err != nil {
+		return pattern{}, err
+	}
+	return rp, nil
+}
+
+// unbound counts the pattern's variables not bound in b.
+func (p pattern) unbound(b Binding) int {
+	n := 0
+	for _, a := range []atom{p.s, p.r, p.o} {
+		if a.varName != "" {
+			if _, ok := b[a.varName]; !ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// value returns the concrete term of a under binding b, or vocab.None when a
+// is an unbound variable or the Any wildcard.
+func (a atom) value(b Binding) vocab.Term {
+	if a.varName != "" {
+		if t, ok := b[a.varName]; ok {
+			return t
+		}
+		return vocab.None
+	}
+	if a.term == vocab.Any {
+		return vocab.None
+	}
+	return a.term
+}
+
+// bind extends b with a := t if a is a variable; it reports whether the
+// extension is consistent.
+func (a atom) bind(b Binding, t vocab.Term) (Binding, bool) {
+	if a.varName == "" {
+		return b, true
+	}
+	if prev, ok := b[a.varName]; ok {
+		return b, prev == t
+	}
+	nb := b.clone()
+	nb[a.varName] = t
+	return nb, true
+}
+
+// extend appends to out every extension of b satisfying p on o.
+func (p pattern) extend(o *ontology.Ontology, b Binding, out []Binding) []Binding {
+	v := o.Vocabulary()
+	switch {
+	case p.isLabel:
+		if s := p.s.value(b); s != vocab.None {
+			if o.HasLabel(s, p.o.literal) {
+				out = append(out, b)
+			}
+			return out
+		}
+		for _, t := range o.Labeled(p.o.literal) {
+			if nb, ok := p.s.bind(b, t); ok {
+				out = append(out, nb)
+			}
+		}
+		return out
+
+	case p.path:
+		rel := p.r.term // validated: paths require a named relation
+		s, obj := p.s.value(b), p.o.value(b)
+		switch {
+		case s != vocab.None && obj != vocab.None:
+			if o.Reachable(s, rel, obj) {
+				out = append(out, b)
+			}
+		case s != vocab.None:
+			for _, t := range o.ReachableSet(s, rel) {
+				if nb, ok := p.o.bind(b, t); ok {
+					out = append(out, nb)
+				}
+			}
+		case obj != vocab.None:
+			for _, t := range o.SourcesReaching(obj, rel) {
+				if nb, ok := p.s.bind(b, t); ok {
+					out = append(out, nb)
+				}
+			}
+		default:
+			// Both ends unbound: enumerate all elements as sources.
+			for t := 0; t < v.Len(); t++ {
+				src := vocab.Term(t)
+				if v.KindOf(src) != vocab.Element {
+					continue
+				}
+				nb, ok := p.s.bind(b, src)
+				if !ok {
+					continue
+				}
+				for _, dst := range o.ReachableSet(src, rel) {
+					if nb2, ok := p.o.bind(nb, dst); ok {
+						out = append(out, nb2)
+					}
+				}
+			}
+		}
+		return out
+
+	default:
+		s, r, obj := p.s.value(b), p.r.value(b), p.o.value(b)
+		for _, f := range o.Match(s, r, obj) {
+			nb, ok := p.s.bind(b, f.S)
+			if !ok {
+				continue
+			}
+			nb, ok = p.r.bind(nb, f.R)
+			if !ok {
+				continue
+			}
+			nb, ok = p.o.bind(nb, f.O)
+			if !ok {
+				continue
+			}
+			out = append(out, nb)
+		}
+		return out
+	}
+}

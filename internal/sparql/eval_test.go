@@ -1,0 +1,280 @@
+package sparql
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+const figure2 = `
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity .
+  $z instanceOf Restaurant.
+  $z nearBy $x
+SATISFYING
+  $y+ doAt $x .
+  [] eatAt $z.
+  MORE
+WITH SUPPORT = 0.4
+`
+
+func evalFigure2(t *testing.T) (*ontology.Sample, []Binding) {
+	t.Helper()
+	s := ontology.NewSample()
+	q := oassisql.MustParse(figure2)
+	bs, err := Evaluate(s.Onto, q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, bs
+}
+
+func TestEvaluateFigure2(t *testing.T) {
+	s, bs := evalFigure2(t)
+	if len(bs) == 0 {
+		t.Fatal("no bindings")
+	}
+	// Valid x values: child-friendly attractions inside NYC with a nearby
+	// restaurant — Central Park (Maoz Veg) and Bronx Zoo (Pine).
+	xs := map[string]bool{}
+	ys := map[string]bool{}
+	pairs := map[string]bool{}
+	for _, b := range bs {
+		xs[s.Voc.Name(b["x"])] = true
+		ys[s.Voc.Name(b["y"])] = true
+		pairs[s.Voc.Name(b["x"])+"/"+s.Voc.Name(b["z"])] = true
+	}
+	if !xs["Central Park"] || !xs["Bronx Zoo"] || len(xs) != 2 {
+		t.Errorf("x values = %v", xs)
+	}
+	if !pairs["Central Park/Maoz Veg"] || !pairs["Bronx Zoo/Pine"] {
+		t.Errorf("x/z pairs = %v", pairs)
+	}
+	if pairs["Central Park/Pine"] || pairs["Bronx Zoo/Maoz Veg"] {
+		t.Errorf("cross pairs leaked: %v", pairs)
+	}
+	// y ranges over Activity and all its subclasses (subClassOf* includes
+	// the zero-length path).
+	for _, want := range []string{"Activity", "Sport", "Biking", "Basketball", "Falafel", "Feed a Monkey"} {
+		if !ys[want] {
+			t.Errorf("missing y value %s (have %v)", want, ys)
+		}
+	}
+	if ys["Central Park"] || ys["Restaurant"] {
+		t.Errorf("y leaked non-activities: %v", ys)
+	}
+	// Assignment count: 2 x-values × |Activity closure| y-values × 1 z each.
+	yCount := len(ys)
+	if len(bs) != 2*yCount {
+		t.Errorf("len(bindings) = %d, want %d", len(bs), 2*yCount)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	s := ontology.NewSample()
+	q := oassisql.MustParse(figure2)
+	a, err := Evaluate(s.Onto, q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(s.Onto, q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result size")
+	}
+	for i := range a {
+		for _, v := range []string{"w", "x", "y", "z"} {
+			if a[i][v] != b[i][v] {
+				t.Fatalf("binding %d differs on %s", i, v)
+			}
+		}
+	}
+}
+
+func TestEmptyWhere(t *testing.T) {
+	s := ontology.NewSample()
+	bs, err := Evaluate(s.Onto, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || len(bs[0]) != 0 {
+		t.Fatalf("empty WHERE = %v, want single empty binding", bs)
+	}
+}
+
+func TestUnknownTerm(t *testing.T) {
+	s := ontology.NewSample()
+	q := oassisql.MustParse(`SELECT FACT-SETS WHERE $x instanceOf Nonexistent
+		SATISFYING $x doAt $x WITH SUPPORT = 0.2`)
+	if _, err := Evaluate(s.Onto, q.Where); err == nil {
+		t.Fatal("unknown term accepted")
+	}
+	q2 := oassisql.MustParse(`SELECT FACT-SETS WHERE $x doAt Park
+		SATISFYING $x doAt $x WITH SUPPORT = 0.2`)
+	// doAt exists but Park used with an element kind is fine; use a relation
+	// name in element position instead to trigger the kind error.
+	q2.Where[0].O = oassisql.TermAtom("inside")
+	if _, err := Evaluate(s.Onto, q2.Where); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestRelationSubsumptionInWhere(t *testing.T) {
+	s := ontology.NewSample()
+	// nearBy should match inside facts: everything inside NYC is near NYC.
+	q := oassisql.MustParse(`SELECT FACT-SETS WHERE $p nearBy NYC
+		SATISFYING $p nearBy $p WITH SUPPORT = 0.2`)
+	bs, err := Evaluate(s.Onto, q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, b := range bs {
+		got[s.Voc.Name(b["p"])] = true
+	}
+	for _, want := range []string{"Central Park", "Bronx Zoo", "Madison Square", "Maoz Veg", "Pine"} {
+		if !got[want] {
+			t.Errorf("missing %s in nearBy NYC: %v", want, got)
+		}
+	}
+}
+
+func TestVariableRelation(t *testing.T) {
+	s := ontology.NewSample()
+	q := oassisql.MustParse(`SELECT FACT-SETS WHERE "Maoz Veg" $r $o
+		SATISFYING $o doAt $o WITH SUPPORT = 0.2`)
+	bs, err := Evaluate(s.Onto, q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maoz Veg: instanceOf Restaurant, inside NYC, nearBy Central Park.
+	if len(bs) != 3 {
+		t.Fatalf("got %d bindings: %v", len(bs), names(s, bs, "r"))
+	}
+}
+
+func TestAnyWildcardInWhere(t *testing.T) {
+	s := ontology.NewSample()
+	q := oassisql.MustParse(`SELECT FACT-SETS WHERE $x nearBy [] . $x instanceOf Restaurant
+		SATISFYING $x doAt $x WITH SUPPORT = 0.2`)
+	bs, err := Evaluate(s.Onto, q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, b := range bs {
+		got[s.Voc.Name(b["x"])] = true
+	}
+	if !got["Maoz Veg"] || !got["Pine"] || len(got) != 2 {
+		t.Errorf("restaurants near anything = %v", got)
+	}
+}
+
+func TestSharedVariableJoin(t *testing.T) {
+	s := ontology.NewSample()
+	// Same variable in both positions: $x nearBy $x never holds.
+	q := oassisql.MustParse(`SELECT FACT-SETS WHERE $x nearBy $x
+		SATISFYING $x doAt $x WITH SUPPORT = 0.2`)
+	bs, err := Evaluate(s.Onto, q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 0 {
+		t.Errorf("self-nearBy bindings: %v", names(s, bs, "x"))
+	}
+}
+
+func TestPathBothUnbound(t *testing.T) {
+	s := ontology.NewSample()
+	q := oassisql.MustParse(`SELECT FACT-SETS WHERE $a subClassOf* $b . $b subClassOf* Attraction
+		SATISFYING $a doAt $a WITH SUPPORT = 0.2`)
+	bs, err := Evaluate(s.Onto, q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All (a, b) pairs with a ⊑* b ⊑* Attraction; a,b among class terms.
+	seen := map[string]bool{}
+	for _, b := range bs {
+		seen[s.Voc.Name(b["a"])+"<"+s.Voc.Name(b["b"])] = true
+	}
+	for _, want := range []string{"Park<Outdoor", "Park<Attraction", "Attraction<Attraction", "Zoo<Zoo"} {
+		if !seen[want] {
+			t.Errorf("missing pair %s (have %d pairs)", want, len(seen))
+		}
+	}
+	if seen["Central Park<Park"] {
+		t.Error("instanceOf edge treated as subClassOf in path")
+	}
+}
+
+func TestAnchorsFigure2(t *testing.T) {
+	s := ontology.NewSample()
+	q := oassisql.MustParse(figure2)
+	a := Anchors(s.Voc, q.Where)
+	want := map[string]string{
+		"w": "Attraction",
+		"x": "Attraction",
+		"y": "Activity",
+		"z": "Restaurant",
+	}
+	for v, name := range want {
+		ts := a[v]
+		if len(ts) != 1 || ts[0] != s.T(name) {
+			t.Errorf("anchor(%s) = %v, want [%s]", v, s.Voc.Names(ts), name)
+		}
+	}
+}
+
+func TestAnchorsKeepMaximal(t *testing.T) {
+	s := ontology.NewSample()
+	// x is anchored at both Attraction and Park; Park is more specific and
+	// must win.
+	q := oassisql.MustParse(`SELECT FACT-SETS WHERE
+		$x instanceOf Park . $w subClassOf* Attraction . $x instanceOf $w
+		SATISFYING $x doAt $x WITH SUPPORT = 0.2`)
+	a := Anchors(s.Voc, q.Where)
+	if len(a["x"]) != 1 || a["x"][0] != s.T("Park") {
+		t.Errorf("anchor(x) = %v, want [Park]", s.Voc.Names(a["x"]))
+	}
+}
+
+func TestAnchorsNoSubsumptionPattern(t *testing.T) {
+	s := ontology.NewSample()
+	q := oassisql.MustParse(`SELECT FACT-SETS WHERE $p nearBy NYC
+		SATISFYING $p doAt $p WITH SUPPORT = 0.2`)
+	a := Anchors(s.Voc, q.Where)
+	if len(a["p"]) != 0 {
+		t.Errorf("anchor(p) = %v, want none", s.Voc.Names(a["p"]))
+	}
+}
+
+func names(s *ontology.Sample, bs []Binding, v string) []string {
+	var out []string
+	for _, b := range bs {
+		out = append(out, s.Voc.Name(b[v]))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestBindingKeyStable(t *testing.T) {
+	b := Binding{"x": 3, "y": 5}
+	if b.key([]string{"x", "y"}) == b.key([]string{"y", "x"}) {
+		t.Skip("keys may coincide only if values equal; sanity only")
+	}
+	if !strings.Contains(b.key([]string{"x", "y"}), "3;") {
+		t.Error("key missing component")
+	}
+	_ = vocab.None
+}

@@ -1,0 +1,223 @@
+// Package synth generates the synthetic workloads of the paper's
+// experimental evaluation (§6.3–6.4): assignment DAGs of configurable width
+// and depth, planted maximal significant patterns (uniform / nearby / far
+// distributions, valid-only or anywhere, with or without multiplicities),
+// oracle crowd members that answer according to the planted MSPs, and the
+// three application-domain workloads (travel, culinary, self-treatment)
+// scaled to the DAG sizes the paper reports for its real-crowd experiments.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oassis/internal/assign"
+	"oassis/internal/oassisql"
+	"oassis/internal/vocab"
+)
+
+// DAGConfig shapes a synthetic mining space whose assignment DAG mirrors
+// the paper's synthetic experiments: a term tree of the given width and
+// depth under one anchor root for the mined variable $y, optionally a
+// second tree for a place-like variable $x (the paper's Fig 4f DAG is
+// "similar to the one generated in our crowd experiments with the travel
+// query", which has two variables), mined through `$y(+) rel obj` or
+// `$y(+) rel $x`.
+type DAGConfig struct {
+	// Width is the maximum number of terms per tree level of the $y tree
+	// (the paper varies 500–2000); Depth is the number of levels (4–7).
+	Width, Depth int
+	// XWidth/XDepth, when positive, add a second mined variable $x with
+	// its own term tree.
+	XWidth, XDepth int
+	// ExtraParentProb turns the trees into DAGs by giving nodes a second
+	// parent with this probability.
+	ExtraParentProb float64
+	// ValidLeavesOnly restricts the valid assignments to tree leaves (like
+	// instance-level assignments in the travel query); otherwise every
+	// term below the roots is valid.
+	ValidLeavesOnly bool
+	// Multiplicities enables the + multiplicity on $y.
+	Multiplicities bool
+	Seed           int64
+}
+
+// Space is a generated synthetic mining space.
+type Space struct {
+	Voc  *vocab.Vocabulary
+	Sp   *assign.Space
+	Root vocab.Term // root of the $y tree
+	// Terms are the $y tree terms; XTerms the $x tree terms (nil without a
+	// second variable).
+	Terms  []vocab.Term
+	XRoot  vocab.Term
+	XTerms []vocab.Term
+
+	leaves, xLeaves []vocab.Term
+}
+
+// GenerateSpace builds the synthetic space.
+func GenerateSpace(cfg DAGConfig) (*Space, error) {
+	if cfg.Width < 1 || cfg.Depth < 1 {
+		return nil, fmt.Errorf("synth: width and depth must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := vocab.New()
+	rel := v.MustAddRelation("rel")
+
+	s := &Space{Voc: v}
+	s.Root, s.Terms, s.leaves = genTree(v, "t", cfg.Width, cfg.Depth, cfg.ExtraParentProb, rng)
+	twoVars := cfg.XWidth > 0 && cfg.XDepth > 0
+	var obj vocab.Term
+	if twoVars {
+		s.XRoot, s.XTerms, s.xLeaves = genTree(v, "x", cfg.XWidth, cfg.XDepth, cfg.ExtraParentProb, rng)
+	} else {
+		obj = v.MustAddElement("obj")
+	}
+	if err := v.Freeze(); err != nil {
+		return nil, err
+	}
+
+	q := &oassisql.Query{Select: oassisql.SelectFactSets, Support: 0.5}
+	pat := oassisql.Pattern{
+		S:     oassisql.Var("y"),
+		SMult: multOf(cfg.Multiplicities),
+		R:     oassisql.TermAtom("rel"),
+		OMult: oassisql.MultOne,
+	}
+	anchors := map[string][]vocab.Term{"y": {s.Root}}
+	yVals := s.Terms
+	if cfg.ValidLeavesOnly {
+		yVals = s.leaves
+	}
+	var bindings []map[string]vocab.Term
+	if twoVars {
+		pat.O = oassisql.Var("x")
+		anchors["x"] = []vocab.Term{s.XRoot}
+		xVals := s.XTerms
+		if cfg.ValidLeavesOnly {
+			xVals = s.xLeaves
+		}
+		for _, y := range yVals {
+			for _, x := range xVals {
+				bindings = append(bindings, map[string]vocab.Term{"y": y, "x": x})
+			}
+		}
+	} else {
+		pat.O = oassisql.TermAtom("obj")
+		for _, y := range yVals {
+			bindings = append(bindings, map[string]vocab.Term{"y": y})
+		}
+	}
+	q.Satisfying = []oassisql.Pattern{pat}
+	sp, err := assign.NewSpace(v, q, bindings, anchors)
+	if err != nil {
+		return nil, err
+	}
+	_ = rel
+	_ = obj
+	s.Sp = sp
+	return s, nil
+}
+
+// genTree builds one term tree; level sizes ramp up geometrically until the
+// width is reached.
+func genTree(v *vocab.Vocabulary, prefix string, width, depth int, extraParentProb float64,
+	rng *rand.Rand) (root vocab.Term, all, leaves []vocab.Term) {
+	root = v.MustAddElement(prefix + "root")
+	prev := []vocab.Term{root}
+	for d := 1; d <= depth; d++ {
+		size := width
+		for i := d; i < depth; i++ {
+			size = (size + 2) / 3
+		}
+		if size < 1 {
+			size = 1
+		}
+		level := make([]vocab.Term, size)
+		for i := range level {
+			t := v.MustAddElement(fmt.Sprintf("%s%d_%d", prefix, d, i))
+			level[i] = t
+			parent := prev[rng.Intn(len(prev))]
+			v.MustAddOrder(parent, t)
+			if extraParentProb > 0 && rng.Float64() < extraParentProb && len(prev) > 1 {
+				other := prev[rng.Intn(len(prev))]
+				if other != parent {
+					v.MustAddOrder(other, t)
+				}
+			}
+			all = append(all, t)
+		}
+		if d == depth {
+			leaves = level
+		}
+		prev = level
+	}
+	return root, all, leaves
+}
+
+func multOf(multiplicities bool) oassisql.Mult {
+	if multiplicities {
+		return oassisql.MultPlus
+	}
+	return oassisql.MultOne
+}
+
+// NodeCount reports the number of assignments without multiplicities (the
+// DAG size the paper reports): the product of the variables' exploration
+// domains.
+func (s *Space) NodeCount() int {
+	n := s.Sp.DomainSize(0)
+	if len(s.Sp.Vars) > 1 {
+		n *= s.Sp.DomainSize(1)
+	}
+	return n
+}
+
+// Distance computes the undirected Hasse-graph distance between two terms
+// (used by the nearby/far MSP distributions). It runs a BFS over parent and
+// child edges; unreachable terms (different trees) have distance -1.
+func (s *Space) Distance(a, b vocab.Term) int {
+	if a == b {
+		return 0
+	}
+	seen := map[vocab.Term]int{a: 0}
+	queue := []vocab.Term{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		d := seen[cur]
+		var adj []vocab.Term
+		adj = append(adj, s.Voc.Parents(cur)...)
+		adj = append(adj, s.Voc.Children(cur)...)
+		for _, n := range adj {
+			if _, ok := seen[n]; ok {
+				continue
+			}
+			if n == b {
+				return d + 1
+			}
+			seen[n] = d + 1
+			queue = append(queue, n)
+		}
+	}
+	return -1
+}
+
+// AssignmentDistance sums the per-variable term distances between the first
+// values of two assignments (the node distance used by the nearby/far MSP
+// placement).
+func (s *Space) AssignmentDistance(a, b assign.Assignment) int {
+	total := 0
+	for i := range a.Vals {
+		if len(a.Vals[i]) == 0 || len(b.Vals[i]) == 0 {
+			continue
+		}
+		d := s.Distance(a.Vals[i][0], b.Vals[i][0])
+		if d < 0 {
+			return -1
+		}
+		total += d
+	}
+	return total
+}

@@ -1,0 +1,608 @@
+// Package oassis is a query-driven crowd-mining engine: a Go implementation
+// of "OASSIS: Query Driven Crowd Mining" (SIGMOD 2014). Users pose
+// OASSIS-QL queries that combine an ontological selection (the WHERE
+// clause, evaluated over a knowledge base) with data patterns to be mined
+// from a crowd of members with personal, unrecorded histories (the
+// SATISFYING clause). The engine interactively chooses questions for crowd
+// members, infers the classification of whole regions of the answer space
+// from each answer, and returns the maximal significant patterns (MSPs) —
+// concise, redundancy-free answers such as "go biking in Central Park and
+// eat at Maoz Vegetarian (tip: rent the bikes at the Boathouse)".
+//
+// The root package is a facade over the internal engine. A minimal session:
+//
+//	db := oassis.SampleDB()                         // the paper's Figure 1 ontology
+//	q, _ := oassis.ParseQuery(queryText)            // OASSIS-QL (Figure 2 syntax)
+//	crowd := []oassis.Member{ /* your members */ }
+//	res, _ := oassis.Exec(db, q, crowd, oassis.WithAnswersPerQuestion(5))
+//	for _, msp := range res.MSPs { fmt.Println(msp.Text) }
+//
+// Crowd members implement the Member interface; SimulatedMember builds one
+// from a textual personal history for testing and simulation.
+package oassis
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/assign"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/fact"
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/rdfio"
+	"oassis/internal/sparql"
+	"oassis/internal/vocab"
+)
+
+// Triple is one fact in textual form. The special name "[]" denotes the
+// anything wildcard.
+type Triple struct {
+	Subject, Relation, Object string
+}
+
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s", t.Subject, t.Relation, t.Object)
+}
+
+// DB bundles a vocabulary and an ontology.
+type DB struct {
+	voc  *vocab.Vocabulary
+	onto *ontology.Ontology
+}
+
+// NewDB returns an empty database for programmatic construction. Call
+// Freeze before executing queries.
+func NewDB() *DB {
+	v := vocab.New()
+	return &DB{voc: v, onto: ontology.New(v)}
+}
+
+// SampleDB returns the paper's running-example ontology (Figure 1).
+func SampleDB() *DB {
+	s := ontology.NewSample()
+	return &DB{voc: s.Voc, onto: s.Onto}
+}
+
+// LoadOntology reads a Turtle-subset document (see the README for the
+// format) and returns a frozen DB.
+func LoadOntology(r io.Reader) (*DB, error) {
+	v, o, err := rdfio.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{voc: v, onto: o}, nil
+}
+
+// WriteOntology serializes the DB in the same Turtle subset.
+func (db *DB) WriteOntology(w io.Writer) error { return rdfio.Write(w, db.onto) }
+
+// AddFact adds a universal fact, interning new element/relation names.
+func (db *DB) AddFact(subject, relation, object string) error {
+	s, err := db.voc.AddElement(subject)
+	if err != nil {
+		return err
+	}
+	r, err := db.voc.AddRelation(relation)
+	if err != nil {
+		return err
+	}
+	o, err := db.voc.AddElement(object)
+	if err != nil {
+		return err
+	}
+	return db.onto.Add(fact.Fact{S: s, R: r, O: o})
+}
+
+// AddSubsumption records that specific is a subClassOf/instanceOf-style
+// specialization of general, both as an ontology fact and in the semantic
+// order (Example 2.3 of the paper).
+func (db *DB) AddSubsumption(general, specific, relation string) error {
+	g, err := db.voc.AddElement(general)
+	if err != nil {
+		return err
+	}
+	s, err := db.voc.AddElement(specific)
+	if err != nil {
+		return err
+	}
+	r, err := db.voc.AddRelation(relation)
+	if err != nil {
+		return err
+	}
+	return db.onto.AddSubsumption(g, s, r)
+}
+
+// AddRelationOrder records general ≤ specific between two relations (e.g.
+// nearBy ≤ inside: everything inside a place is near it).
+func (db *DB) AddRelationOrder(general, specific string) error {
+	g, err := db.voc.AddRelation(general)
+	if err != nil {
+		return err
+	}
+	s, err := db.voc.AddRelation(specific)
+	if err != nil {
+		return err
+	}
+	return db.voc.AddOrder(g, s)
+}
+
+// AddLabel attaches a hasLabel label to an element.
+func (db *DB) AddLabel(element, label string) error {
+	e, err := db.voc.AddElement(element)
+	if err != nil {
+		return err
+	}
+	return db.onto.AddLabel(e, label)
+}
+
+// AddTerm interns an element name without any facts (vocabulary-only terms
+// such as Boathouse in the paper, which appear in histories but not in the
+// ontology).
+func (db *DB) AddTerm(element string) error {
+	_, err := db.voc.AddElement(element)
+	return err
+}
+
+// AddRelation interns a relation name without any facts (relations that
+// appear only in personal histories and SATISFYING patterns, not in the
+// ontology itself).
+func (db *DB) AddRelation(name string) error {
+	_, err := db.voc.AddRelation(name)
+	return err
+}
+
+// Freeze validates the order relations and makes the DB immutable; it must
+// be called before Exec (LoadOntology and SampleDB return frozen DBs).
+func (db *DB) Freeze() error { return db.voc.Freeze() }
+
+// triple converts an internal fact to the textual form.
+func (db *DB) triple(f fact.Fact) Triple {
+	name := func(t vocab.Term) string {
+		if t == vocab.Any {
+			return "[]"
+		}
+		return db.voc.Name(t)
+	}
+	return Triple{Subject: name(f.S), Relation: name(f.R), Object: name(f.O)}
+}
+
+func (db *DB) triples(fs fact.Set) []Triple {
+	out := make([]Triple, len(fs))
+	for i, f := range fs {
+		out[i] = db.triple(f)
+	}
+	return out
+}
+
+// Query is a parsed OASSIS-QL query.
+type Query struct {
+	ast *oassisql.Query
+}
+
+// ParseQuery parses OASSIS-QL text (the Figure 2 syntax).
+func ParseQuery(src string) (*Query, error) {
+	ast, err := oassisql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{ast: ast}, nil
+}
+
+// String renders the query in canonical OASSIS-QL syntax.
+func (q *Query) String() string { return q.ast.String() }
+
+// Support returns the query's support threshold.
+func (q *Query) Support() float64 { return q.ast.Support }
+
+// Member is a crowd member: the engine poses it questions about fact-sets.
+// Implementations with human backends should translate the triples to
+// natural language (see Questionnaire for templates).
+type Member interface {
+	// ID identifies the member.
+	ID() string
+	// HowOften answers a concrete question: how frequently the given
+	// combination of facts occurs in the member's history, in [0, 1].
+	HowOften(facts []Triple) float64
+	// Specialize answers a specialization question: pick the candidate the
+	// member does significantly often (returning its index and frequency),
+	// report "none of these" (ok=false), or decline in favor of concrete
+	// questions (declined=true).
+	Specialize(candidates [][]Triple) (idx int, freq float64, ok, declined bool)
+	// Irrelevant optionally marks one of the given terms as irrelevant to
+	// the member (user-guided pruning): everything involving the term is
+	// then assumed never to occur for them.
+	Irrelevant(terms []string) (string, bool)
+}
+
+// memberAdapter bridges the facade Member to the internal crowd.Member.
+type memberAdapter struct {
+	db *DB
+	m  Member
+}
+
+func (a *memberAdapter) ID() string { return a.m.ID() }
+
+func (a *memberAdapter) Concrete(fs fact.Set) float64 {
+	return a.m.HowOften(a.db.triples(fs))
+}
+
+func (a *memberAdapter) ChooseSpecialization(candidates []fact.Set) (int, float64, bool, bool) {
+	cs := make([][]Triple, len(candidates))
+	for i, c := range candidates {
+		cs[i] = a.db.triples(c)
+	}
+	return a.m.Specialize(cs)
+}
+
+func (a *memberAdapter) Irrelevant(terms []vocab.Term) (vocab.Term, bool) {
+	names := make([]string, len(terms))
+	for i, t := range terms {
+		names[i] = a.db.voc.Name(t)
+	}
+	name, ok := a.m.Irrelevant(names)
+	if !ok {
+		return vocab.None, false
+	}
+	t, found := a.db.voc.Lookup(name)
+	if !found {
+		return vocab.None, false
+	}
+	return t, true
+}
+
+// SimulatedMember builds a member whose virtual personal history is given
+// as textual transactions, e.g.
+//
+//	oassis.SimulatedMember(db, "u1",
+//	    "Basketball doAt Central Park. Falafel eatAt Maoz Veg",
+//	    "Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine",
+//	)
+//
+// Answers use the paper's five-level frequency scale. Options adjust the
+// behavior (see SimOption).
+func SimulatedMember(db *DB, id string, transactions ...string) (Member, error) {
+	pdb := crowd.NewPersonalDB(db.voc)
+	for _, t := range transactions {
+		fs, err := fact.Parse(db.voc, t)
+		if err != nil {
+			return nil, err
+		}
+		pdb.Add(fs)
+	}
+	sim := &crowd.SimMember{Name: id, DB: pdb, Disc: crowd.Exact, SpecializeProb: 1, Theta: 0.1}
+	return &simWrapper{db: db, sim: sim}, nil
+}
+
+// simWrapper exposes an internal SimMember through the facade interface.
+type simWrapper struct {
+	db  *DB
+	sim *crowd.SimMember
+}
+
+func (w *simWrapper) ID() string { return w.sim.Name }
+
+func (w *simWrapper) HowOften(facts []Triple) float64 {
+	fs, err := w.db.factSet(facts)
+	if err != nil {
+		return 0
+	}
+	return w.sim.Concrete(fs)
+}
+
+func (w *simWrapper) Specialize(candidates [][]Triple) (int, float64, bool, bool) {
+	sets := make([]fact.Set, len(candidates))
+	for i, c := range candidates {
+		fs, err := w.db.factSet(c)
+		if err != nil {
+			return 0, 0, false, true
+		}
+		sets[i] = fs
+	}
+	return w.sim.ChooseSpecialization(sets)
+}
+
+func (w *simWrapper) Irrelevant(terms []string) (string, bool) {
+	ts := make([]vocab.Term, 0, len(terms))
+	for _, n := range terms {
+		if t, ok := w.db.voc.Lookup(n); ok {
+			ts = append(ts, t)
+		}
+	}
+	t, ok := w.sim.Irrelevant(ts)
+	if !ok {
+		return "", false
+	}
+	return w.db.voc.Name(t), true
+}
+
+// factSet converts triples to an internal fact-set.
+func (db *DB) factSet(ts []Triple) (fact.Set, error) {
+	out := make(fact.Set, 0, len(ts))
+	lookup := func(name string, kind vocab.Kind) (vocab.Term, error) {
+		if name == "[]" {
+			return vocab.Any, nil
+		}
+		t, ok := db.voc.Lookup(name)
+		if !ok {
+			return vocab.None, fmt.Errorf("oassis: unknown term %q", name)
+		}
+		if db.voc.KindOf(t) != kind {
+			return vocab.None, fmt.Errorf("oassis: %q has the wrong kind", name)
+		}
+		return t, nil
+	}
+	for _, tr := range ts {
+		s, err := lookup(tr.Subject, vocab.Element)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lookup(tr.Relation, vocab.Relation)
+		if err != nil {
+			return nil, err
+		}
+		o, err := lookup(tr.Object, vocab.Element)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fact.Fact{S: s, R: r, O: o})
+	}
+	return out.Canon(), nil
+}
+
+// Answer is one mined pattern.
+type Answer struct {
+	// Facts is the pattern's fact-set.
+	Facts []Triple
+	// Text is the fact-set in the paper's notation.
+	Text string
+	// Bindings maps each mining variable to its value set (the SELECT
+	// VARIABLES view of the same answer; sets have more than one value when
+	// the query used multiplicities).
+	Bindings map[string][]string
+	// Valid reports whether the pattern is valid w.r.t. the query's WHERE
+	// clause (maximal significant patterns may be slightly more general).
+	Valid bool
+}
+
+// Stats summarizes the crowd effort of a run.
+type Stats struct {
+	TotalQuestions  int
+	UniqueQuestions int
+	Concrete        int
+	Specialization  int
+	NoneOfThese     int
+	PruningClicks   int
+	GeneratedNodes  int
+}
+
+// Result of executing a query.
+type Result struct {
+	// MSPs are the maximal significant patterns (the query output; only
+	// valid ones unless the query asked for ALL).
+	MSPs []Answer
+	// AllMSPs additionally includes maximal significant patterns that are
+	// not valid w.r.t. the WHERE clause (the set M of Algorithm 1).
+	AllMSPs []Answer
+	// AllSignificant lists every significant valid assignment when the
+	// query used SELECT ... ALL.
+	AllSignificant []Answer
+	Stats          Stats
+}
+
+// options collects Exec options.
+type options struct {
+	answersPerQuestion  int
+	specializationRatio float64
+	pruning             bool
+	seed                int64
+	maxQuestions        int
+	maxPerMember        int
+	moreCandidates      []Triple
+	topK                int
+	spamMaxViolations   int
+}
+
+// Option configures Exec.
+type Option func(*options)
+
+// WithAnswersPerQuestion sets how many member answers classify a question
+// (the paper's crowd experiments use 5). Default 1.
+func WithAnswersPerQuestion(k int) Option {
+	return func(o *options) { o.answersPerQuestion = k }
+}
+
+// WithSpecializationRatio sets the probability of posing specialization
+// questions instead of concrete ones while descending. Default 0.
+func WithSpecializationRatio(r float64) Option {
+	return func(o *options) { o.specializationRatio = r }
+}
+
+// WithPruning enables user-guided pruning clicks.
+func WithPruning() Option { return func(o *options) { o.pruning = true } }
+
+// WithSeed seeds the engine's random choices (default 1; runs are always
+// deterministic for a fixed seed).
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithMaxQuestions caps the total number of crowd answers.
+func WithMaxQuestions(n int) Option { return func(o *options) { o.maxQuestions = n } }
+
+// WithMaxQuestionsPerMember caps each member's effort.
+func WithMaxQuestionsPerMember(n int) Option { return func(o *options) { o.maxPerMember = n } }
+
+// WithMoreCandidates seeds the MORE-fact candidate pool (facts crowd
+// members may volunteer as additional advice).
+func WithMoreCandidates(ts ...Triple) Option {
+	return func(o *options) { o.moreCandidates = ts }
+}
+
+// WithTopK stops mining as soon as k maximal significant patterns are
+// confirmed (the incremental top-k extension of the paper's Section 8).
+func WithTopK(k int) Option { return func(o *options) { o.topK = k } }
+
+// WithSpamFilter enables the consistency-based crowd-member filter of
+// Section 4.2: members whose answers violate support monotonicity more than
+// maxViolations times (beyond a one-scale-step tolerance) are excluded from
+// further questions.
+func WithSpamFilter(maxViolations int) Option {
+	return func(o *options) { o.spamMaxViolations = maxViolations }
+}
+
+// Exec evaluates the query over the DB with the given crowd.
+func Exec(db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
+	if !db.voc.Frozen() {
+		return nil, fmt.Errorf("oassis: DB must be frozen before Exec")
+	}
+	o := options{answersPerQuestion: 1, seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	bindings, err := sparql.Evaluate(db.onto, q.ast.Where)
+	if err != nil {
+		return nil, err
+	}
+	maps := make([]map[string]vocab.Term, len(bindings))
+	for i, b := range bindings {
+		maps[i] = b
+	}
+	sp, err := assign.NewSpace(db.voc, q.ast, maps, sparql.Anchors(db.voc, q.ast.Where))
+	if err != nil {
+		return nil, err
+	}
+	if q.ast.More && len(o.moreCandidates) > 0 {
+		pool, err := db.factSet(o.moreCandidates)
+		if err != nil {
+			return nil, err
+		}
+		sp.MoreCandidates = pool
+	}
+	cms := make([]crowd.Member, len(members))
+	for i, m := range members {
+		cms[i] = &memberAdapter{db: db, m: m}
+	}
+	res := core.Run(core.Config{
+		Space:                 sp,
+		Theta:                 q.ast.Support,
+		Members:               cms,
+		Agg:                   aggregate.NewFixedSample(o.answersPerQuestion),
+		SpecializationRatio:   o.specializationRatio,
+		EnablePruning:         o.pruning,
+		MaxQuestions:          o.maxQuestions,
+		MaxQuestionsPerMember: o.maxPerMember,
+		MaxMSPs:               o.topK,
+		SpamMaxViolations:     o.spamMaxViolations,
+		SpamTolerance:         0.25,
+		Rng:                   rand.New(rand.NewSource(o.seed)),
+	})
+	out := &Result{Stats: Stats{
+		TotalQuestions:  res.Stats.TotalQuestions,
+		UniqueQuestions: res.Stats.UniqueQuestions,
+		Concrete:        res.Stats.Concrete,
+		Specialization:  res.Stats.Specialization,
+		NoneOfThese:     res.Stats.NoneOfThese,
+		PruningClicks:   res.Stats.Pruning,
+		GeneratedNodes:  res.Stats.GeneratedNodes,
+	}}
+	toAnswer := func(a assign.Assignment, valid bool) Answer {
+		fs := sp.Instantiate(a)
+		bindings := make(map[string][]string, len(sp.Vars))
+		for i, vs := range sp.Vars {
+			names := make([]string, len(a.Vals[i]))
+			for j, t := range a.Vals[i] {
+				names[j] = db.voc.Name(t)
+			}
+			bindings[vs.Name] = names
+		}
+		return Answer{Facts: db.triples(fs), Text: fs.Format(db.voc),
+			Bindings: bindings, Valid: valid}
+	}
+	for _, m := range res.MSPs {
+		out.AllMSPs = append(out.AllMSPs, toAnswer(m, sp.IsValid(m)))
+	}
+	for _, m := range res.ValidMSPs {
+		out.MSPs = append(out.MSPs, toAnswer(m, true))
+	}
+	if q.ast.All {
+		for _, a := range core.AllSignificant(sp, res.MSPs) {
+			out.AllSignificant = append(out.AllSignificant, toAnswer(a, sp.IsValid(a)))
+		}
+	}
+	return out, nil
+}
+
+// Questionnaire renders fact-sets as natural-language questions using the
+// per-relation templates of the paper's UI (§6.2).
+type Questionnaire struct {
+	db  *DB
+	tpl *crowd.Templates
+}
+
+// NewQuestionnaire returns a questionnaire with the default templates
+// (doAt, eatAt) over the DB's vocabulary.
+func NewQuestionnaire(db *DB) *Questionnaire {
+	return &Questionnaire{db: db, tpl: crowd.NewTemplates(db.voc)}
+}
+
+// SetTemplate installs a relation template with two %s verbs, e.g.
+// "drink %s with %s".
+func (q *Questionnaire) SetTemplate(relation, format string) {
+	q.tpl.ByRelation[relation] = format
+}
+
+// Concrete renders "How often do you … and also …?" for the triples.
+func (q *Questionnaire) Concrete(facts []Triple) (string, error) {
+	fs, err := q.db.factSet(facts)
+	if err != nil {
+		return "", err
+	}
+	return q.tpl.Concrete(fs), nil
+}
+
+// Scale returns the five-point answer scale with its numeric
+// interpretation ("never" … "very often").
+func Scale() []string {
+	out := make([]string, len(crowd.AnswerScale))
+	for i, a := range crowd.AnswerScale {
+		out[i] = fmt.Sprintf("%s (%.2f)", a.Label, a.Support)
+	}
+	return out
+}
+
+// FormatAnswer renders an Answer for display, marking invalid (generalized)
+// patterns.
+func FormatAnswer(a Answer) string {
+	if a.Valid {
+		return a.Text
+	}
+	return a.Text + "  [generalized]"
+}
+
+// ParseTriples parses "S r O. S2 r2 O2" text into triples using the DB's
+// vocabulary (multi-word names are resolved like in the paper's Table 3).
+func (db *DB) ParseTriples(text string) ([]Triple, error) {
+	fs, err := fact.Parse(db.voc, text)
+	if err != nil {
+		return nil, err
+	}
+	return db.triples(fs), nil
+}
+
+// Terms lists all element names in the DB, sorted; useful for building UIs.
+func (db *DB) Terms() []string {
+	var out []string
+	for t := 0; t < db.voc.Len(); t++ {
+		if db.voc.KindOf(vocab.Term(t)) == vocab.Element {
+			out = append(out, db.voc.Name(vocab.Term(t)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version of the library.
+const Version = "1.0.0"

@@ -1,0 +1,255 @@
+package oassis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const figure2 = `
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity .
+  $z instanceOf Restaurant.
+  $z nearBy $x
+SATISFYING
+  $y+ doAt $x .
+  [] eatAt $z.
+  MORE
+WITH SUPPORT = 0.4
+`
+
+// table3Members builds u1 and u2 of the paper's Table 3 through the public
+// API.
+func table3Members(t testing.TB, db *DB) []Member {
+	t.Helper()
+	u1, err := SimulatedMember(db, "u1",
+		"Basketball doAt Central Park. Falafel eatAt Maoz Veg",
+		"Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine",
+		"Biking doAt Central Park. Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg",
+		"Baseball doAt Central Park. Biking doAt Central Park. Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg",
+		"Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine",
+		"Feed a Monkey doAt Bronx Zoo",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := SimulatedMember(db, "u2",
+		"Baseball doAt Central Park. Biking doAt Central Park. Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg",
+		"Feed a Monkey doAt Bronx Zoo. Pasta eatAt Pine",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Member{u1, u2}
+}
+
+func TestEndToEndRunningExample(t *testing.T) {
+	db := SampleDB()
+	q, err := ParseQuery(figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(db, q, table3Members(t, db),
+		WithAnswersPerQuestion(2),
+		WithMoreCandidates(Triple{"Rent Bikes", "doAt", "Boathouse"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MSPs) != 3 {
+		for _, m := range res.MSPs {
+			t.Logf("msp: %s", m.Text)
+		}
+		t.Fatalf("got %d MSPs, want 3", len(res.MSPs))
+	}
+	joined := ""
+	for _, m := range res.MSPs {
+		joined += m.Text + "\n"
+	}
+	// The paper's three answers, including the Boathouse tip via MORE.
+	for _, want := range []string{
+		"Biking doAt Central Park",
+		"Rent Bikes doAt Boathouse",
+		"Ball Game doAt Central Park",
+		"Feed a Monkey doAt Bronx Zoo",
+		"[] eatAt Maoz Veg",
+		"[] eatAt Pine",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("answers missing %q:\n%s", want, joined)
+		}
+	}
+	if res.Stats.TotalQuestions == 0 || res.Stats.GeneratedNodes == 0 {
+		t.Error("stats empty")
+	}
+}
+
+func TestExecSelectAll(t *testing.T) {
+	db := SampleDB()
+	q, err := ParseQuery(`SELECT FACT-SETS ALL
+WHERE
+  $x instanceOf Park . $y subClassOf* Activity
+SATISFYING
+  $y doAt $x
+WITH SUPPORT = 0.4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(db, q, table3Members(t, db), WithAnswersPerQuestion(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AllSignificant) == 0 {
+		t.Fatal("SELECT ALL returned nothing")
+	}
+	if len(res.AllSignificant) <= len(res.MSPs) {
+		t.Errorf("ALL (%d) should exceed MSPs (%d)", len(res.AllSignificant), len(res.MSPs))
+	}
+}
+
+func TestProgrammaticDB(t *testing.T) {
+	db := NewDB()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.AddSubsumption("Drink", "Coffee", "subClassOf"))
+	must(db.AddSubsumption("Drink", "Tea", "subClassOf"))
+	must(db.AddSubsumption("Snack", "Cookie", "subClassOf"))
+	must(db.AddFact("Coffee", "pairsWith", "Cookie"))
+	must(db.AddLabel("Coffee", "hot"))
+	must(db.AddTerm("Mug"))
+	must(db.Freeze())
+
+	q, err := ParseQuery(`SELECT FACT-SETS
+WHERE $d subClassOf* Drink . $d hasLabel "hot"
+SATISFYING $d pairsWith Cookie
+WITH SUPPORT = 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := SimulatedMember(db, "m",
+		"Coffee pairsWith Cookie",
+		"Coffee pairsWith Cookie",
+		"Tea pairsWith Cookie",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(db, q, []Member{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MSPs) != 1 || !strings.Contains(res.MSPs[0].Text, "Coffee pairsWith Cookie") {
+		t.Fatalf("MSPs = %+v", res.MSPs)
+	}
+}
+
+func TestExecRequiresFrozenDB(t *testing.T) {
+	db := NewDB()
+	if err := db.AddFact("A", "r", "B"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`SELECT FACT-SETS WHERE SATISFYING A r B WITH SUPPORT = 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(db, q, nil); err == nil {
+		t.Fatal("unfrozen DB accepted")
+	}
+}
+
+func TestOntologyRoundTripThroughFacade(t *testing.T) {
+	db := SampleDB()
+	var buf bytes.Buffer
+	if err := db.WriteOntology(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadOntology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := db2.Terms()
+	found := false
+	for _, n := range terms {
+		if n == "Central Park" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("round trip lost Central Park")
+	}
+}
+
+func TestQuestionnaire(t *testing.T) {
+	db := SampleDB()
+	qn := NewQuestionnaire(db)
+	text, err := qn.Concrete([]Triple{
+		{"Biking", "doAt", "Central Park"},
+		{"Falafel", "eatAt", "Maoz Veg"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "How often do you") || !strings.Contains(text, "Biking") {
+		t.Errorf("question = %q", text)
+	}
+	qn.SetTemplate("inside", "stay at %s inside %s")
+	text2, err := qn.Concrete([]Triple{{"Maoz Veg", "inside", "NYC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text2, "stay at Maoz Veg inside NYC") {
+		t.Errorf("custom template ignored: %q", text2)
+	}
+	if len(Scale()) != 5 {
+		t.Error("answer scale should have 5 levels")
+	}
+	if _, err := qn.Concrete([]Triple{{"NoSuch", "doAt", "Central Park"}}); err == nil {
+		t.Error("unknown term accepted")
+	}
+}
+
+func TestParseTriplesAndFormat(t *testing.T) {
+	db := SampleDB()
+	ts, err := db.ParseTriples("Biking doAt Central Park. Falafel eatAt Maoz Veg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("parsed %d triples", len(ts))
+	}
+	a := Answer{Text: "X", Valid: false}
+	if FormatAnswer(a) != "X  [generalized]" {
+		t.Errorf("FormatAnswer = %q", FormatAnswer(a))
+	}
+	a.Valid = true
+	if FormatAnswer(a) != "X" {
+		t.Errorf("FormatAnswer = %q", FormatAnswer(a))
+	}
+	tr := Triple{"A", "r", "B"}
+	if tr.String() != "A r B" {
+		t.Errorf("Triple.String = %q", tr.String())
+	}
+}
+
+func TestParseQueryErrorsSurface(t *testing.T) {
+	if _, err := ParseQuery("SELECT nonsense"); err == nil {
+		t.Error("bad query accepted")
+	}
+	db := SampleDB()
+	q, err := ParseQuery(`SELECT FACT-SETS WHERE $x instanceOf Nonexistent
+SATISFYING $x doAt $x WITH SUPPORT = 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(db, q, nil); err == nil {
+		t.Error("unknown term in WHERE accepted at Exec")
+	}
+}
