@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the gate a PR must pass: vet,
+# build, and the full test suite under the race detector (the experiment
+# grids in internal/experiments fan cells across goroutines, so -race
+# exercises the concurrency model for real).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Micro + macro benchmarks (hot paths and the per-figure experiment harness).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/vocab ./internal/assign
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -8,6 +8,7 @@ package oassis
 // EXPERIMENTS.md for paper-vs-measured values.
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -19,7 +20,15 @@ import (
 // benchScale keeps per-iteration times around a second.
 const benchScale = 0.1
 
-var benchDomainScale = experiments.DomainScale{Members: 24, Patterns: 10, Sample: 5}
+// benchParallel is the experiment-grid worker count used by every bench:
+// one worker per CPU (the oassis-bench default). Grid output is identical
+// at any worker count, so the numbers below stay comparable across runners;
+// only the wall clock changes.
+var benchParallel = runtime.GOMAXPROCS(0)
+
+var benchDomainScale = experiments.DomainScale{
+	Members: 24, Patterns: 10, Sample: 5, Parallelism: benchParallel,
+}
 
 func reportRows(b *testing.B, r *experiments.Report) {
 	b.Helper()
@@ -103,6 +112,7 @@ func BenchmarkFig4ePaceSelfTreatment(b *testing.B) {
 func BenchmarkFig4fAnswerTypes(b *testing.B) {
 	cfg := experiments.DefaultFig4f(benchScale)
 	cfg.Trials = 2
+	cfg.Parallelism = benchParallel
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig4f(cfg)
 		if err != nil {
@@ -117,6 +127,7 @@ func BenchmarkFig4fAnswerTypes(b *testing.B) {
 func BenchmarkFig5Algorithms(b *testing.B) {
 	cfg := experiments.DefaultFig5(benchScale)
 	cfg.Trials = 2
+	cfg.Parallelism = benchParallel
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig5(cfg)
 		if err != nil {
@@ -129,7 +140,7 @@ func BenchmarkFig5Algorithms(b *testing.B) {
 // BenchmarkSweepDAGShape regenerates the §6.4 DAG width/depth sweep.
 func BenchmarkSweepDAGShape(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.SweepDAGShape(benchScale, 2)
+		r, err := experiments.SweepDAGShape(benchScale, 2, benchParallel)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +151,7 @@ func BenchmarkSweepDAGShape(b *testing.B) {
 // BenchmarkSweepMSPDistribution regenerates the §6.4 MSP-placement sweep.
 func BenchmarkSweepMSPDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.SweepMSPDistribution(benchScale, 2)
+		r, err := experiments.SweepMSPDistribution(benchScale, 2, benchParallel)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +163,7 @@ func BenchmarkSweepMSPDistribution(b *testing.B) {
 // the lazy-vs-eager node-generation comparison.
 func BenchmarkSweepMultiplicities(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.SweepMultiplicities(benchScale, 2)
+		r, err := experiments.SweepMultiplicities(benchScale, 2, benchParallel)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +185,7 @@ func BenchmarkCrowdSummary(b *testing.B) {
 // BenchmarkComplexityBounds checks Propositions 4.7/4.8 empirically.
 func BenchmarkComplexityBounds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.ComplexityBounds(benchScale)
+		r, err := experiments.ComplexityBounds(benchScale, benchParallel)
 		if err != nil {
 			b.Fatal(err)
 		}

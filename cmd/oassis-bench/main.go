@@ -1,30 +1,51 @@
 // Command oassis-bench regenerates the paper's tables and figures (see
 // DESIGN.md for the experiment index). Each experiment prints an aligned
-// text table; -csv switches to CSV; -scale trades fidelity for runtime.
+// text table; -csv switches to CSV, -json to one JSON document per report
+// (with wall-clock duration, for perf-trajectory records); -scale trades
+// fidelity for runtime; -parallel fans each experiment's grid cells out
+// over a worker pool with bit-identical output.
 //
 // Usage:
 //
 //	oassis-bench -exp all            # everything, quick scale
 //	oassis-bench -exp fig5 -scale 1  # Figure 5 at the paper's full width
 //	oassis-bench -exp fig4a,fig4d -full
+//	oassis-bench -exp fig5 -parallel 8 -json > fig5.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"oassis/internal/experiments"
 	"oassis/internal/synth"
 )
 
+// jsonReport is the -json output document: the report plus its wall-clock
+// duration, one document per experiment (JSON Lines when several run).
+type jsonReport struct {
+	ID       string     `json:"id"`
+	Title    string     `json:"title"`
+	Header   []string   `json:"header"`
+	Rows     [][]string `json:"rows"`
+	Notes    []string   `json:"notes,omitempty"`
+	Seconds  float64    `json:"seconds"`
+	Parallel int        `json:"parallel"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids (all, fig4a..fig4f, fig5, sweeps, summary, bounds, capture, assoc)")
-		scale = flag.Float64("scale", 0.2, "synthetic-DAG scale factor (1 = paper's width 500)")
-		full  = flag.Bool("full", false, "use the full 248-member crowd for the domain experiments")
-		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids (all, fig4a..fig4f, fig5, sweeps, summary, bounds, capture, assoc)")
+		scale    = flag.Float64("scale", 0.2, "synthetic-DAG scale factor (1 = paper's width 500)")
+		full     = flag.Bool("full", false, "use the full 248-member crowd for the domain experiments")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document per report, with wall-clock duration")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for experiment grid cells (1 = sequential; output is identical at any setting)")
 	)
 	flag.Parse()
 
@@ -32,11 +53,17 @@ func main() {
 	if *full {
 		sc = experiments.FullScale
 	}
+	sc.Parallelism = *parallel
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(id)] = true
 	}
 	runAll := want["all"]
+
+	fig5Cfg := experiments.DefaultFig5(*scale)
+	fig5Cfg.Parallelism = *parallel
+	fig4fCfg := experiments.DefaultFig4f(*scale)
+	fig4fCfg.Parallelism = *parallel
 
 	type job struct {
 		id  string
@@ -59,25 +86,25 @@ func main() {
 			return experiments.Fig4Pace("fig4e", synth.SelfTreatment, sc)
 		}},
 		{"fig4f", func() (*experiments.Report, error) {
-			return experiments.Fig4f(experiments.DefaultFig4f(*scale))
+			return experiments.Fig4f(fig4fCfg)
 		}},
 		{"fig5", func() (*experiments.Report, error) {
-			return experiments.Fig5(experiments.DefaultFig5(*scale))
+			return experiments.Fig5(fig5Cfg)
 		}},
 		{"sweeps", func() (*experiments.Report, error) {
-			return experiments.SweepDAGShape(*scale, 3)
+			return experiments.SweepDAGShape(*scale, 3, *parallel)
 		}},
 		{"sweep-dist", func() (*experiments.Report, error) {
-			return experiments.SweepMSPDistribution(*scale, 3)
+			return experiments.SweepMSPDistribution(*scale, 3, *parallel)
 		}},
 		{"sweep-mult", func() (*experiments.Report, error) {
-			return experiments.SweepMultiplicities(*scale, 3)
+			return experiments.SweepMultiplicities(*scale, 3, *parallel)
 		}},
 		{"summary", func() (*experiments.Report, error) {
 			return experiments.CrowdSummary(sc)
 		}},
 		{"bounds", func() (*experiments.Report, error) {
-			return experiments.ComplexityBounds(*scale)
+			return experiments.ComplexityBounds(*scale, *parallel)
 		}},
 		{"capture", func() (*experiments.Report, error) {
 			return experiments.ItemsetCapture(12, 60, 0.15, 7)
@@ -87,19 +114,32 @@ func main() {
 		}},
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	ran := 0
 	for _, j := range jobs {
 		if !runAll && !want[j.id] {
 			continue
 		}
+		start := time.Now()
 		r, err := j.run()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "oassis-bench: %s: %v\n", j.id, err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			doc := jsonReport{
+				ID: r.ID, Title: r.Title, Header: r.Header, Rows: r.Rows,
+				Notes: r.Notes, Seconds: elapsed.Seconds(), Parallel: *parallel,
+			}
+			if err := enc.Encode(doc); err != nil {
+				fmt.Fprintf(os.Stderr, "oassis-bench: %s: %v\n", j.id, err)
+				os.Exit(1)
+			}
+		case *csv:
 			fmt.Println(r.CSV())
-		} else {
+		default:
 			fmt.Println(r.Table())
 		}
 		ran++

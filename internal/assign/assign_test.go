@@ -439,3 +439,20 @@ func TestLeqWithMoreFacts(t *testing.T) {
 		t.Error("generalized MORE fact should precede specialized one")
 	}
 }
+
+// BenchmarkAssignmentKey measures Key() on lattice nodes shaped like the
+// engine's pool entries (successor-generated, multi-value antichains). The
+// engine calls Key() on every pool probe, classifier status check, and
+// dedup, so this dominates bookkeeping cost at scale.
+func BenchmarkAssignmentKey(b *testing.B) {
+	s, sp := buildSpace(b, figure3Query)
+	seedNode := node(s, sp, []string{"Biking", "Ball Game"}, "Central Park")
+	nodes := append([]Assignment{seedNode}, sp.Successors(seedNode)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += len(nodes[i%len(nodes)].Key())
+	}
+	_ = sink
+}

@@ -27,6 +27,12 @@ import (
 type Assignment struct {
 	Vals [][]vocab.Term
 	More fact.Set
+
+	// key caches the canonical Key. It is set (sealed) by every Space
+	// constructor and lattice move once the assignment is in final form;
+	// Clone intentionally drops it, because clones exist to be mutated.
+	// An empty key means "not sealed" — Key computes on demand then.
+	key string
 }
 
 // NewAssignment builds a canonical assignment over sp from per-variable
@@ -42,7 +48,7 @@ func (sp *Space) NewAssignment(vals [][]vocab.Term, more fact.Set) Assignment {
 	if len(more) > 0 {
 		out.More = fact.Reduce(sp.Voc, more)
 	}
-	return out
+	return out.sealed()
 }
 
 // Singleton builds the multiplicity-1 assignment with the given value per
@@ -54,10 +60,11 @@ func (sp *Space) Singleton(vals ...vocab.Term) Assignment {
 			out.Vals[i] = []vocab.Term{vals[i]}
 		}
 	}
-	return out
+	return out.sealed()
 }
 
-// Clone deep-copies a.
+// Clone deep-copies a. The clone's key cache is dropped: clones are made to
+// be mutated by the lattice moves, which re-seal before publishing.
 func (a Assignment) Clone() Assignment {
 	out := Assignment{Vals: make([][]vocab.Term, len(a.Vals))}
 	for i, vs := range a.Vals {
@@ -67,10 +74,28 @@ func (a Assignment) Clone() Assignment {
 	return out
 }
 
-// Key returns a canonical map key for a. It relies on the invariant that
+// sealed returns a with its canonical key computed and cached, making every
+// subsequent Key call a field read. Must only be applied to assignments in
+// final canonical form.
+func (a Assignment) sealed() Assignment {
+	a.key = a.computeKey()
+	return a
+}
+
+// Key returns a canonical map key for a. Sealed assignments (everything a
+// Space constructor or lattice move returns) answer from the cache;
+// hand-built literals fall back to computing it.
+func (a Assignment) Key() string {
+	if a.key != "" {
+		return a.key
+	}
+	return a.computeKey()
+}
+
+// computeKey serializes the canonical form. It relies on the invariant that
 // value sets and the MORE fact-set are kept in canonical (sorted, reduced)
 // form by every constructor and lattice move.
-func (a Assignment) Key() string {
+func (a Assignment) computeKey() string {
 	n := 1
 	for _, vs := range a.Vals {
 		n += len(vs)*4 + 1

@@ -197,6 +197,7 @@ func (sp *Space) Successors(a Assignment) []Assignment {
 	seen := map[string]struct{}{aKeyOf(a): {}}
 	var out []Assignment
 	emit := func(b Assignment) {
+		b = b.sealed()
 		k := b.Key()
 		if _, dup := seen[k]; dup {
 			return
@@ -369,6 +370,7 @@ func (sp *Space) Predecessors(a Assignment) []Assignment {
 	seen := map[string]struct{}{a.Key(): {}}
 	var out []Assignment
 	emit := func(b Assignment) {
+		b = b.sealed()
 		k := b.Key()
 		if _, dup := seen[k]; dup {
 			return
@@ -446,7 +448,7 @@ func (sp *Space) Combine(a, b Assignment) (Assignment, bool) {
 	}
 	c := a.Clone()
 	c.Vals[diff] = sp.Voc.ReduceAntichain(append(append([]vocab.Term(nil), a.Vals[diff]...), b.Vals[diff]...))
-	return c, true
+	return c.sealed(), true
 }
 
 func termsEqual(a, b []vocab.Term) bool {

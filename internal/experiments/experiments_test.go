@@ -37,6 +37,19 @@ func TestReportRendering(t *testing.T) {
 	}
 }
 
+func TestReportFloatPrecision(t *testing.T) {
+	r := &Report{}
+	r.Add(1416.0, 0.25, 1.0/3.0, 0.000123456)
+	got := r.Rows[0]
+	// %.3g is kept only when it round-trips; 1416 must not become 1.42e+03.
+	want := []string{"1416", "0.25", "0.3333333333333333", "0.000123456"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
 func TestFig4DomainTiny(t *testing.T) {
 	r, err := Fig4Domain("fig4-tiny", tinyDomain(), DomainScale{Sample: 3})
 	if err != nil {
@@ -138,13 +151,13 @@ func TestFig4fTiny(t *testing.T) {
 }
 
 func TestSweepsTiny(t *testing.T) {
-	if r, err := SweepDAGShape(0.06, 1); err != nil || len(r.Rows) != 6 {
+	if r, err := SweepDAGShape(0.06, 1, 1); err != nil || len(r.Rows) != 6 {
 		t.Fatalf("dag shape: %v rows=%v", err, r)
 	}
-	if r, err := SweepMSPDistribution(0.06, 1); err != nil || len(r.Rows) != 6 {
+	if r, err := SweepMSPDistribution(0.06, 1, 1); err != nil || len(r.Rows) != 6 {
 		t.Fatalf("msp dist: %v", err)
 	}
-	r, err := SweepMultiplicities(0.06, 1)
+	r, err := SweepMultiplicities(0.06, 1, 1)
 	if err != nil || len(r.Rows) != 4 {
 		t.Fatalf("multiplicities: %v", err)
 	}
@@ -162,7 +175,7 @@ func TestSweepsTiny(t *testing.T) {
 }
 
 func TestComplexityBoundsTiny(t *testing.T) {
-	r, err := ComplexityBounds(0.1)
+	r, err := ComplexityBounds(0.1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,11 @@ type DomainScale struct {
 	Members  int
 	Patterns int
 	Sample   int // answers per assignment (the paper's black box uses 5)
+
+	// Parallelism caps the worker pool fanning independent grid cells out
+	// (0 = one worker per CPU, 1 = sequential). Output is identical at
+	// every setting; see RunGrid.
+	Parallelism int
 }
 
 // FullScale is the paper's crowd setting.
@@ -68,19 +73,37 @@ func Fig4Domain(id string, base synth.DomainConfig, sc DomainScale) (*Report, er
 		id[len(id)-1:], cfg.Members, sc.Sample)
 	r.Note("thresholds above 0.2 replay the 0.2 run's CrowdCache (§6.3)")
 
-	var prime *core.Cache
-	for _, theta := range []float64{0.2, 0.3, 0.4, 0.5} {
+	// The theta-0.2 run feeds the replay cache, so it runs first; the
+	// remaining thresholds are independent given that (read-only) cache and
+	// fan out as grid cells.
+	d0, err := rebuildSpace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res0 := runDomain(d0, 0.2, sc.Sample, nil, false)
+	prime := res0.Cache
+	addRow := func(d *synth.Domain, theta float64, res *core.Result) []interface{} {
+		baseline := core.BaselineQuestions(d.Sp, sc.Sample)
+		return []interface{}{theta, len(res.MSPs), len(res.ValidMSPs),
+			res.Stats.TotalQuestions, pct(res.Stats.TotalQuestions, baseline)}
+	}
+	rest := []float64{0.3, 0.4, 0.5}
+	rows := make([][]interface{}, len(rest))
+	err = RunGrid(sc.Parallelism, len(rest), func(i int) error {
 		d, err := rebuildSpace(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res := runDomain(d, theta, sc.Sample, prime, false)
-		if theta == 0.2 {
-			prime = res.Cache
-		}
-		baseline := core.BaselineQuestions(d.Sp, sc.Sample)
-		r.Add(theta, len(res.MSPs), len(res.ValidMSPs), res.Stats.TotalQuestions,
-			pct(res.Stats.TotalQuestions, baseline))
+		res := runDomain(d, rest[i], sc.Sample, prime, false)
+		rows[i] = addRow(d, rest[i], res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Add(addRow(d0, 0.2, res0)...)
+	for _, row := range rows {
+		r.Add(row...)
 	}
 	return r, nil
 }
@@ -184,11 +207,13 @@ func CrowdSummary(sc DomainScale) (*Report, error) {
 	}
 	r.Note("paper §6.3: 340–1416 questions to completion, 248 members × ~20 answers,")
 	r.Note("12%% specialization (half none-of-these), 13%% pruning, ≤25 multiplicity MSPs")
-	for _, base := range []synth.DomainConfig{synth.Travel, synth.Culinary, synth.SelfTreatment} {
-		cfg := applyScale(base, sc)
+	domains := []synth.DomainConfig{synth.Travel, synth.Culinary, synth.SelfTreatment}
+	rows := make([][]interface{}, len(domains))
+	err := RunGrid(sc.Parallelism, len(domains), func(i int) error {
+		cfg := applyScale(domains[i], sc)
 		d, err := rebuildSpace(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res := core.Run(core.Config{
 			Space:               d.Sp,
@@ -210,12 +235,19 @@ func CrowdSummary(sc DomainScale) (*Report, error) {
 		}
 		total := res.Stats.TotalQuestions
 		perMember := float64(total) / float64(len(d.Members))
-		r.Add(cfg.Name, d.DAGSize(), total, res.Stats.UniqueQuestions,
+		rows[i] = []interface{}{cfg.Name, d.DAGSize(), total, res.Stats.UniqueQuestions,
 			fmt.Sprintf("%.1f", perMember),
 			pct(res.Stats.Specialization+res.Stats.NoneOfThese, total),
 			pct(res.Stats.NoneOfThese, total),
 			pct(res.Stats.Pruning, total),
-			len(res.MSPs), mult)
+			len(res.MSPs), mult}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		r.Add(row...)
 	}
 	return r, nil
 }

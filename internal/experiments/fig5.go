@@ -20,6 +20,11 @@ type Fig5Config struct {
 	Trials       int
 	Steps        []int // discovery percentages to report, e.g. 20,40,…,100
 	Seed         int64
+
+	// Parallelism caps the worker pool fanning the (msp%, trial) grid out
+	// (0 = one worker per CPU, 1 = sequential); the report is identical at
+	// every setting.
+	Parallelism int
 }
 
 // DefaultFig5 is the paper's setting, scaled by the given factor (1 = full
@@ -76,49 +81,67 @@ func Fig5(cfg Fig5Config) (*Report, error) {
 	r.Note("paper: Fig 5a–5c; width %d, depth %d, %d trials averaged, single simulated user",
 		cfg.Width, cfg.Depth, cfg.Trials)
 
-	for _, mspPct := range cfg.MSPPercents {
+	// Grid: one cell per (msp%, trial) pair; the three algorithms run inside
+	// the cell so they compare on the same DAG, planted MSPs, and replayed
+	// engine randomness. The per-cell seed is a function of the cell index
+	// only, so any worker count produces the same curves.
+	algs := []string{"vertical", "horizontal", "naive"}
+	gridID := fmt.Sprintf("fig5/%d", cfg.Seed)
+	n := len(cfg.MSPPercents) * cfg.Trials
+	curves := make([]map[string][]int, n)
+	err := RunGrid(cfg.Parallelism, n, func(cell int) error {
+		mspPct := cfg.MSPPercents[cell/cfg.Trials]
+		seed := CellSeed(gridID, cell)
+		s, err := synth.GenerateSpace(synth.DAGConfig{
+			Width: cfg.Width, Depth: cfg.Depth, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		count := int(float64(s.NodeCount()) * mspPct / 100)
+		if count < 1 {
+			count = 1
+		}
+		planted, err := s.PlantMSPs(synth.MSPConfig{
+			Count: count, ValidOnly: true, Seed: seed + 7,
+		})
+		if err != nil {
+			return err
+		}
+		out := make(map[string][]int, len(algs))
+		for _, alg := range algs {
+			oracle := synth.NewOracle("u", s, planted)
+			mk := core.Config{
+				Space:   s.Sp,
+				Theta:   0.5,
+				Members: []crowd.Member{oracle},
+				Rng:     rand.New(rand.NewSource(seed + 13)),
+			}
+			var res *core.Result
+			switch alg {
+			case "vertical":
+				res = core.Run(mk)
+			case "horizontal":
+				res = core.RunHorizontal(mk)
+			default:
+				res = core.RunNaive(mk, nil)
+			}
+			out[alg] = discoveryCurve(res, planted, cfg.Steps)
+		}
+		curves[cell] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, mspPct := range cfg.MSPPercents {
 		sums := map[string][]float64{}
-		algs := []string{"vertical", "horizontal", "naive"}
 		for _, a := range algs {
 			sums[a] = make([]float64, len(cfg.Steps))
 		}
 		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.Seed + int64(trial)*1000 + int64(mspPct*10)
-			s, err := synth.GenerateSpace(synth.DAGConfig{
-				Width: cfg.Width, Depth: cfg.Depth, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			count := int(float64(s.NodeCount()) * mspPct / 100)
-			if count < 1 {
-				count = 1
-			}
-			planted, err := s.PlantMSPs(synth.MSPConfig{
-				Count: count, ValidOnly: true, Seed: seed + 7,
-			})
-			if err != nil {
-				return nil, err
-			}
 			for _, alg := range algs {
-				oracle := synth.NewOracle("u", s, planted)
-				mk := core.Config{
-					Space:   s.Sp,
-					Theta:   0.5,
-					Members: []crowd.Member{oracle},
-					Rng:     rand.New(rand.NewSource(seed + 13)),
-				}
-				var res *core.Result
-				switch alg {
-				case "vertical":
-					res = core.Run(mk)
-				case "horizontal":
-					res = core.RunHorizontal(mk)
-				default:
-					res = core.RunNaive(mk, nil)
-				}
-				curve := discoveryCurve(res, planted, cfg.Steps)
-				for i, q := range curve {
+				for i, q := range curves[pi*cfg.Trials+trial][alg] {
 					sums[alg][i] += float64(q)
 				}
 			}
@@ -153,6 +176,10 @@ type Fig4fConfig struct {
 	Trials         int
 	Steps          []int
 	Seed           int64
+
+	// Parallelism caps the worker pool fanning the (variant, trial) grid
+	// out (0 = one worker per CPU, 1 = sequential).
+	Parallelism int
 }
 
 // DefaultFig4f mirrors the paper's setting at the given scale.
@@ -190,39 +217,54 @@ func Fig4f(cfg Fig4fConfig) (*Report, error) {
 		{"25% pruning", 0, 0.25},
 		{"50% pruning", 0, 0.50},
 	}
-	for _, v := range variants {
+	// Grid: one cell per (variant, trial) pair. The seed is a function of
+	// the trial alone — never the variant or the worker schedule — so every
+	// variant replays the same DAG, planted MSPs, and randomness, exactly as
+	// the sequential loop did.
+	gridID := fmt.Sprintf("fig4f/%d", cfg.Seed)
+	n := len(variants) * cfg.Trials
+	curves := make([][]int, n)
+	err := RunGrid(cfg.Parallelism, n, func(cell int) error {
+		v := variants[cell/cfg.Trials]
+		trial := cell % cfg.Trials
+		seed := CellSeed(gridID, trial)
+		s, err := synth.GenerateSpace(synth.DAGConfig{
+			Width: cfg.Width, Depth: cfg.Depth,
+			XWidth: cfg.XWidth, XDepth: cfg.XDepth, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		count := int(float64(s.NodeCount()) * cfg.MSPPercent / 100)
+		if count < 1 {
+			count = 1
+		}
+		planted, err := s.PlantMSPs(synth.MSPConfig{Count: count, ValidOnly: true, Seed: seed + 7})
+		if err != nil {
+			return err
+		}
+		oracle := synth.NewOracle("u", s, planted)
+		oracle.SpecializeProb = 1 // the engine's ratio decides the mix
+		oracle.PruneProb = v.prune
+		oracle.Rng = rand.New(rand.NewSource(seed + 5))
+		res := core.Run(core.Config{
+			Space:               s.Sp,
+			Theta:               0.5,
+			Members:             []crowd.Member{oracle},
+			SpecializationRatio: v.specialize,
+			EnablePruning:       v.prune > 0,
+			Rng:                 rand.New(rand.NewSource(seed + 13)),
+		})
+		curves[cell] = discoveryCurve(res, planted, cfg.Steps)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
 		sums := make([]float64, len(cfg.Steps))
 		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.Seed + int64(trial)*1000
-			s, err := synth.GenerateSpace(synth.DAGConfig{
-				Width: cfg.Width, Depth: cfg.Depth,
-				XWidth: cfg.XWidth, XDepth: cfg.XDepth, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			count := int(float64(s.NodeCount()) * cfg.MSPPercent / 100)
-			if count < 1 {
-				count = 1
-			}
-			planted, err := s.PlantMSPs(synth.MSPConfig{Count: count, ValidOnly: true, Seed: seed + 7})
-			if err != nil {
-				return nil, err
-			}
-			oracle := synth.NewOracle("u", s, planted)
-			oracle.SpecializeProb = 1 // the engine's ratio decides the mix
-			oracle.PruneProb = v.prune
-			oracle.Rng = rand.New(rand.NewSource(seed + 5))
-			res := core.Run(core.Config{
-				Space:               s.Sp,
-				Theta:               0.5,
-				Members:             []crowd.Member{oracle},
-				SpecializationRatio: v.specialize,
-				EnablePruning:       v.prune > 0,
-				Rng:                 rand.New(rand.NewSource(seed + 13)),
-			})
-			curve := discoveryCurve(res, planted, cfg.Steps)
-			for i, q := range curve {
+			for i, q := range curves[vi*cfg.Trials+trial] {
 				sums[i] += float64(q)
 			}
 		}

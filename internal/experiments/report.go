@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 )
@@ -26,12 +27,24 @@ func (r *Report) Add(cells ...interface{}) {
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.3g", v)
+			row[i] = formatFloat(v)
 		default:
 			row[i] = fmt.Sprintf("%v", c)
 		}
 	}
 	r.Rows = append(r.Rows, row)
+}
+
+// formatFloat renders a float64 cell. The display form %.3g is kept only
+// when it round-trips to the same value; otherwise (e.g. the int-valued
+// trial means of the sweeps, where %.3g turns 1416 into 1.42e+03) the exact
+// shortest representation is used, so CSV output never loses precision.
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%.3g", v)
+	if p, err := strconv.ParseFloat(s, 64); err == nil && p == v {
+		return s
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // Note records a methodology note.

@@ -1,0 +1,88 @@
+// Parallel experiment harness. Every experiment of this package is a grid
+// of independent engine runs — (trial, threshold, domain, share) cells whose
+// only shared input is read-only (a frozen vocabulary, a primed CrowdCache).
+// RunGrid fans those cells out across a worker pool while keeping the output
+// bit-for-bit identical to a sequential run: each cell derives its random
+// seed from the cell coordinates alone (never from scheduling), writes its
+// result into a per-index slot, and all cross-cell aggregation happens after
+// the pool drains, in index order. See DESIGN.md, "Concurrency model".
+package experiments
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// Parallelism returns the effective worker count for a configured value:
+// zero or negative means one worker per available CPU.
+func Parallelism(configured int) int {
+	if configured <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return configured
+}
+
+// CellSeed derives the deterministic RNG seed of grid cell idx of the named
+// experiment: FNV-1a over the experiment id and the cell index. The seed is
+// a pure function of (id, idx) — never of worker scheduling — which is what
+// makes parallel grid output identical to sequential output.
+func CellSeed(id string, idx int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(idx))
+	h.Write(b[:])
+	return int64(h.Sum64() >> 1) // keep seeds non-negative
+}
+
+// RunGrid runs n independent experiment cells on at most parallelism
+// goroutines (0 = one per CPU). Cells must be independent: they may read
+// shared frozen inputs but must write only into their own per-index result
+// slot. When any cell fails, RunGrid reports the error of the lowest-index
+// failing cell — the same error a sequential loop would surface first — so
+// the observable outcome does not depend on the worker count.
+func RunGrid(parallelism, n int, cell func(i int) error) error {
+	workers := Parallelism(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next int64
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, n)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				errs[i] = cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

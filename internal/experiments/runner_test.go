@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunGridCoversAllCells checks every cell runs exactly once at several
+// worker counts, including counts above the cell count.
+func TestRunGridCoversAllCells(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 37
+		var ran [n]int32
+		err := RunGrid(workers, n, func(i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunGridFirstError checks the parallel pool surfaces the error of the
+// lowest-index failing cell — the same one a sequential loop hits first.
+func TestRunGridFirstError(t *testing.T) {
+	errA, errB := errors.New("cell 5"), errors.New("cell 20")
+	for _, workers := range []int{1, 8} {
+		err := RunGrid(workers, 30, func(i int) error {
+			switch i {
+			case 5:
+				return errA
+			case 20:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, errA)
+		}
+	}
+}
+
+// TestCellSeedStable pins the seed derivation: a pure function of
+// (experiment id, cell index), distinct across both.
+func TestCellSeedStable(t *testing.T) {
+	if CellSeed("fig5/42", 3) != CellSeed("fig5/42", 3) {
+		t.Fatal("CellSeed not deterministic")
+	}
+	if CellSeed("fig5/42", 3) == CellSeed("fig5/42", 4) {
+		t.Fatal("CellSeed ignores the cell index")
+	}
+	if CellSeed("fig5/42", 3) == CellSeed("fig4f/42", 3) {
+		t.Fatal("CellSeed ignores the experiment id")
+	}
+	if CellSeed("x", 0) < 0 {
+		t.Fatal("CellSeed produced a negative seed")
+	}
+}
+
+// TestFig5ParallelDeterminism is the per-cell seeding contract regression:
+// the Fig5 report — rows and notes — must be deeply equal at Parallelism 1
+// and 8, so a parallel run is bit-for-bit the sequential run.
+func TestFig5ParallelDeterminism(t *testing.T) {
+	cfg := DefaultFig5(0.08)
+	cfg.Trials = 3
+	cfg.MSPPercents = []float64{2, 10}
+
+	cfg.Parallelism = 1
+	seq, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	par, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel Fig5 diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestSweepDAGShapeParallelDeterminism guards the same contract on a sweep
+// with a three-dimensional (width, depth, trial) grid.
+func TestSweepDAGShapeParallelDeterminism(t *testing.T) {
+	seq, err := SweepDAGShape(0.06, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepDAGShape(0.06, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel SweepDAGShape diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestFig4DomainParallelDeterminism covers the threshold-replay experiment,
+// whose later cells share the theta-0.2 run's cache read-only.
+func TestFig4DomainParallelDeterminism(t *testing.T) {
+	sc := DomainScale{Sample: 3, Parallelism: 1}
+	seq, err := Fig4Domain("fig4-det", tinyDomain(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Parallelism = 8
+	par, err := Fig4Domain("fig4-det", tinyDomain(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel Fig4Domain diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestRunGridCellRNGIndependence documents the intended cell-seeding idiom:
+// RNGs built from CellSeed produce streams that do not depend on the
+// interleaving of other cells.
+func TestRunGridCellRNGIndependence(t *testing.T) {
+	draw := func(workers int) []float64 {
+		out := make([]float64, 16)
+		if err := RunGrid(workers, len(out), func(i int) error {
+			rng := rand.New(rand.NewSource(CellSeed("rng-idiom", i)))
+			out[i] = rng.Float64()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(draw(1), draw(8)) {
+		t.Error("per-cell RNG streams depend on the worker count")
+	}
+}

@@ -12,10 +12,41 @@ import (
 
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
+// sweepRun is the one-engine-run shape shared by the §6.4 sweeps: generate a
+// space, plant MSPs, mine with a single oracle.
+func sweepRun(dag synth.DAGConfig, mspCfg synth.MSPConfig) (*synth.Space, *core.Result, error) {
+	s, err := synth.GenerateSpace(dag)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := s.NodeCount()
+	if mspCfg.Count <= 0 {
+		mspCfg.Count = nodes / 50 // 2% MSPs
+		if mspCfg.Count < 1 {
+			mspCfg.Count = 1
+		}
+	}
+	if mspCfg.MultCount > mspCfg.Count {
+		mspCfg.MultCount = mspCfg.Count
+	}
+	planted, err := s.PlantMSPs(mspCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := core.Run(core.Config{
+		Space:   s.Sp,
+		Theta:   0.5,
+		Members: []crowd.Member{synth.NewOracle("u", s, planted)},
+	})
+	return s, res, nil
+}
+
 // SweepDAGShape regenerates the §6.4 DAG-shape study: the vertical
 // algorithm over widths 500–2000 and depths 4–7 (scaled), reporting that
-// the trends do not change with the shape.
-func SweepDAGShape(scale float64, trials int) (*Report, error) {
+// the trends do not change with the shape. The (width, depth, trial) grid
+// fans out over parallelism workers (0 = one per CPU) with identical output
+// at every setting.
+func SweepDAGShape(scale float64, trials, parallelism int) (*Report, error) {
 	r := &Report{
 		ID:     "sweep-dag-shape",
 		Title:  "Effect of DAG width and depth (vertical algorithm)",
@@ -23,32 +54,42 @@ func SweepDAGShape(scale float64, trials int) (*Report, error) {
 	}
 	r.Note("paper §6.4: varying shape showed no significant effect on the trends")
 	widths := []int{scaleInt(500, scale), scaleInt(1000, scale), scaleInt(2000, scale)}
-	for _, w := range widths {
-		for _, depth := range []int{4, 7} {
+	depths := []int{4, 7}
+
+	type cellOut struct{ questions, unique, msps, nodes float64 }
+	n := len(widths) * len(depths) * trials
+	cells := make([]cellOut, n)
+	err := RunGrid(parallelism, n, func(i int) error {
+		w := widths[i/(len(depths)*trials)]
+		depth := depths[i/trials%len(depths)]
+		trial := i % trials
+		seed := int64(w*100+depth*10) + int64(trial)
+		s, res, err := sweepRun(
+			synth.DAGConfig{Width: w, Depth: depth, Seed: seed},
+			synth.MSPConfig{ValidOnly: true, Seed: seed + 3})
+		if err != nil {
+			return err
+		}
+		cells[i] = cellOut{
+			questions: float64(res.Stats.TotalQuestions),
+			unique:    float64(res.Stats.UniqueQuestions),
+			msps:      float64(len(res.MSPs)),
+			nodes:     float64(s.NodeCount()),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range widths {
+		for di, depth := range depths {
 			var qSum, uSum, mSum, nodeSum float64
 			for trial := 0; trial < trials; trial++ {
-				seed := int64(w*100+depth*10) + int64(trial)
-				s, err := synth.GenerateSpace(synth.DAGConfig{Width: w, Depth: depth, Seed: seed})
-				if err != nil {
-					return nil, err
-				}
-				count := s.NodeCount() / 50 // 2% MSPs
-				if count < 1 {
-					count = 1
-				}
-				planted, err := s.PlantMSPs(synth.MSPConfig{Count: count, ValidOnly: true, Seed: seed + 3})
-				if err != nil {
-					return nil, err
-				}
-				res := core.Run(core.Config{
-					Space:   s.Sp,
-					Theta:   0.5,
-					Members: []crowd.Member{synth.NewOracle("u", s, planted)},
-				})
-				qSum += float64(res.Stats.TotalQuestions)
-				uSum += float64(res.Stats.UniqueQuestions)
-				mSum += float64(len(res.MSPs))
-				nodeSum += float64(s.NodeCount())
+				c := cells[(wi*len(depths)+di)*trials+trial]
+				qSum += c.questions
+				uSum += c.unique
+				mSum += c.msps
+				nodeSum += c.nodes
 			}
 			n := float64(trials)
 			r.Add(w, depth, fmt.Sprintf("%.0f", nodeSum/n), fmt.Sprintf("%.0f", qSum/n),
@@ -69,43 +110,52 @@ func scaleInt(v int, scale float64) int {
 
 // SweepMSPDistribution regenerates the §6.4 MSP-distribution study:
 // uniform vs nearby vs far placement, in the whole DAG or among valid
-// assignments only.
-func SweepMSPDistribution(scale float64, trials int) (*Report, error) {
+// assignments only. Cells fan out over parallelism workers; the seed of a
+// cell depends on (distribution, trial) but not on validOnly, so the
+// valid-only and whole-DAG rows compare the same placements, as before.
+func SweepMSPDistribution(scale float64, trials, parallelism int) (*Report, error) {
 	r := &Report{
 		ID:     "sweep-msp-dist",
 		Title:  "Effect of MSP distribution in the DAG (vertical algorithm)",
 		Header: []string{"distribution", "validOnly", "questions", "MSPs found"},
 	}
 	r.Note("paper §6.4: the distribution showed no significant effect")
-	for _, dist := range []synth.MSPDist{synth.Uniform, synth.Nearby, synth.Far} {
-		for _, validOnly := range []bool{true, false} {
+	dists := []synth.MSPDist{synth.Uniform, synth.Nearby, synth.Far}
+	valids := []bool{true, false}
+
+	type cellOut struct{ questions, msps float64 }
+	n := len(dists) * len(valids) * trials
+	cells := make([]cellOut, n)
+	err := RunGrid(parallelism, n, func(i int) error {
+		dist := dists[i/(len(valids)*trials)]
+		validOnly := valids[i/trials%len(valids)]
+		trial := i % trials
+		seed := int64(trial)*97 + int64(dist)*7
+		_, res, err := sweepRun(
+			synth.DAGConfig{
+				Width: scaleInt(500, scale), Depth: 7,
+				ValidLeavesOnly: validOnly, Seed: seed,
+			},
+			synth.MSPConfig{Dist: dist, ValidOnly: validOnly, Seed: seed + 3})
+		if err != nil {
+			return err
+		}
+		cells[i] = cellOut{
+			questions: float64(res.Stats.TotalQuestions),
+			msps:      float64(len(res.MSPs)),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dist := range dists {
+		for vi, validOnly := range valids {
 			var qSum, mSum float64
 			for trial := 0; trial < trials; trial++ {
-				seed := int64(trial)*97 + int64(dist)*7
-				s, err := synth.GenerateSpace(synth.DAGConfig{
-					Width: scaleInt(500, scale), Depth: 7,
-					ValidLeavesOnly: validOnly, Seed: seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				count := s.NodeCount() / 50
-				if count < 1 {
-					count = 1
-				}
-				planted, err := s.PlantMSPs(synth.MSPConfig{
-					Count: count, Dist: dist, ValidOnly: validOnly, Seed: seed + 3,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res := core.Run(core.Config{
-					Space:   s.Sp,
-					Theta:   0.5,
-					Members: []crowd.Member{synth.NewOracle("u", s, planted)},
-				})
-				qSum += float64(res.Stats.TotalQuestions)
-				mSum += float64(len(res.MSPs))
+				c := cells[(di*len(valids)+vi)*trials+trial]
+				qSum += c.questions
+				mSum += c.msps
 			}
 			n := float64(trials)
 			r.Add(dist.String(), validOnly, fmt.Sprintf("%.0f", qSum/n), fmt.Sprintf("%.1f", mSum/n))
@@ -117,49 +167,69 @@ func SweepMSPDistribution(scale float64, trials int) (*Report, error) {
 // SweepMultiplicities regenerates the §6.4 multiplicity study: the share of
 // MSPs with multiplicities (sizes up to 4) does not change the question
 // count materially, and the lazy node generation touches well under 1% of
-// the nodes an eager algorithm would materialize.
-func SweepMultiplicities(scale float64, trials int) (*Report, error) {
+// the nodes an eager algorithm would materialize. The (share, trial) grid
+// fans out over parallelism workers.
+func SweepMultiplicities(scale float64, trials, parallelism int) (*Report, error) {
 	r := &Report{
 		ID:     "sweep-multiplicities",
 		Title:  "Effect of MSPs with multiplicities; lazy vs eager node generation",
 		Header: []string{"mult-MSP share", "questions", "MSPs found", "generated nodes", "eager nodes", "generated/eager"},
 	}
 	r.Note("paper §6.4: OASSIS generated <1%% of the nodes an eager algorithm would")
-	for _, share := range []float64{0, 0.01, 0.02, 0.05} {
-		var qSum, mSum, gSum float64
-		var eager float64
+	shares := []float64{0, 0.01, 0.02, 0.05}
+
+	type cellOut struct{ questions, msps, generated, eager float64 }
+	n := len(shares) * trials
+	cells := make([]cellOut, n)
+	err := RunGrid(parallelism, n, func(i int) error {
+		share := shares[i/trials]
+		trial := i % trials
+		seed := int64(share*1000) + int64(trial)*31
+		s, err := synth.GenerateSpace(synth.DAGConfig{
+			Width: scaleInt(500, scale), Depth: 7, Multiplicities: true, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		nodes := s.NodeCount()
+		count := nodes / 50
+		if count < 1 {
+			count = 1
+		}
+		multCount := int(float64(nodes) * share)
+		if multCount > count {
+			multCount = count
+		}
+		planted, err := s.PlantMSPs(synth.MSPConfig{
+			Count: count, MultCount: multCount, MaxMultSize: 4, ValidOnly: true, Seed: seed + 3,
+		})
+		if err != nil {
+			return err
+		}
+		res := core.Run(core.Config{
+			Space:   s.Sp,
+			Theta:   0.5,
+			Members: []crowd.Member{synth.NewOracle("u", s, planted)},
+		})
+		cells[i] = cellOut{
+			questions: float64(res.Stats.TotalQuestions),
+			msps:      float64(len(res.MSPs)),
+			generated: float64(res.Stats.GeneratedNodes),
+			eager:     eagerNodeCount(nodes, 4),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, share := range shares {
+		var qSum, mSum, gSum, eager float64
 		for trial := 0; trial < trials; trial++ {
-			seed := int64(share*1000) + int64(trial)*31
-			s, err := synth.GenerateSpace(synth.DAGConfig{
-				Width: scaleInt(500, scale), Depth: 7, Multiplicities: true, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			nodes := s.NodeCount()
-			count := nodes / 50
-			if count < 1 {
-				count = 1
-			}
-			multCount := int(float64(nodes) * share)
-			if multCount > count {
-				multCount = count
-			}
-			planted, err := s.PlantMSPs(synth.MSPConfig{
-				Count: count, MultCount: multCount, MaxMultSize: 4, ValidOnly: true, Seed: seed + 3,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res := core.Run(core.Config{
-				Space:   s.Sp,
-				Theta:   0.5,
-				Members: []crowd.Member{synth.NewOracle("u", s, planted)},
-			})
-			qSum += float64(res.Stats.TotalQuestions)
-			mSum += float64(len(res.MSPs))
-			gSum += float64(res.Stats.GeneratedNodes)
-			eager = eagerNodeCount(nodes, 4)
+			c := cells[si*trials+trial]
+			qSum += c.questions
+			mSum += c.msps
+			gSum += c.generated
+			eager = c.eager // last trial's DAG, as the sequential loop kept
 		}
 		n := float64(trials)
 		r.Add(fmt.Sprintf("%.0f%%", share*100),
@@ -185,23 +255,26 @@ func eagerNodeCount(n, maxSize int) float64 {
 // ComplexityBounds empirically checks Propositions 4.7 and 4.8: the number
 // of unique crowd questions against the upper bound
 // (|E|+|R|)·|msp| + |msp⁻| and the lower bound |msp_valid| + |msp⁻_valid|.
-func ComplexityBounds(scale float64) (*Report, error) {
+func ComplexityBounds(scale float64, parallelism int) (*Report, error) {
 	r := &Report{
 		ID:     "complexity-bounds",
 		Title:  "Crowd complexity vs Prop 4.7/4.8 bounds",
 		Header: []string{"MSPs planted", "unique questions", "upper bound", "lower bound", "within"},
 	}
 	r.Note("upper: (|E|+|R|)·|msp| + |msp⁻| (Prop 4.7); lower: |msp|+|msp⁻| (Prop 4.8)")
-	for _, count := range []int{5, 10, 20} {
+	counts := []int{5, 10, 20}
+	rows := make([][]interface{}, len(counts))
+	err := RunGrid(parallelism, len(counts), func(i int) error {
+		count := counts[i]
 		s, err := synth.GenerateSpace(synth.DAGConfig{
 			Width: scaleInt(300, scale), Depth: 6, Seed: int64(count),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		planted, err := s.PlantMSPs(synth.MSPConfig{Count: count, ValidOnly: true, Seed: int64(count) + 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res := core.Run(core.Config{
 			Space:   s.Sp,
@@ -212,7 +285,14 @@ func ComplexityBounds(scale float64) (*Report, error) {
 		upper := terms*len(res.MSPs) + res.InsigMinimal
 		lower := len(res.MSPs) + res.InsigMinimal
 		ok := res.Stats.UniqueQuestions <= upper && res.Stats.UniqueQuestions >= lower
-		r.Add(len(planted), res.Stats.UniqueQuestions, upper, lower, ok)
+		rows[i] = []interface{}{len(planted), res.Stats.UniqueQuestions, upper, lower, ok}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		r.Add(row...)
 	}
 	return r, nil
 }

@@ -60,6 +60,12 @@ type Vocabulary struct {
 
 	// anc memoizes ancestor sets; filled at Freeze time (see ancestors).
 	anc []map[Term]struct{}
+
+	// ancBits is the frozen reflexive-transitive closure as a bitmap: bit a
+	// of row b is set iff a ≤ b. Rows are ancWords words wide. Filled at
+	// Freeze time; it turns Leq into a single word-indexed bit test.
+	ancBits  []uint64
+	ancWords int
 }
 
 // New returns an empty vocabulary.
@@ -247,6 +253,16 @@ func (v *Vocabulary) Freeze() error {
 	for t := range v.names {
 		v.ancestorsLocked(Term(t))
 	}
+	words := (len(v.names) + 63) / 64
+	v.ancWords = words
+	v.ancBits = make([]uint64, words*len(v.names))
+	for t := range v.names {
+		row := v.ancBits[t*words : (t+1)*words]
+		row[t>>6] |= 1 << (uint(t) & 63) // reflexive: t ≤ t
+		for a := range v.anc[t] {
+			row[a>>6] |= 1 << (uint(a) & 63)
+		}
+	}
 	v.frozen = true
 	return nil
 }
@@ -297,6 +313,11 @@ func (v *Vocabulary) ancestorsLocked(t Term) map[Term]struct{} {
 // generalization of b. Terms of different kinds are never comparable.
 // The wildcard Any is ≤ everything.
 func (v *Vocabulary) Leq(a, b Term) bool {
+	if v.frozen && a >= 0 && b >= 0 && int(a) < len(v.names) && int(b) < len(v.names) {
+		// Frozen fast path: one bit test. Different-kind pairs read a zero
+		// bit because ancestor closures never cross kinds.
+		return v.ancBits[int(b)*v.ancWords+int(a)>>6]&(1<<(uint(a)&63)) != 0
+	}
 	if a == Any {
 		return b == Any || v.Contains(b)
 	}

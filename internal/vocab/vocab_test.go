@@ -341,6 +341,23 @@ func BenchmarkLeqWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkLeqFrozen measures the frozen-vocabulary Leq fast path: the
+// engine's classifier performs O(|anchors|) such point queries per status
+// check, so this is the innermost hot spot of every mining run.
+func BenchmarkLeqFrozen(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	v := randomDAG(r, 7, 40)
+	if err := v.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	n := v.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Leq(Term(i%n), Term((i*7)%n))
+	}
+}
+
 func TestLeqBeforeFreezeSeesNewEdges(t *testing.T) {
 	// Leq must not cache stale results while the vocabulary is still being
 	// built (regression: pre-freeze memoization went stale and could index
