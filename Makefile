@@ -1,13 +1,21 @@
-# Developer entry points. `make check` is the gate a PR must pass: vet,
-# build, and the full test suite under the race detector (the experiment
+# Developer entry points. `make check` is the gate a PR must pass: gofmt,
+# vet, build, the full test suite under the race detector (the experiment
 # grids in internal/experiments fan cells across goroutines, so -race
-# exercises the concurrency model for real).
+# exercises the concurrency model for real), and a short fuzz pass over
+# the WAL record decoder.
 
 GO ?= go
+FUZZTIME ?= 5s
+BENCH_STAMP := $(shell date +%Y%m%d_%H%M%S)
 
-.PHONY: check vet build test race bench
+.PHONY: check fmt vet build test race fuzz bench
 
-check: vet build race
+check: fmt vet build race fuzz
+
+# Fail when any file is not gofmt-clean; print the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +29,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Micro + macro benchmarks (hot paths and the per-figure experiment harness).
+# Short fuzz pass over the durable-store record decoder: framing, CRC,
+# and the canonical re-encode property (see internal/store/fuzz_test.go).
+fuzz:
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime $(FUZZTIME)
+
+# Micro + macro benchmarks (hot paths and the per-figure experiment
+# harness), plus a timestamped BENCH_*.json perf-trajectory artifact from
+# the quick experiments.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/vocab ./internal/assign
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) run ./cmd/oassis-bench -exp summary,bounds -out BENCH_$(BENCH_STAMP).json
+	@echo "wrote BENCH_$(BENCH_STAMP).json"

@@ -11,12 +11,17 @@
 //	oassis-bench -exp fig5 -scale 1  # Figure 5 at the paper's full width
 //	oassis-bench -exp fig4a,fig4d -full
 //	oassis-bench -exp fig5 -parallel 8 -json > fig5.json
+//	oassis-bench -exp summary,bounds -out BENCH_20260805.json
+//
+// -out FILE writes the JSON report stream to FILE (implying -json), the
+// mechanism behind `make bench`'s BENCH_*.json perf-trajectory artifacts.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -45,6 +50,7 @@ func main() {
 		full     = flag.Bool("full", false, "use the full 248-member crowd for the domain experiments")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document per report, with wall-clock duration")
+		outFile  = flag.String("out", "", "write the -json report stream to FILE instead of stdout (implies -json)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for experiment grid cells (1 = sequential; output is identical at any setting)")
 	)
 	flag.Parse()
@@ -114,7 +120,23 @@ func main() {
 		}},
 	}
 
-	enc := json.NewEncoder(os.Stdout)
+	var jsonDst io.Writer = os.Stdout
+	if *outFile != "" {
+		*jsonOut = true
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oassis-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "oassis-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		jsonDst = f
+	}
+	enc := json.NewEncoder(jsonDst)
 	ran := 0
 	for _, j := range jobs {
 		if !runAll && !want[j.id] {

@@ -5,22 +5,33 @@
 // statistics page commends the top contributors, and the mined answers
 // appear when the query completes.
 //
+// With -store DIR every crowd answer is persisted to a write-ahead log in
+// DIR before the engine proceeds, and restarting the server against the
+// same directory resumes the session: members keep their slots and no
+// already-answered question is ever re-asked. SIGINT/SIGTERM shut the
+// server down gracefully, draining in-flight requests and flushing the
+// store.
+//
 // Usage:
 //
-//	oassis-server -query q.oql [-ontology o.ttl] [-addr :8080] [-slots 20] [-k 5]
+//	oassis-server -query q.oql [-ontology o.ttl] [-addr :8080] [-slots 20] [-k 5] [-store DIR]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"oassis/internal/oassisql"
 	"oassis/internal/ontology"
 	"oassis/internal/rdfio"
+	"oassis/internal/store"
 	"oassis/internal/vocab"
 )
 
@@ -31,6 +42,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		slots     = flag.Int("slots", 20, "maximum crowd members")
 		k         = flag.Int("k", 5, "answers required per question")
+		storeDir  = flag.String("store", "", "durable answer-store directory: a restarted server resumes the session without re-asking answered questions")
 	)
 	flag.Parse()
 	if *queryFile == "" {
@@ -61,11 +73,42 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	srv, err := newServer(voc, onto, query, *slots, *k, 20*time.Second)
+	var st *store.Store
+	var rec *store.Recovered
+	if *storeDir != "" {
+		st, rec, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := len(rec.Answers); n > 0 {
+			log.Printf("oassis-server: resuming session from %s (%d answers, %d members)",
+				*storeDir, n, len(rec.Joins))
+		}
+	}
+	srv, err := newServer(voc, onto, query, *slots, *k, 20*time.Second, st, rec)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("oassis-server: crowdsourcing %q on %s (%d slots, %d answers/question)",
 		*queryFile, *addr, *slots, *k)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("oassis-server: shutting down (draining requests, flushing store)")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 25*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("oassis-server: shutdown: %v", err)
+		}
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	if err := srv.shutdown(); err != nil {
+		log.Fatalf("oassis-server: store close: %v", err)
+	}
+	log.Print("oassis-server: store flushed; bye")
 }

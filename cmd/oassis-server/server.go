@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"oassis/internal/oassisql"
 	"oassis/internal/ontology"
 	"oassis/internal/sparql"
+	"oassis/internal/store"
 	"oassis/internal/vocab"
 )
 
@@ -32,6 +34,7 @@ type server struct {
 	tpl   *crowd.Templates
 	it    *core.Interactive
 	poll  time.Duration
+	store *store.Store // nil without -store
 
 	mu      sync.Mutex
 	slots   []string          // member IDs (slots), in join order
@@ -48,9 +51,14 @@ type pendingQuestion struct {
 }
 
 // newServer compiles the query against the ontology and starts the engine
-// with `slots` member sessions.
+// with `slots` member sessions. A non-nil store st (with its recovery
+// state rec) makes the session durable: the member roster is restored so
+// returning members keep their slots, recovered answers are replayed
+// instead of re-asked, and every new answer is persisted before the
+// engine proceeds — so a killed and restarted server resumes mid-query.
 func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Query,
-	slots, answersPerQuestion int, poll time.Duration) (*server, error) {
+	slots, answersPerQuestion int, poll time.Duration,
+	st *store.Store, rec *store.Recovered) (*server, error) {
 	bindings, err := sparql.Evaluate(onto, query.Where)
 	if err != nil {
 		return nil, err
@@ -77,12 +85,49 @@ func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Q
 	for i := 0; i < slots; i++ {
 		s.slots = append(s.slots, fmt.Sprintf("p%02d", i))
 	}
-	s.it = core.NewInteractive(core.Config{
+	cfg := core.Config{
 		Space: sp,
 		Theta: query.Support,
 		Agg:   aggregate.NewFixedSample(answersPerQuestion),
-	}, s.slots)
+	}
+	if st != nil {
+		// A store directory holds one query's answers: refuse to replay
+		// them into a different query, then restore the roster and the
+		// leaderboard and prime the engine with the recovered answers.
+		if rec.Session != "" && rec.Session != query.String() {
+			return nil, fmt.Errorf("store is bound to a different query; use a fresh -store directory")
+		}
+		if err := st.BindSession(query.String()); err != nil {
+			return nil, err
+		}
+		for _, j := range rec.Joins {
+			if s.nextIdx < len(s.slots) && s.slots[s.nextIdx] == j.Member {
+				s.names[j.Member] = j.Note
+				s.nextIdx++
+			}
+		}
+		for _, a := range rec.Answers {
+			if a.Counted {
+				s.answers[a.Member]++
+			}
+		}
+		s.store = st
+		cfg.Store = st
+		if len(rec.Answers) > 0 {
+			cfg.Prime = rec.PrimeCache()
+		}
+	}
+	s.it = core.NewInteractive(cfg, s.slots)
 	return s, nil
+}
+
+// shutdown flushes and closes the store (if any) after the HTTP listener
+// has stopped, so every answer accepted before the shutdown is durable.
+func (s *server) shutdown() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -132,6 +177,11 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	id := s.slots[s.nextIdx]
 	s.nextIdx++
 	s.names[id] = strings.TrimSpace(req.Name)
+	if s.store != nil {
+		if err := s.store.AppendJoin(id, s.names[id]); err != nil {
+			log.Printf("oassis-server: store join: %v", err)
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"member": id})
 }
 

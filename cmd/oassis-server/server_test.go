@@ -33,7 +33,7 @@ func newTestServer(t *testing.T, slots, k int) (*server, *httptest.Server) {
 	t.Helper()
 	s := ontology.NewSample()
 	q := oassisql.MustParse(serverQuery)
-	srv, err := newServer(s.Voc, s.Onto, q, slots, k, 100*time.Millisecond)
+	srv, err := newServer(s.Voc, s.Onto, q, slots, k, 100*time.Millisecond, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"oassis/internal/crowd"
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/store"
+)
+
+// answerOne long-polls for the member's next question, answers it from
+// the personal DB, and returns the question text ("" when the run is done
+// or only a wait elapsed).
+func answerOne(t *testing.T, base, member string, s *ontology.Sample, db *crowd.PersonalDB) (text, typ string) {
+	t.Helper()
+	var q questionJSON
+	getJSON(t, base+"/api/question?member="+member, &q)
+	switch q.Type {
+	case "done", "wait":
+		return "", q.Type
+	case "concrete":
+		fs, err := parseQuestionText(s, q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		level := int(crowd.FiveLevel(db.Support(fs)) / 0.25)
+		resp, _ := postJSON(t, base+"/api/answer", map[string]interface{}{
+			"member": member, "id": q.ID, "level": level,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("answer rejected: %d", resp.StatusCode)
+		}
+		return q.Text, q.Type
+	default:
+		t.Fatalf("unexpected question type %q", q.Type)
+		return "", ""
+	}
+}
+
+// TestServerKillAndRestartResumes kills a -store server mid-query and
+// restarts it against the same directory: the member keeps their slot and
+// leaderboard score, no already-answered question is re-asked, and the
+// session completes with the same MSPs as an uninterrupted run.
+func TestServerKillAndRestartResumes(t *testing.T) {
+	s := ontology.NewSample()
+	q := oassisql.MustParse(serverQuery)
+	u1, _ := crowd.SampleDBs(s)
+	newSrv := func(st *store.Store, rec *store.Recovered) (*server, *httptest.Server) {
+		srv, err := newServer(s.Voc, s.Onto, q, 2, 1, 100*time.Millisecond, st, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.routes())
+		t.Cleanup(ts.Close)
+		return srv, ts
+	}
+	finish := func(ts *httptest.Server, banned map[string]bool) []string {
+		var texts []string
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatal("session did not finish")
+			}
+			text, typ := answerOne(t, ts.URL, "p00", s, u1)
+			if typ == "done" {
+				return texts
+			}
+			if text != "" {
+				if banned[text] {
+					t.Fatalf("question %q re-asked after restart", text)
+				}
+				texts = append(texts, text)
+			}
+		}
+	}
+
+	// Reference: uninterrupted storeless run with the same single member.
+	_, ts0 := newSrv(nil, nil)
+	postJSON(t, ts0.URL+"/api/join", map[string]string{"name": "ann"})
+	refTexts := finish(ts0, nil)
+	var ref struct {
+		MSPs []string `json:"msps"`
+	}
+	getJSON(t, ts0.URL+"/api/results", &ref)
+	if len(refTexts) < 4 {
+		t.Fatalf("reference session asked only %d questions", len(refTexts))
+	}
+
+	// Phase 1: answer a prefix, then kill the server.
+	dir := t.TempDir()
+	st1, rec1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newSrv(st1, rec1)
+	resp, body := postJSON(t, ts1.URL+"/api/join", map[string]string{"name": "ann"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: %v", body)
+	}
+	stop := len(refTexts) / 2
+	answered := make(map[string]bool)
+	for len(answered) < stop {
+		text, typ := answerOne(t, ts1.URL, "p00", s, u1)
+		if typ == "done" {
+			t.Fatal("session finished before the crash point")
+		}
+		if text != "" {
+			answered[text] = true
+		}
+	}
+	// Long-poll once more: when the next question arrives, the engine has
+	// durably recorded every answer above. Then kill without ceremony.
+	answerOneNoAnswer := func() {
+		var q questionJSON
+		getJSON(t, ts1.URL+"/api/question?member=p00", &q)
+	}
+	answerOneNoAnswer()
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: restart against the same directory.
+	st2, rec2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Answers) != stop {
+		t.Fatalf("recovered %d answers, want %d", len(rec2.Answers), stop)
+	}
+	srv2, ts2 := newSrv(st2, rec2)
+	defer srv2.shutdown()
+
+	// The roster survived: ann still owns p00, no re-join needed, and the
+	// leaderboard still credits her prefix answers.
+	if !srv2.memberKnown("p00") {
+		t.Fatal("member lost across restart")
+	}
+	var rows []struct {
+		Name    string `json:"name"`
+		Answers int    `json:"answers"`
+	}
+	getJSON(t, ts2.URL+"/api/stats", &rows)
+	if len(rows) != 1 || rows[0].Name != "ann" || rows[0].Answers != stop {
+		t.Fatalf("leaderboard after restart = %+v, want ann with %d", rows, stop)
+	}
+
+	// Finish the query; no question answered before the kill may reappear.
+	finish(ts2, answered)
+	var res struct {
+		Done bool     `json:"done"`
+		MSPs []string `json:"msps"`
+	}
+	getJSON(t, ts2.URL+"/api/results", &res)
+	if !res.Done {
+		t.Fatal("results not ready")
+	}
+	if len(res.MSPs) != len(ref.MSPs) {
+		t.Fatalf("MSPs after restart = %v, want %v", res.MSPs, ref.MSPs)
+	}
+	for i := range res.MSPs {
+		if res.MSPs[i] != ref.MSPs[i] {
+			t.Fatalf("MSPs after restart = %v, want %v", res.MSPs, ref.MSPs)
+		}
+	}
+
+	// A second restart of a finished session recovers everything and
+	// reports done immediately.
+	st3, rec3, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec3.Answers) != len(refTexts) {
+		t.Fatalf("finished store holds %d answers, want %d", len(rec3.Answers), len(refTexts))
+	}
+	srv3, ts3 := newSrv(st3, rec3)
+	defer srv3.shutdown()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("replayed session did not finish")
+		}
+		var q3 questionJSON
+		getJSON(t, ts3.URL+"/api/question?member=p00", &q3)
+		if q3.Type == "done" {
+			break
+		}
+		if q3.Type != "wait" {
+			t.Fatalf("finished session asked a question: %+v", q3)
+		}
+	}
+}
+
+// TestServerStoreQueryMismatch refuses to replay a store into a different
+// query.
+func TestServerStoreQueryMismatch(t *testing.T) {
+	s := ontology.NewSample()
+	dir := t.TempDir()
+	st, rec, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(s.Voc, s.Onto, oassisql.MustParse(serverQuery), 1, 1,
+		time.Second, st, rec); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, rec2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	other := oassisql.MustParse(resumeAltQuery)
+	if _, err := newServer(s.Voc, s.Onto, other, 1, 1, time.Second, st2, rec2); err == nil {
+		t.Fatal("different query accepted against a bound store")
+	}
+}
+
+// resumeAltQuery differs from serverQuery (higher support threshold).
+const resumeAltQuery = `
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt $x
+WITH SUPPORT = 0.6
+`

@@ -37,6 +37,7 @@ func main() {
 		interactive = flag.Bool("interactive", false, "answer the crowd questions yourself")
 		all         = flag.Bool("stats", false, "print run statistics")
 		seed        = flag.Int64("seed", 1, "random seed")
+		storeDir    = flag.String("store", "", "durable answer-store directory: answers are persisted there and a rerun resumes without re-asking them")
 	)
 	flag.Parse()
 	if *queryFile == "" {
@@ -44,13 +45,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*queryFile, *ontoFile, *crowdFile, *k, *interactive, *all, *seed); err != nil {
+	if err := run(*queryFile, *ontoFile, *crowdFile, *storeDir, *k, *interactive, *all, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "oassis:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryFile, ontoFile, crowdFile string, k int, interactive, stats bool, seed int64) error {
+func run(queryFile, ontoFile, crowdFile, storeDir string, k int, interactive, stats bool, seed int64) error {
 	qtext, err := os.ReadFile(queryFile)
 	if err != nil {
 		return err
@@ -93,9 +94,23 @@ func run(queryFile, ontoFile, crowdFile string, k int, interactive, stats bool, 
 		}
 	}
 
-	res, err := oassis.Exec(db, q, members,
+	opts := []oassis.Option{
 		oassis.WithAnswersPerQuestion(k),
-		oassis.WithSeed(seed))
+		oassis.WithSeed(seed),
+	}
+	if storeDir != "" {
+		st, err := oassis.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if n := st.RecoveredAnswers(); n > 0 {
+			fmt.Printf("store: resuming with %d recovered answers from %s\n", n, storeDir)
+		}
+		opts = append(opts, oassis.WithStore(st))
+	}
+
+	res, err := oassis.Exec(db, q, members, opts...)
 	if err != nil {
 		return err
 	}
@@ -116,6 +131,10 @@ func run(queryFile, ontoFile, crowdFile string, k int, interactive, stats bool, 
 		s := res.Stats
 		fmt.Printf("questions: %d (unique %d; concrete %d, specialization %d, none-of-these %d, pruning %d)\n",
 			s.TotalQuestions, s.UniqueQuestions, s.Concrete, s.Specialization, s.NoneOfThese, s.PruningClicks)
+		if s.PrimedAnswers > 0 {
+			fmt.Printf("store: %d answers replayed from the store, %d asked live\n",
+				s.PrimedAnswers, s.TotalQuestions-s.PrimedAnswers)
+		}
 	}
 	return nil
 }

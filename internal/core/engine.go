@@ -53,6 +53,14 @@ type Config struct {
 	// through to the live member.
 	Prime *Cache
 
+	// Store, when non-nil, durably records every answer and explicit
+	// classification event as the run produces them (see internal/store).
+	// Together with Prime it makes runs crash-recoverable: a restarted
+	// engine primed from the store's recovered answers replays them
+	// instead of re-asking the crowd, and the store's idempotent appends
+	// absorb the replay.
+	Store Sink
+
 	// MaxMSPs, when positive, stops the run as soon as that many MSPs are
 	// confirmed (significant with every successor classified
 	// insignificant) — the top-k extension sketched in §8 of the paper.
@@ -307,6 +315,7 @@ func (e *engine) recordAnswer(node assign.Assignment, qKey string, member string
 	if _, dup := ma[qKey]; !dup {
 		ma[qKey] = sup
 		e.cache.Record(qKey, member, sup, kind)
+		e.sinkAnswer(qKey, member, sup, kind, counted)
 		e.agg.Record(qKey, member, sup)
 		if counted {
 			e.uniqueQ[qKey] = struct{}{}
@@ -363,6 +372,7 @@ func (e *engine) applyVerdict(node assign.Assignment, qKey string) {
 	case aggregate.Significant:
 		if e.cls.status(node) != Significant {
 			e.cls.markSignificant(node)
+			e.sinkClassified(node, true)
 			e.recordChainMax(node) // discovery time for the pace curves
 			e.onClassified(node, true)
 			e.expand(node)
@@ -370,6 +380,7 @@ func (e *engine) applyVerdict(node assign.Assignment, qKey string) {
 	case aggregate.Insignificant:
 		if e.cls.status(node) != Insignificant {
 			e.cls.markInsignificant(node)
+			e.sinkClassified(node, false)
 			e.onClassified(node, false)
 		}
 	}
@@ -628,11 +639,13 @@ func (e *engine) forceClassify(node assign.Assignment) {
 	e.stats.ForcedClassifications++
 	if e.agg.Mean(qKey) >= e.cfg.Theta-aggregate.Eps && e.agg.Answers(qKey) > 0 {
 		e.cls.markSignificant(node)
+		e.sinkClassified(node, true)
 		e.recordChainMax(node)
 		e.onClassified(node, true)
 		e.expand(node)
 	} else {
 		e.cls.markInsignificant(node)
+		e.sinkClassified(node, false)
 		e.onClassified(node, false)
 	}
 }

@@ -1,0 +1,40 @@
+package core
+
+import "oassis/internal/assign"
+
+// Sink receives every recorded crowd answer and explicit classification
+// event, in engine order, for durable storage (implemented by
+// internal/store.Store). Appends happen on the engine's hot path and must
+// be cheap; an append error does not stop the run — crowd answers are too
+// expensive to discard over a disk hiccup — but is counted in
+// Stats.StoreErrors so callers can surface it.
+type Sink interface {
+	// AppendAnswer records one crowd answer exactly as the CrowdCache
+	// sees it: the question key, the member, the reported support, the
+	// question kind, and whether the answer was counted toward the run's
+	// question statistics.
+	AppendAnswer(question, member string, support float64, kind QuestionKind, counted bool) error
+	// AppendClassification records that a lattice node (by key) was
+	// explicitly classified significant or insignificant.
+	AppendClassification(node string, significant bool) error
+}
+
+// sinkAnswer forwards an answer to the configured store, if any.
+func (e *engine) sinkAnswer(qKey, member string, sup float64, kind QuestionKind, counted bool) {
+	if e.cfg.Store == nil {
+		return
+	}
+	if err := e.cfg.Store.AppendAnswer(qKey, member, sup, kind, counted); err != nil {
+		e.stats.StoreErrors++
+	}
+}
+
+// sinkClassified forwards a classification event to the configured store.
+func (e *engine) sinkClassified(node assign.Assignment, significant bool) {
+	if e.cfg.Store == nil {
+		return
+	}
+	if err := e.cfg.Store.AppendClassification(node.Key(), significant); err != nil {
+		e.stats.StoreErrors++
+	}
+}

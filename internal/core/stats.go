@@ -63,6 +63,11 @@ type Stats struct {
 	// (§4.2 crowd-member selection).
 	BannedMembers int
 
+	// StoreErrors counts failed appends to Config.Store; the run keeps
+	// going (answers are too expensive to discard over a disk error), but
+	// a non-zero count means the store is missing records.
+	StoreErrors int
+
 	GeneratedNodes int // lattice nodes generated lazily
 
 	Timeline []Point // present when Config.TrackTimeline

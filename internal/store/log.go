@@ -1,0 +1,156 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File-format magics. The WAL and the snapshot share the record framing
+// but carry distinct magics so one can never be mistaken for the other.
+var (
+	walMagic  = []byte("OASWAL1\n")
+	snapMagic = []byte("OASSNP1\n")
+)
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.snap"
+)
+
+// replayFile decodes every record in b after the magic header. It returns
+// the decoded records and the byte offset just past the last good record.
+// A torn or corrupt suffix ends the replay at that offset; strict, when
+// set, turns any such suffix into an error instead (snapshots are written
+// atomically, so damage there is real data loss and must not be papered
+// over).
+func replayFile(b, magic []byte, strict bool) ([]Record, int64, error) {
+	if len(b) < len(magic) {
+		if strict || len(b) != 0 {
+			return nil, 0, fmt.Errorf("store: short header (%d bytes)", len(b))
+		}
+		return nil, 0, nil
+	}
+	if string(b[:len(magic)]) != string(magic) {
+		return nil, 0, errors.New("store: bad magic (not a store file)")
+	}
+	off := int64(len(magic))
+	var recs []Record
+	for {
+		rec, n, err := DecodeRecord(b[off:])
+		if err != nil {
+			if strict {
+				return nil, 0, fmt.Errorf("store: snapshot damaged at offset %d: %w", off, err)
+			}
+			return recs, off, nil
+		}
+		if n == 0 {
+			return recs, off, nil
+		}
+		recs = append(recs, rec)
+		off += int64(n)
+	}
+}
+
+// openWAL opens (creating if needed) the WAL for appending, replaying its
+// contents first and truncating any torn or corrupt tail so the file ends
+// on a record boundary. It returns the open file positioned at the end,
+// the replayed records, and the number of tail bytes dropped.
+func openWAL(dir string) (*os.File, []Record, int64, error) {
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	// An empty or header-torn file restarts from a fresh header.
+	if len(b) < len(walMagic) {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		if _, err := f.Write(walMagic); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		return f, nil, int64(len(b)), nil
+	}
+	recs, off, err := replayFile(b, walMagic, false)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	dropped := int64(len(b)) - off
+	if dropped > 0 {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return f, recs, dropped, nil
+}
+
+// readSnapshot loads the snapshot records, strictly: a snapshot is only
+// ever installed by an atomic rename, so any damage is reported, not
+// truncated. A missing snapshot is an empty store.
+func readSnapshot(dir string) ([]Record, error) {
+	b, err := os.ReadFile(filepath.Join(dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := replayFile(b, snapMagic, true)
+	return recs, err
+}
+
+// writeSnapshot atomically installs recs as the new snapshot: write to a
+// temp file, fsync, rename over snapshot.snap, fsync the directory.
+func writeSnapshot(dir string, recs []Record) error {
+	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(snapMagic); err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, r := range recs {
+		if _, err := tmp.Write(EncodeRecord(r)); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,342 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"oassis/internal/core"
+)
+
+// Options configures a store.
+type Options struct {
+	// SyncEvery is the fsync policy: 0 or 1 fsyncs the WAL after every
+	// appended record (full durability, the default); n > 1 fsyncs every
+	// n records (bounded loss of the last < n answers on power failure);
+	// -1 never fsyncs on append (Flush, Compact and Close still do).
+	SyncEvery int
+
+	// CompactEvery triggers snapshot compaction once the WAL holds this
+	// many records (default 4096; -1 disables automatic compaction —
+	// Compact can still be called explicitly).
+	CompactEvery int
+}
+
+const defaultCompactEvery = 4096
+
+// ErrClosed is returned by appends to a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is a durable answer store rooted at a directory. It implements
+// core.Sink, so a *Store can be set directly as core.Config.Store. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	wal        *os.File
+	walRecords int // records in the WAL since the last compaction
+	sinceSync  int // records appended since the last fsync
+	closed     bool
+
+	// Durable state, mirrored in memory so appends dedupe and snapshots
+	// compact without re-reading the log.
+	session string
+	joined  map[string]bool
+	joins   []Record
+	seen    map[string]map[string]bool // question -> member -> answered
+	answers []Record                   // unique answers, first-write order
+}
+
+// Recovered is the state replayed from a store directory at Open.
+type Recovered struct {
+	// Answers are the unique crowd answers, in first-write order.
+	Answers []Record
+	// Events are the classification events still present in the WAL
+	// (audit trail; dropped by compaction).
+	Events []Record
+	// Joins are the member slot claims, in join order.
+	Joins []Record
+	// Session is the query text the store is bound to ("" if unbound).
+	Session string
+	// TruncatedBytes counts WAL tail bytes dropped because the final
+	// record was torn or corrupt.
+	TruncatedBytes int64
+}
+
+// PrimeCache loads the recovered answers into a core.Cache suitable for
+// core.Config.Prime: a restarted engine replays them instead of re-asking
+// the crowd.
+func (r *Recovered) PrimeCache() *core.Cache {
+	c := core.NewCache()
+	for _, a := range r.Answers {
+		c.Record(a.Question, a.Member, a.Support, a.Kind)
+	}
+	return c
+}
+
+// Open opens (creating if needed) the store directory, recovers its state
+// — snapshot first, then the WAL, truncating a torn tail — and leaves the
+// WAL open for appending. The returned Recovered reflects everything
+// durable; appending an answer already recovered is a silent no-op, which
+// makes resumed runs (whose engine replays primed answers through the
+// same record path) idempotent.
+func Open(dir string, opts Options) (*Store, *Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	snapRecs, err := readSnapshot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, walRecs, dropped, err := openWAL(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{
+		dir:        dir,
+		opts:       opts,
+		wal:        f,
+		walRecords: len(walRecs),
+		joined:     make(map[string]bool),
+		seen:       make(map[string]map[string]bool),
+	}
+	rec := &Recovered{TruncatedBytes: dropped}
+	for _, lists := range [][]Record{snapRecs, walRecs} {
+		for _, r := range lists {
+			s.absorb(r, rec)
+		}
+	}
+	rec.Session = s.session
+	return s, rec, nil
+}
+
+// absorb folds one replayed record into the in-memory state and the
+// Recovered view, deduplicating answers and joins.
+func (s *Store) absorb(r Record, out *Recovered) {
+	switch r.Type {
+	case RecAnswer:
+		if s.markSeen(r.Question, r.Member) {
+			s.answers = append(s.answers, r)
+			out.Answers = append(out.Answers, r)
+		}
+	case RecClassified:
+		out.Events = append(out.Events, r)
+	case RecSession:
+		s.session = r.Note
+	case RecJoin:
+		if !s.joined[r.Member] {
+			s.joined[r.Member] = true
+			s.joins = append(s.joins, r)
+			out.Joins = append(out.Joins, r)
+		}
+	}
+}
+
+// markSeen records (question, member) and reports whether it was new.
+func (s *Store) markSeen(question, member string) bool {
+	byMember := s.seen[question]
+	if byMember == nil {
+		byMember = make(map[string]bool)
+		s.seen[question] = byMember
+	}
+	if byMember[member] {
+		return false
+	}
+	byMember[member] = true
+	return true
+}
+
+// append writes one framed record to the WAL and applies the fsync policy.
+// The caller holds s.mu and has already updated the in-memory mirrors.
+func (s *Store) append(r Record) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if _, err := s.wal.Write(EncodeRecord(r)); err != nil {
+		return err
+	}
+	s.walRecords++
+	s.sinceSync++
+	every := s.opts.SyncEvery
+	if every == 0 {
+		every = 1
+	}
+	if every > 0 && s.sinceSync >= every {
+		if err := s.wal.Sync(); err != nil {
+			return err
+		}
+		s.sinceSync = 0
+	}
+	return s.maybeCompact()
+}
+
+// AppendAnswer durably records one crowd answer; re-appending a (question,
+// member) pair already stored is a no-op. It implements core.Sink.
+func (s *Store) AppendAnswer(question, member string, support float64, kind core.QuestionKind, counted bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.markSeen(question, member) {
+		return nil
+	}
+	r := Record{Type: RecAnswer, Question: question, Member: member,
+		Support: support, Kind: kind, Counted: counted}
+	s.answers = append(s.answers, r)
+	return s.append(r)
+}
+
+// AppendClassification records a node classification event (audit trail).
+// It implements core.Sink.
+func (s *Store) AppendClassification(node string, significant bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(Record{Type: RecClassified, Node: node, Significant: significant})
+}
+
+// AppendJoin records a member claiming a slot; duplicate member IDs are
+// no-ops.
+func (s *Store) AppendJoin(member, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.joined[member] {
+		return nil
+	}
+	s.joined[member] = true
+	r := Record{Type: RecJoin, Member: member, Note: name}
+	s.joins = append(s.joins, r)
+	return s.append(r)
+}
+
+// BindSession binds the store to a query's canonical text. Rebinding to
+// the same text is a no-op; a different text is refused — a store
+// directory holds answers for exactly one query, and replaying them into
+// another would corrupt its results.
+func (s *Store) BindSession(note string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.session {
+	case note:
+		return nil
+	case "":
+		s.session = note
+		return s.append(Record{Type: RecSession, Note: note})
+	default:
+		return fmt.Errorf("store: directory already bound to a different query")
+	}
+}
+
+// maybeCompact compacts when the WAL has outgrown the policy. Caller
+// holds s.mu.
+func (s *Store) maybeCompact() error {
+	every := s.opts.CompactEvery
+	if every == 0 {
+		every = defaultCompactEvery
+	}
+	if every < 0 || s.walRecords < every {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Compact writes a snapshot of the deduplicated durable state and resets
+// the WAL. Crash-safe: the snapshot is installed atomically before the
+// WAL is truncated, and recovery deduplicates, so a crash between the two
+// steps merely replays the old WAL into the same state.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	// Flush the WAL first so the snapshot never leads the log.
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.sinceSync = 0
+	recs := make([]Record, 0, 1+len(s.joins)+len(s.answers))
+	if s.session != "" {
+		recs = append(recs, Record{Type: RecSession, Note: s.session})
+	}
+	recs = append(recs, s.joins...)
+	recs = append(recs, s.answers...)
+	if err := writeSnapshot(s.dir, recs); err != nil {
+		return err
+	}
+	if err := s.resetWAL(); err != nil {
+		return err
+	}
+	s.walRecords = 0
+	return nil
+}
+
+// resetWAL truncates the WAL to a fresh header after a snapshot has been
+// installed. Caller holds s.mu.
+func (s *Store) resetWAL() error {
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(walMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	s.wal = f
+	return nil
+}
+
+// Flush fsyncs the WAL regardless of the fsync policy.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.sinceSync = 0
+	return s.wal.Sync()
+}
+
+// Close flushes and closes the WAL. Further appends return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	syncErr := s.wal.Sync()
+	closeErr := s.wal.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Answers returns how many unique answers are durable.
+func (s *Store) Answers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.answers)
+}

@@ -378,6 +378,12 @@ type Stats struct {
 	NoneOfThese     int
 	PruningClicks   int
 	GeneratedNodes  int
+	// PrimedAnswers counts answers replayed from a WithStore store
+	// instead of asked live (they are included in TotalQuestions).
+	PrimedAnswers int
+	// StoreErrors counts failed writes to a WithStore store; non-zero
+	// means the store is missing records (the run itself kept going).
+	StoreErrors int
 }
 
 // Result of executing a query.
@@ -405,6 +411,7 @@ type options struct {
 	moreCandidates      []Triple
 	topK                int
 	spamMaxViolations   int
+	store               *Store
 }
 
 // Option configures Exec.
@@ -485,7 +492,7 @@ func Exec(db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
 	for i, m := range members {
 		cms[i] = &memberAdapter{db: db, m: m}
 	}
-	res := core.Run(core.Config{
+	cfg := core.Config{
 		Space:                 sp,
 		Theta:                 q.ast.Support,
 		Members:               cms,
@@ -498,7 +505,14 @@ func Exec(db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
 		SpamMaxViolations:     o.spamMaxViolations,
 		SpamTolerance:         0.25,
 		Rng:                   rand.New(rand.NewSource(o.seed)),
-	})
+	}
+	if o.store != nil {
+		cfg.Store = o.store.inner
+		if o.store.prime.Len() > 0 {
+			cfg.Prime = o.store.prime
+		}
+	}
+	res := core.Run(cfg)
 	out := &Result{Stats: Stats{
 		TotalQuestions:  res.Stats.TotalQuestions,
 		UniqueQuestions: res.Stats.UniqueQuestions,
@@ -507,6 +521,8 @@ func Exec(db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
 		NoneOfThese:     res.Stats.NoneOfThese,
 		PruningClicks:   res.Stats.Pruning,
 		GeneratedNodes:  res.Stats.GeneratedNodes,
+		PrimedAnswers:   res.Stats.PrimedAnswers,
+		StoreErrors:     res.Stats.StoreErrors,
 	}}
 	toAnswer := func(a assign.Assignment, valid bool) Answer {
 		fs := sp.Instantiate(a)

@@ -1,0 +1,76 @@
+package oassis
+
+import (
+	"testing"
+)
+
+// TestExecWithStoreResumes exercises the public WithStore path: a run cut
+// short by a question budget persists its answers, and a rerun against
+// the same directory replays them — finishing with the same output as an
+// uninterrupted run and asking only the missing questions live.
+func TestExecWithStoreResumes(t *testing.T) {
+	db := SampleDB()
+	q, err := ParseQuery(figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := Exec(db, q, table3Members(t, db), WithAnswersPerQuestion(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecoveredAnswers() != 0 {
+		t.Fatalf("fresh store recovered %d answers", st.RecoveredAnswers())
+	}
+	budget := ref.Stats.TotalQuestions / 2
+	part, err := Exec(db, q, table3Members(t, db),
+		WithAnswersPerQuestion(2), WithMaxQuestions(budget), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if part.Stats.StoreErrors != 0 {
+		t.Fatalf("store errors in first run: %d", part.Stats.StoreErrors)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.RecoveredAnswers() == 0 {
+		t.Fatal("nothing recovered from the interrupted run")
+	}
+	res, err := Exec(db, q, table3Members(t, db),
+		WithAnswersPerQuestion(2), WithStore(st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PrimedAnswers == 0 {
+		t.Fatal("resumed run replayed no answers")
+	}
+	if res.Stats.TotalQuestions != ref.Stats.TotalQuestions {
+		t.Errorf("resumed run counted %d questions, want %d",
+			res.Stats.TotalQuestions, ref.Stats.TotalQuestions)
+	}
+	if live := res.Stats.TotalQuestions - res.Stats.PrimedAnswers; live >= ref.Stats.TotalQuestions {
+		t.Errorf("resumed run asked %d live questions, no better than %d from scratch",
+			live, ref.Stats.TotalQuestions)
+	}
+	if len(res.MSPs) != len(ref.MSPs) {
+		t.Fatalf("resumed MSPs = %d, want %d", len(res.MSPs), len(ref.MSPs))
+	}
+	for i := range res.MSPs {
+		if res.MSPs[i].Text != ref.MSPs[i].Text {
+			t.Errorf("resumed MSP %d = %q, want %q", i, res.MSPs[i].Text, ref.MSPs[i].Text)
+		}
+	}
+}
