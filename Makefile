@@ -1,16 +1,25 @@
 # Developer entry points. `make check` is the gate a PR must pass: gofmt,
-# vet, build, the full test suite under the race detector (the experiment
-# grids in internal/experiments fan cells across goroutines, so -race
-# exercises the concurrency model for real), and a short fuzz pass over
-# the WAL record decoder.
+# vet, build, the public-API drift guard, the full test suite under the
+# race detector (the experiment grids in internal/experiments fan cells
+# across goroutines, so -race exercises the concurrency model for real),
+# and a short fuzz pass over the WAL record decoder.
 
 GO ?= go
 FUZZTIME ?= 5s
 BENCH_STAMP := $(shell date +%Y%m%d_%H%M%S)
 
-.PHONY: check fmt vet build test race fuzz bench
+.PHONY: check fmt vet build api api-update test race fuzz bench
 
-check: fmt vet build race fuzz
+check: fmt vet build api race fuzz
+
+# Fail when the root package's exported surface no longer matches the
+# committed api.txt golden; `make api-update` regenerates it after a
+# reviewed, intentional API change.
+api:
+	$(GO) test -run '^TestPublicAPISurface$$' .
+
+api-update:
+	$(GO) test -run '^TestPublicAPISurface$$' -update .
 
 # Fail when any file is not gofmt-clean; print the offenders.
 fmt:

@@ -1,0 +1,39 @@
+package oassis
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"oassis/internal/apidump"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite api.txt from the current source")
+
+// TestPublicAPISurface pins the package's exported surface to api.txt:
+// adding, removing, or re-typing anything public fails here until the
+// golden is regenerated (go test -run TestPublicAPISurface -update .) and
+// the diff is reviewed. `make check` runs this, so API drift cannot land
+// silently.
+func TestPublicAPISurface(t *testing.T) {
+	got, err := apidump.Surface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateAPI {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test -run TestPublicAPISurface -update .)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface drifted from api.txt.\n"+
+			"If the change is intentional, regenerate with\n"+
+			"  go test -run TestPublicAPISurface -update .\n"+
+			"and commit the diff.\n\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

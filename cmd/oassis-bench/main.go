@@ -112,6 +112,9 @@ func main() {
 		{"bounds", func() (*experiments.Report, error) {
 			return experiments.ComplexityBounds(*scale, *parallel)
 		}},
+		{"latency", func() (*experiments.Report, error) {
+			return experiments.DispatchLatency(100*time.Millisecond, []int{1, 2, 4, 8})
+		}},
 		{"capture", func() (*experiments.Report, error) {
 			return experiments.ItemsetCapture(12, 60, 0.15, 7)
 		}},

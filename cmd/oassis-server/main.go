@@ -84,6 +84,9 @@ func main() {
 			log.Printf("oassis-server: resuming session from %s (%d answers, %d members)",
 				*storeDir, n, len(rec.Joins))
 		}
+		if n := len(rec.InFlight); n > 0 {
+			log.Printf("oassis-server: re-issuing %d questions that were in flight at shutdown", n)
+		}
 	}
 	srv, err := newServer(voc, onto, query, *slots, *k, 20*time.Second, st, rec)
 	if err != nil {

@@ -32,22 +32,30 @@ type server struct {
 	sp    *assign.Space
 	query *oassisql.Query
 	tpl   *crowd.Templates
-	it    *core.Interactive
 	poll  time.Duration
 	store *store.Store // nil without -store
 
-	mu      sync.Mutex
-	slots   []string          // member IDs (slots), in join order
-	nextIdx int               // next unclaimed slot
-	names   map[string]string // slot -> display name
-	pending map[string]*pendingQuestion
-	serial  int
-	answers map[string]int // live leaderboard
+	// sess is the step-driven engine session. It is not safe for
+	// concurrent use, so every Next/Submit happens under mu; handlers
+	// long-poll on notify (closed and replaced whenever pending changes)
+	// instead of blocking inside the session.
+	sess *core.Session
+
+	mu       sync.Mutex
+	notify   chan struct{}
+	finished bool
+	result   *core.Result
+	slots    []string          // member IDs (slots), in join order
+	nextIdx  int               // next unclaimed slot
+	names    map[string]string // slot -> display name
+	pending  map[string]*pendingQuestion
+	serial   int
+	answers  map[string]int // live leaderboard
 }
 
 type pendingQuestion struct {
 	id int
-	q  *core.Question
+	q  core.Question
 }
 
 // newServer compiles the query against the ontology and starts the engine
@@ -78,6 +86,7 @@ func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Q
 		query:   query,
 		tpl:     crowd.NewTemplates(voc),
 		poll:    poll,
+		notify:  make(chan struct{}),
 		names:   make(map[string]string),
 		pending: make(map[string]*pendingQuestion),
 		answers: make(map[string]int),
@@ -117,8 +126,52 @@ func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Q
 			cfg.Prime = rec.PrimeCache()
 		}
 	}
-	s.it = core.NewInteractive(cfg, s.slots)
+	s.sess = core.NewSession(cfg, s.slots)
+	s.mu.Lock()
+	s.refillLocked()
+	s.mu.Unlock()
 	return s, nil
+}
+
+// refillLocked pulls the session's currently answerable questions into the
+// per-member pending slots, journals newly issued questions to the store,
+// and wakes long-pollers when anything changed. Caller holds s.mu.
+func (s *server) refillLocked() {
+	if s.finished {
+		return
+	}
+	if s.sess.Done() {
+		s.finished = true
+		s.result = s.sess.Result()
+		s.broadcastLocked()
+		return
+	}
+	changed := false
+	for _, q := range s.sess.Next() {
+		if s.pending[q.Member] != nil {
+			continue
+		}
+		s.serial++
+		s.pending[q.Member] = &pendingQuestion{id: s.serial, q: q}
+		changed = true
+		if s.store != nil && q.Kind == core.KindConcrete {
+			// Journal the hand-out before a client sees it: an issued
+			// record without a matching answer marks a question in flight
+			// at a crash, which the restarted server re-issues.
+			if err := s.store.AppendIssued(q.Facts.Key(), q.Member); err != nil {
+				log.Printf("oassis-server: store issued: %v", err)
+			}
+		}
+	}
+	if changed {
+		s.broadcastLocked()
+	}
+}
+
+// broadcastLocked wakes every long-polling handler. Caller holds s.mu.
+func (s *server) broadcastLocked() {
+	close(s.notify)
+	s.notify = make(chan struct{})
 }
 
 // shutdown flushes and closes the store (if any) after the HTTP listener
@@ -207,32 +260,37 @@ func (s *server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown member %q", member)
 		return
 	}
-	// If a question is already pending (e.g. the client reloaded), resend it.
-	s.mu.Lock()
-	if p := s.pending[member]; p != nil {
-		resp := s.renderQuestion(p)
+	deadline := time.NewTimer(s.poll)
+	defer deadline.Stop()
+	for {
+		s.mu.Lock()
+		s.refillLocked()
+		// A pending question (possibly from before a client reload) is
+		// resent as-is.
+		if p := s.pending[member]; p != nil {
+			resp := s.renderQuestion(p)
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if s.finished {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, questionJSON{Type: "done"})
+			return
+		}
+		notify := s.notify
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, resp)
-		return
+		// Long-poll: wake on new questions, give up at the poll deadline,
+		// and drop the work when the client goes away.
+		select {
+		case <-notify:
+		case <-deadline.C:
+			writeJSON(w, http.StatusOK, questionJSON{Type: "wait"})
+			return
+		case <-r.Context().Done():
+			return
+		}
 	}
-	s.mu.Unlock()
-
-	q, ok, running := s.it.NextQuestionTimeout(member, s.poll)
-	if !running {
-		writeJSON(w, http.StatusOK, questionJSON{Type: "done"})
-		return
-	}
-	if !ok {
-		writeJSON(w, http.StatusOK, questionJSON{Type: "wait"})
-		return
-	}
-	s.mu.Lock()
-	s.serial++
-	p := &pendingQuestion{id: s.serial, q: q}
-	s.pending[member] = p
-	resp := s.renderQuestion(p)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // renderQuestion builds the wire form; the caller holds s.mu.
@@ -276,15 +334,14 @@ func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	p := s.pending[req.Member]
 	if p == nil || p.id != req.ID {
-		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "no pending question with id %d", req.ID)
 		return
 	}
 	delete(s.pending, req.Member)
 	s.answers[req.Member]++
-	s.mu.Unlock()
 
 	level := func() float64 {
 		if req.Level == nil || *req.Level < 0 || *req.Level > 4 {
@@ -292,29 +349,38 @@ func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		}
 		return float64(*req.Level) * 0.25
 	}
+	var ans core.Answer
 	switch {
 	case !p.q.Specialization():
-		s.it.Answer(p.q, level())
+		ans = core.AnswerSupport(level())
 	case req.Skip:
-		s.it.Decline(p.q)
+		ans = core.AnswerDecline()
 	case req.None:
-		s.it.AnswerNoneOfThese(p.q)
+		ans = core.AnswerNoneOfThese()
 	case req.Choice != nil && *req.Choice >= 0 && *req.Choice < len(p.q.Choices):
-		s.it.AnswerChoice(p.q, *req.Choice, level())
+		ans = core.AnswerChoice(*req.Choice, level())
 	default:
-		s.it.Decline(p.q)
+		ans = core.AnswerDecline()
 	}
+	// Answers to questions the run retired (the round moved on while the
+	// member was thinking) are buffered or dropped by the session; either
+	// way the member's star count already credited the effort.
+	if err := s.sess.Submit(p.q.ID, ans); err != nil {
+		log.Printf("oassis-server: submit: %v", err)
+	}
+	s.refillLocked()
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
-	select {
-	case <-s.it.Done():
-	default:
+	s.mu.Lock()
+	s.refillLocked()
+	res := s.result
+	s.mu.Unlock()
+	if res == nil {
 		writeJSON(w, http.StatusOK, map[string]interface{}{"done": false})
 		return
 	}
-	res := s.it.Wait()
 	var msps []string
 	for _, m := range res.ValidMSPs {
 		msps = append(msps, s.sp.Instantiate(m).Format(s.voc))

@@ -113,12 +113,18 @@ func TestServerKillAndRestartResumes(t *testing.T) {
 		}
 	}
 	// Long-poll once more: when the next question arrives, the engine has
-	// durably recorded every answer above. Then kill without ceremony.
-	answerOneNoAnswer := func() {
-		var q questionJSON
-		getJSON(t, ts1.URL+"/api/question?member=p00", &q)
+	// durably recorded every answer above, and the delivered question is
+	// journaled as issued. Then kill without ceremony — with that question
+	// in flight.
+	var killed questionJSON
+	getJSON(t, ts1.URL+"/api/question?member=p00", &killed)
+	if killed.Type != "concrete" {
+		t.Fatalf("question at the crash point is %q, want concrete", killed.Type)
 	}
-	answerOneNoAnswer()
+	killedFS, err := parseQuestionText(s, killed.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts1.Close()
 	if err := st1.Close(); err != nil {
 		t.Fatal(err)
@@ -131,6 +137,23 @@ func TestServerKillAndRestartResumes(t *testing.T) {
 	}
 	if len(rec2.Answers) != stop {
 		t.Fatalf("recovered %d answers, want %d", len(rec2.Answers), stop)
+	}
+	// The question handed out at the kill is recovered as in flight — and
+	// no in-flight record duplicates a recovered answer (issued questions
+	// whose answers landed are not in flight).
+	foundInFlight := false
+	for _, r := range rec2.InFlight {
+		if r.Member == "p00" && r.Question == killedFS.Key() {
+			foundInFlight = true
+		}
+		for _, a := range rec2.Answers {
+			if a.Question == r.Question && a.Member == r.Member {
+				t.Fatalf("in-flight question %q/%s also recovered as answered", r.Question, r.Member)
+			}
+		}
+	}
+	if !foundInFlight {
+		t.Fatalf("question in flight at the kill not recovered (in-flight: %v)", rec2.InFlight)
 	}
 	srv2, ts2 := newSrv(st2, rec2)
 	defer srv2.shutdown()
@@ -149,8 +172,13 @@ func TestServerKillAndRestartResumes(t *testing.T) {
 		t.Fatalf("leaderboard after restart = %+v, want ann with %d", rows, stop)
 	}
 
-	// Finish the query; no question answered before the kill may reappear.
-	finish(ts2, answered)
+	// Finish the query; no question answered before the kill may reappear,
+	// and the in-flight question is re-issued first rather than lost.
+	texts2 := finish(ts2, answered)
+	if len(texts2) == 0 || texts2[0] != killed.Text {
+		t.Fatalf("in-flight question %q not re-issued first after restart (got %v)",
+			killed.Text, texts2)
+	}
 	var res struct {
 		Done bool     `json:"done"`
 		MSPs []string `json:"msps"`

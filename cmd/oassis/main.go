@@ -257,7 +257,7 @@ func (m *ttyMember) HowOften(facts []oassis.Triple) float64 {
 	}
 }
 
-func (m *ttyMember) Specialize(candidates [][]oassis.Triple) (int, float64, bool, bool) {
+func (m *ttyMember) Specialize(candidates [][]oassis.Triple) oassis.SpecializeResponse {
 	fmt.Fprintln(m.out)
 	fmt.Fprintln(m.out, "Can you be more specific? Pick what you do significantly often:")
 	for i, c := range candidates {
@@ -269,14 +269,14 @@ func (m *ttyMember) Specialize(candidates [][]oassis.Triple) (int, float64, bool
 		fmt.Fprint(m.out, "choice> ")
 		line, err := m.in.ReadString('\n')
 		if err != nil {
-			return 0, 0, false, true
+			return oassis.DeclineSpecialization()
 		}
 		t := strings.TrimSpace(line)
 		switch t {
 		case "n":
-			return 0, 0, false, false
+			return oassis.NoneOfThese()
 		case "s", "":
-			return 0, 0, false, true
+			return oassis.DeclineSpecialization()
 		}
 		if i, err := strconv.Atoi(t); err == nil && i >= 0 && i < len(candidates) {
 			fmt.Fprint(m.out, "how often (0-4)> ")
@@ -285,7 +285,7 @@ func (m *ttyMember) Specialize(candidates [][]oassis.Triple) (int, float64, bool
 			if err != nil || n < 0 || n > 4 {
 				n = 2
 			}
-			return i, float64(n) * 0.25, true, false
+			return oassis.Choose(i, float64(n)*0.25)
 		}
 		fmt.Fprintln(m.out, "please choose an option")
 	}

@@ -130,21 +130,21 @@ func TestTTYMemberSpecialize(t *testing.T) {
 	// Pick option 1 with frequency 4.
 	var out strings.Builder
 	m := newTTYMemberIO(db, strings.NewReader("1\n4\n"), &out)
-	idx, freq, ok, declined := m.Specialize(cands)
-	if declined || !ok || idx != 1 || freq != 1 {
-		t.Errorf("Specialize = %d %v %v %v", idx, freq, ok, declined)
+	r := m.Specialize(cands)
+	if r.Declined || !r.Chosen || r.Choice != 1 || r.Frequency != 1 {
+		t.Errorf("Specialize = %+v", r)
 	}
 	if !strings.Contains(out.String(), "none of these") {
 		t.Error("prompt missing options")
 	}
 	// "n" = none of these.
 	m = newTTYMemberIO(db, strings.NewReader("n\n"), &strings.Builder{})
-	if _, _, ok, declined := m.Specialize(cands); ok || declined {
+	if r := m.Specialize(cands); r.Chosen || r.Declined {
 		t.Error("none-of-these not recognized")
 	}
 	// "s" = skip.
 	m = newTTYMemberIO(db, strings.NewReader("s\n"), &strings.Builder{})
-	if _, _, _, declined := m.Specialize(cands); !declined {
+	if r := m.Specialize(cands); !r.Declined {
 		t.Error("skip not recognized")
 	}
 	// Pruning is never offered by the TTY member.

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,4 +77,46 @@ func main() {
 	}
 	fmt.Printf("\nCrowd effort: %d answers (%d distinct questions) over %d lattice nodes\n",
 		res.Stats.TotalQuestions, res.Stats.UniqueQuestions, res.Stats.GeneratedNodes)
+
+	// The same query, step-driven: a Session surfaces the answerable
+	// questions and the caller owns the loop — the shape a crowdsourcing
+	// UI needs (oassis-server is this loop behind HTTP). Here the Table 3
+	// members answer programmatically; the mined result is identical.
+	byID := map[string]oassis.Member{u1.ID(): u1, u2.ID(): u2}
+	s, err := oassis.NewSession(context.Background(), db, q,
+		[]string{u1.ID(), u2.ID()},
+		oassis.WithAnswersPerQuestion(2),
+		oassis.WithMoreCandidates(oassis.Triple{Subject: "Rent Bikes", Relation: "doAt", Object: "Boathouse"}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	asked := 0
+	for qs := s.Next(); len(qs) > 0; qs = s.Next() {
+		for _, question := range qs {
+			m := byID[question.Member]
+			var r oassis.Response
+			switch question.Kind {
+			case oassis.Specialization:
+				sr := m.Specialize(question.Choices)
+				r = oassis.Response{Frequency: sr.Frequency, Choice: sr.Choice,
+					Chosen: sr.Chosen, Declined: sr.Declined}
+			case oassis.Pruning:
+				r = oassis.RespondNoClick()
+			default:
+				r = oassis.RespondFrequency(m.HowOften(question.Facts))
+			}
+			if err := s.Submit(question.ID, r); err != nil {
+				log.Fatal(err)
+			}
+			asked++
+		}
+	}
+	res2 := s.Close()
+	same := len(res2.MSPs) == len(res.MSPs)
+	for i := 0; same && i < len(res.MSPs); i++ {
+		same = res2.MSPs[i].Text == res.MSPs[i].Text
+	}
+	fmt.Printf("\nStep-driven session: %d answers submitted, same answers as Exec: %v\n",
+		asked, same)
 }

@@ -1,0 +1,238 @@
+// Package apidump renders the exported surface of a Go package as a
+// deterministic textual listing, parsed from source with go/ast — no
+// subprocess, no build cache. The root package's listing is committed as
+// api.txt and guarded by a test, so any change to the public API shows up
+// as a reviewable diff instead of slipping through.
+package apidump
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// entry is one rendered declaration plus the key it sorts under.
+type entry struct {
+	section int // consts, vars, types, funcs+methods
+	key     string
+	text    string
+}
+
+const (
+	secConst = iota
+	secVar
+	secType
+	secFunc
+)
+
+// Surface parses the Go package in dir (tests excluded) and returns its
+// exported declarations — constants, variables, types with their exported
+// fields and methods, and functions — one block per declaration, sorted
+// within the conventional const/var/type/func sections. The output depends
+// only on the declarations themselves, never on file names or order.
+func Surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var pkg *ast.Package
+	for name, p := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		if pkg != nil {
+			return "", fmt.Errorf("apidump: multiple packages in %s", dir)
+		}
+		pkg = p
+	}
+	if pkg == nil {
+		return "", fmt.Errorf("apidump: no package found in %s", dir)
+	}
+
+	var entries []entry
+	fileNames := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		fileNames = append(fileNames, name)
+	}
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
+		for _, decl := range pkg.Files[name].Decls {
+			entries = append(entries, declEntries(fset, decl)...)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].section != entries[j].section {
+			return entries[i].section < entries[j].section
+		}
+		return entries[i].key < entries[j].key
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "package %s\n", pkg.Name)
+	last := -1
+	for _, e := range entries {
+		if e.section != last {
+			b.WriteByte('\n')
+			last = e.section
+		}
+		b.WriteString(e.text)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// declEntries renders one top-level declaration into zero or more entries,
+// dropping everything unexported.
+func declEntries(fset *token.FileSet, decl ast.Decl) []entry {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		key := d.Name.Name
+		if d.Recv != nil {
+			recv := receiverType(d.Recv)
+			if recv == "" || !ast.IsExported(recv) {
+				return nil
+			}
+			key = recv + "." + d.Name.Name
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []entry{{secFunc, key, render(fset, &fn)}}
+	case *ast.GenDecl:
+		var out []entry
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				ts := *s
+				ts.Doc = nil
+				ts.Comment = nil
+				ts.Type = exportedOnly(s.Type)
+				one := &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&ts}}
+				out = append(out, entry{secType, s.Name.Name, render(fset, one)})
+			case *ast.ValueSpec:
+				sec := secConst
+				if d.Tok == token.VAR {
+					sec = secVar
+				}
+				for i, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					one := &ast.ValueSpec{Names: []*ast.Ident{name}, Type: s.Type}
+					if s.Type == nil && i < len(s.Values) {
+						one.Values = []ast.Expr{s.Values[i]}
+					}
+					g := &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{one}}
+					out = append(out, entry{sec, name.Name, render(fset, g)})
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// receiverType names the receiver's base type ("" when unnamed).
+func receiverType(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// exportedOnly strips unexported fields from structs and unexported
+// methods from interfaces; other types pass through unchanged.
+func exportedOnly(t ast.Expr) ast.Expr {
+	switch tt := t.(type) {
+	case *ast.StructType:
+		return &ast.StructType{Fields: exportedFields(tt.Fields, true)}
+	case *ast.InterfaceType:
+		return &ast.InterfaceType{Methods: exportedFields(tt.Methods, false)}
+	}
+	return t
+}
+
+// exportedFields keeps the exported entries of a field list. A struct with
+// unexported fields keeps a marker so opaque and transparent structs
+// render differently.
+func exportedFields(fl *ast.FieldList, markHidden bool) *ast.FieldList {
+	out := &ast.FieldList{}
+	hidden := false
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			// Embedded field or interface method set: keep when exported.
+			if name := embeddedName(f.Type); name == "" || ast.IsExported(name) {
+				out.List = append(out.List, &ast.Field{Type: f.Type})
+			} else {
+				hidden = true
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, ast.NewIdent(n.Name))
+			} else {
+				hidden = true
+			}
+		}
+		if len(names) > 0 {
+			out.List = append(out.List, &ast.Field{Names: names, Type: f.Type})
+		}
+	}
+	if hidden && markHidden {
+		out.List = append(out.List, &ast.Field{
+			Names: []*ast.Ident{ast.NewIdent("_")},
+			Type:  ast.NewIdent("unexported"),
+		})
+	}
+	return out
+}
+
+// embeddedName names an embedded field's base type.
+func embeddedName(t ast.Expr) string {
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return tt.Name
+	case *ast.StarExpr:
+		return embeddedName(tt.X)
+	case *ast.SelectorExpr:
+		return tt.Sel.Name
+	}
+	return ""
+}
+
+// render prints a node with the standard gofmt configuration.
+func render(fset *token.FileSet, node interface{}) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("/* render error: %v */", err)
+	}
+	return buf.String()
+}

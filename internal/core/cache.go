@@ -1,6 +1,7 @@
 package core
 
 import (
+	"oassis/internal/crowd"
 	"oassis/internal/fact"
 	"oassis/internal/vocab"
 )
@@ -95,8 +96,8 @@ func (m *CachedMember) Concrete(fs fact.Set) float64 {
 }
 
 // ChooseSpecialization implements crowd.Member by declining.
-func (m *CachedMember) ChooseSpecialization([]fact.Set) (int, float64, bool, bool) {
-	return 0, 0, false, true
+func (m *CachedMember) ChooseSpecialization([]fact.Set) crowd.SpecializeResponse {
+	return crowd.DeclineSpecialization()
 }
 
 // Irrelevant implements crowd.Member by never pruning.

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+
+	"oassis/internal/crowd"
+)
+
+// DispatchStats reports what the concurrent dispatcher did beyond the
+// run's own statistics: how much speculation it paid for the wall-clock
+// win. The numbers never influence the mined result.
+type DispatchStats struct {
+	// Launched counts questions sent to members, including speculative
+	// ones the engine never consumed.
+	Launched int
+	// Wasted counts answers collected but discarded (their question was
+	// outrun by the round or the run ended first).
+	Wasted int
+	// MaxInFlight is the peak number of questions concurrently in flight.
+	MaxInFlight int
+}
+
+// RunConcurrent executes the same mining run as Run, but keeps up to
+// parallelism questions in flight at once: it drives a Session from a
+// single event loop, fanning questions out to the configured members on
+// worker goroutines and merging answers back in the engine's own order.
+// The result is bit-identical to Run(cfg) at any parallelism for members
+// whose answers depend only on (member, question) — speculative answers
+// the engine never asks for are discarded without entering the
+// statistics. With parallelism 1 only the engine's own next question is
+// ever asked, so the question sequence is exactly sequential even for
+// randomized members.
+//
+// seed drives only the launch order among speculative questions when
+// capacity is scarce; it affects wall-clock and waste, never the result.
+func RunConcurrent(cfg Config, parallelism int, seed int64) (*Result, DispatchStats) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	byID := make(map[string]crowd.Member, len(cfg.Members))
+	ids := make([]string, 0, len(cfg.Members))
+	for _, m := range cfg.Members {
+		ids = append(ids, m.ID())
+		byID[m.ID()] = m
+	}
+	s := NewSession(cfg, ids)
+	rng := rand.New(rand.NewSource(seed))
+
+	type outcome struct {
+		id  QuestionID
+		ans Answer
+	}
+	results := make(chan outcome, parallelism)
+	inFlight := make(map[QuestionID]bool, parallelism)
+	var ds DispatchStats
+
+	launch := func(q Question) {
+		inFlight[q.ID] = true
+		ds.Launched++
+		if len(inFlight) > ds.MaxInFlight {
+			ds.MaxInFlight = len(inFlight)
+		}
+		m := byID[q.Member]
+		go func() {
+			var a Answer
+			switch q.Kind {
+			case KindSpecialization:
+				r := m.ChooseSpecialization(q.Choices)
+				a = Answer{Support: r.Support, Choice: r.Choice, Chosen: r.Chosen, Declined: r.Declined}
+			case KindPruning:
+				if t, ok := m.Irrelevant(q.Terms); ok {
+					for i, cand := range q.Terms {
+						if cand == t {
+							a = AnswerIrrelevant(i)
+							break
+						}
+					}
+				}
+			default:
+				a = AnswerSupport(m.Concrete(q.Facts))
+			}
+			results <- outcome{id: q.ID, ans: a}
+		}()
+	}
+
+	for {
+		qs := s.Next()
+		if qs == nil && len(inFlight) == 0 {
+			break
+		}
+		// Top up the in-flight set: the engine's blocked question first
+		// (it is the only one guaranteed to advance the run), then
+		// speculative questions in seeded random order.
+		var fresh []Question
+		for _, q := range qs {
+			if !inFlight[q.ID] {
+				fresh = append(fresh, q)
+			}
+		}
+		if len(fresh) > 0 {
+			rest := fresh
+			if fresh[0].ID == qs[0].ID {
+				rest = fresh[1:] // keep the blocked question first
+			}
+			rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		}
+		for _, q := range fresh {
+			if len(inFlight) >= parallelism {
+				break
+			}
+			launch(q)
+		}
+		o := <-results
+		delete(inFlight, o.id)
+		if s.Done() {
+			ds.Wasted++ // landed after the run ended
+			continue
+		}
+		if err := s.Submit(o.id, o.ans); err != nil {
+			ds.Wasted++ // the question was consumed another way
+		}
+	}
+	res := s.Close()
+	// Submit silently buffers answers to retired questions; count the
+	// buffered leftovers the engine never consumed as waste too.
+	ds.Wasted += len(s.buffered)
+	return res, ds
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/assign"
+	"oassis/internal/crowd"
+	"oassis/internal/synth"
+)
+
+// equivalenceCase is one workload of the sequential-vs-session-vs-dispatch
+// matrix. mkConfig builds a fresh Config per run (the engine mutates its
+// space), and every member must be a pure function of (member, question) so
+// that bit-identical results are even possible.
+type equivalenceCase struct {
+	name     string
+	mkConfig func(t *testing.T) (Config, *assign.Space)
+}
+
+// figure1Case is the paper's running example: Table 3's two members over
+// the Figure 3 restricted query.
+func figure1Case() equivalenceCase {
+	return equivalenceCase{
+		name: "figure1",
+		mkConfig: func(t *testing.T) (Config, *assign.Space) {
+			s, q, sp := buildSpace(t, figure3Restricted)
+			return Config{
+				Space:   sp,
+				Theta:   q.Support,
+				Members: sampleMembers(s),
+				Agg:     aggregate.NewFixedSample(2),
+			}, sp
+		},
+	}
+}
+
+// synthCase is a generated domain with planted MSPs answered by pure
+// oracles (SpecializeProb 1 specializes deterministically, PruneProb 0
+// never prunes, no Rng).
+func synthCase(name string, dag synth.DAGConfig, mspCount, members int) equivalenceCase {
+	return equivalenceCase{
+		name: name,
+		mkConfig: func(t *testing.T) (Config, *assign.Space) {
+			sp, err := synth.GenerateSpace(dag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planted, err := sp.PlantMSPs(synth.MSPConfig{Count: mspCount, Seed: dag.Seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			crowd := make([]crowd.Member, members)
+			for i := range crowd {
+				o := synth.NewOracle(fmt.Sprintf("m%d", i), sp, planted)
+				o.SpecializeProb = 1
+				crowd[i] = o
+			}
+			return Config{
+				Space:               sp.Sp,
+				Theta:               0.5,
+				Members:             crowd,
+				Agg:                 aggregate.NewFixedSample(members),
+				SpecializationRatio: 0.3,
+			}, sp.Sp
+		},
+	}
+}
+
+func equivalenceCases() []equivalenceCase {
+	return []equivalenceCase{
+		figure1Case(),
+		synthCase("synth-wide", synth.DAGConfig{
+			Width: 12, Depth: 3, XWidth: 6, XDepth: 2, Seed: 7,
+		}, 5, 3),
+		synthCase("synth-deep", synth.DAGConfig{
+			Width: 6, Depth: 5, XWidth: 4, XDepth: 3, Seed: 11,
+		}, 4, 2),
+	}
+}
+
+// summarize renders a result for equality comparison: the exact MSP set,
+// the valid MSP set, and the full statistics.
+func summarize(sp *assign.Space, res *Result) string {
+	return fmt.Sprintf("msps=%v valid=%v stats=%+v answers=%v",
+		sortedNames(sp, res.MSPs), sortedNames(sp, res.ValidMSPs),
+		res.Stats, res.AnswersByMember)
+}
+
+func sortedNames(sp *assign.Space, msps []assign.Assignment) []string {
+	names := make(map[string]bool, len(msps))
+	for _, m := range msps {
+		names[sp.Format(m)] = true
+	}
+	out := make([]string, 0, len(names))
+	for k := range names {
+		out = append(out, k)
+	}
+	// Insertion sort keeps the helper dependency-free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestEquivalenceMatrix verifies the PR's core promise: the batch engine,
+// the step-driven session, and the concurrent dispatcher at parallelism 1,
+// 4 and 16 produce identical MSPs and statistics on the Figure 1 sample and
+// two synthetic domains.
+func TestEquivalenceMatrix(t *testing.T) {
+	for _, tc := range equivalenceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, sp := tc.mkConfig(t)
+			want := summarize(sp, Run(cfg))
+
+			// Session driven strictly sequentially (blocked question only).
+			cfg2, sp2 := tc.mkConfig(t)
+			byID := make(map[string]crowd.Member)
+			var ids []string
+			for _, m := range cfg2.Members {
+				byID[m.ID()] = m
+				ids = append(ids, m.ID())
+			}
+			sess := NewSession(cfg2, ids)
+			for qs := sess.Next(); qs != nil; qs = sess.Next() {
+				q := qs[0]
+				m := byID[q.Member]
+				var a Answer
+				switch q.Kind {
+				case KindSpecialization:
+					r := m.ChooseSpecialization(q.Choices)
+					a = Answer{Support: r.Support, Choice: r.Choice, Chosen: r.Chosen, Declined: r.Declined}
+				case KindPruning:
+					if term, ok := m.Irrelevant(q.Terms); ok {
+						for i, cand := range q.Terms {
+							if cand == term {
+								a = AnswerIrrelevant(i)
+								break
+							}
+						}
+					}
+				default:
+					a = AnswerSupport(m.Concrete(q.Facts))
+				}
+				if err := sess.Submit(q.ID, a); err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+			}
+			if got := summarize(sp2, sess.Close()); got != want {
+				t.Errorf("session loop diverged:\n got %s\nwant %s", got, want)
+			}
+			for _, p := range []int{1, 4, 16} {
+				cfg3, sp3 := tc.mkConfig(t)
+				res, ds := RunConcurrent(cfg3, p, 42)
+				if got := summarize(sp3, res); got != want {
+					t.Errorf("dispatch P=%d diverged:\n got %s\nwant %s", p, got, want)
+				}
+				if p == 1 && ds.Wasted != 0 {
+					t.Errorf("dispatch P=1 wasted %d answers; sequential driving must not speculate", ds.Wasted)
+				}
+				if ds.MaxInFlight > p {
+					t.Errorf("dispatch P=%d peaked at %d in flight", p, ds.MaxInFlight)
+				}
+			}
+		})
+	}
+}
+
+// TestDispatchSeedOnlyAffectsWaste reruns the dispatcher under different
+// launch-order seeds: the mined result must not move.
+func TestDispatchSeedOnlyAffectsWaste(t *testing.T) {
+	tc := figure1Case()
+	var want string
+	for i, seed := range []int64{1, 99, 12345} {
+		cfg, sp := tc.mkConfig(t)
+		res, _ := RunConcurrent(cfg, 4, seed)
+		got := summarize(sp, res)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("seed %d changed the result:\n got %s\nwant %s", seed, got, want)
+		}
+	}
+}

@@ -81,6 +81,12 @@ type Config struct {
 	// Rng drives the specialization-ratio coin flips; nil disables
 	// specialization questions unless the ratio is 1.
 	Rng *rand.Rand
+
+	// Canceled, when non-nil, is polled on the question hot path; once it
+	// reports true the run stops asking questions, discards any answer
+	// still in flight, and returns the partial result. It is how
+	// Session.Close and ExecContext implement deadline/cancel.
+	Canceled func() bool
 }
 
 // Result is the outcome of a mining run.
@@ -107,12 +113,27 @@ type Result struct {
 	AnswersByMember map[string]int
 }
 
+// engineHooks are observation points the step-driven Session uses to
+// mirror the engine's scheduling state (which lattice node the current
+// round classifies, and whose turn it is) without the engine knowing about
+// sessions. Both are invoked on the engine's own goroutine; Run leaves
+// them unset.
+type engineHooks struct {
+	// onRound fires when the main loop picks the next unclassified node,
+	// with the node's instantiated question.
+	onRound func(node assign.Assignment, fs fact.Set, qKey string)
+	// onTurn fires when the member at index i gets their turn at the
+	// current round's node.
+	onTurn func(i int)
+}
+
 // engine carries the run state of the vertical multi-user algorithm.
 type engine struct {
-	cfg Config
-	sp  *assign.Space
-	agg aggregate.Aggregator
-	cls *classifier
+	cfg   Config
+	hooks engineHooks
+	sp    *assign.Space
+	agg   aggregate.Aggregator
+	cls   *classifier
 
 	pool      map[string]assign.Assignment // generated lattice nodes
 	poolOrder []string
@@ -134,6 +155,7 @@ type engine struct {
 	instCache map[string]instEntry // node key -> instantiation + question key
 
 	answersBy map[string]int // counted answers per member (§6.2 stats page)
+	budgets   []int          // per-member remaining answers (-1 = unlimited)
 
 	consistency *aggregate.ConsistencyTracker // §4.2 spammer filter (optional)
 	banned      map[string]bool               // members excluded as inconsistent
@@ -264,7 +286,15 @@ func (e *engine) pickMinimalUnclassified() (assign.Assignment, bool) {
 }
 
 func (e *engine) budgetLeft() bool {
+	if e.canceled() {
+		return false
+	}
 	return e.cfg.MaxQuestions == 0 || e.stats.TotalQuestions < e.cfg.MaxQuestions
+}
+
+// canceled reports whether the run was canceled from outside.
+func (e *engine) canceled() bool {
+	return e.cfg.Canceled != nil && e.cfg.Canceled()
 }
 
 // countAnswer books one counted crowd answer.
@@ -424,12 +454,20 @@ func (e *engine) memberSupport(m crowd.Member, node assign.Assignment) float64 {
 	}
 	if e.cfg.EnablePruning {
 		if t, ok := m.Irrelevant(termsOf(fs)); ok {
+			if e.canceled() {
+				return 0
+			}
 			e.pruned[m.ID()] = append(e.pruned[m.ID()], t)
 			e.recordAnswer(node, qKey, m.ID(), 0, KindPruning, true)
 			return 0
 		}
 	}
 	s := m.Concrete(fs)
+	if e.canceled() {
+		// Canceled while the question was in flight: discard the answer so
+		// the recorded state is a prefix of the uncanceled run's.
+		return 0
+	}
 	e.recordAnswer(node, qKey, m.ID(), s, KindConcrete, true)
 	return s
 }
@@ -553,8 +591,13 @@ func (e *engine) askSpecialization(m crowd.Member, node assign.Assignment,
 	for i, s := range succs {
 		sets[i], _ = e.instantiate(s)
 	}
-	idx, sup, ok, declined := m.ChooseSpecialization(sets)
-	if declined {
+	r := m.ChooseSpecialization(sets)
+	if e.canceled() {
+		// The run was canceled while the question was in flight: discard
+		// the answer so cancellation points never perturb recorded state.
+		return node, false
+	}
+	if r.Declined {
 		// Fall back to concrete questions on the first candidate.
 		if e.ask(m, succs[0]) {
 			e.decBudget(budget)
@@ -563,7 +606,7 @@ func (e *engine) askSpecialization(m crowd.Member, node assign.Assignment,
 		e.decBudget(budget)
 		return node, false
 	}
-	if !ok {
+	if !r.Chosen {
 		// "None of these": support 0 for every offered candidate at once,
 		// one counted answer (§6.2).
 		e.countAnswer(KindNoneOfThese)
@@ -575,14 +618,14 @@ func (e *engine) askSpecialization(m crowd.Member, node assign.Assignment,
 		}
 		return node, false
 	}
-	chosen := succs[idx]
-	qKey := sets[idx].Key()
+	chosen := succs[r.Choice]
+	qKey := sets[r.Choice].Key()
 	e.uniqueQ[qKey] = struct{}{}
 	e.countAnswer(KindSpecialization)
 	e.answersBy[m.ID()]++
 	e.decBudget(budget)
-	e.recordAnswer(chosen, qKey, m.ID(), sup, KindSpecialization, false)
-	if sup >= e.cfg.Theta-aggregate.Eps && e.cls.status(chosen) != Insignificant {
+	e.recordAnswer(chosen, qKey, m.ID(), r.Support, KindSpecialization, false)
+	if r.Support >= e.cfg.Theta-aggregate.Eps && e.cls.status(chosen) != Insignificant {
 		return chosen, true
 	}
 	return node, false
@@ -591,7 +634,8 @@ func (e *engine) askSpecialization(m crowd.Member, node assign.Assignment,
 // mainLoop drives the per-member outer loops until every generated node is
 // classified or the crowd/budget is exhausted.
 func (e *engine) mainLoop() {
-	budgets := make([]int, len(e.cfg.Members))
+	e.budgets = make([]int, len(e.cfg.Members))
+	budgets := e.budgets
 	for i := range budgets {
 		if e.cfg.MaxQuestionsPerMember > 0 {
 			budgets[i] = e.cfg.MaxQuestionsPerMember
@@ -608,8 +652,15 @@ func (e *engine) mainLoop() {
 		if e.cfg.MaxMSPs > 0 && e.confirmedMSPs() >= e.cfg.MaxMSPs {
 			return // top-k extension: enough answers confirmed
 		}
+		if e.hooks.onRound != nil {
+			fs, qKey := e.instantiate(node)
+			e.hooks.onRound(node, fs, qKey)
+		}
 		e.newAnswers = 0
 		for i, m := range e.cfg.Members {
+			if e.hooks.onTurn != nil {
+				e.hooks.onTurn(i)
+			}
 			if budgets[i] == 0 || !e.budgetLeft() || !e.memberActive(m) {
 				continue
 			}

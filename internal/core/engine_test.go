@@ -298,7 +298,7 @@ func TestCachedMemberFallback(t *testing.T) {
 	if cm.Concrete(never) != 0 || cm.Misses != 1 {
 		t.Error("miss not recorded")
 	}
-	if _, _, ok, declined := cm.ChooseSpecialization(nil); ok || !declined {
+	if r := cm.ChooseSpecialization(nil); r.Chosen || !r.Declined {
 		t.Error("cached member should decline specializations")
 	}
 	if _, ok := cm.Irrelevant(nil); ok {

@@ -58,8 +58,8 @@ type spammer struct {
 
 func (s *spammer) ID() string                { return s.name }
 func (s *spammer) Concrete(fact.Set) float64 { return s.rng.Float64() }
-func (s *spammer) ChooseSpecialization([]fact.Set) (int, float64, bool, bool) {
-	return 0, 0, false, true
+func (s *spammer) ChooseSpecialization([]fact.Set) crowd.SpecializeResponse {
+	return crowd.DeclineSpecialization()
 }
 func (s *spammer) Irrelevant([]vocab.Term) (vocab.Term, bool) { return vocab.None, false }
 

@@ -1,225 +1,646 @@
 package core
 
 import (
-	"sync"
-	"time"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
 
+	"oassis/internal/assign"
 	"oassis/internal/crowd"
 	"oassis/internal/fact"
 	"oassis/internal/vocab"
 )
 
-// Interactive runs the mining engine with inverted control, playing the
-// role of the paper's QueueManager (§6.1): instead of the engine calling
-// into crowd members, external sessions pull the next question for their
-// member and push answers back. This is the shape a crowdsourcing UI (web
-// or TTY) needs.
-//
-//	it := core.NewInteractive(cfg, []string{"ann", "bob"})
-//	for q, ok := it.NextQuestion("ann"); ok; q, ok = it.NextQuestion("ann") {
-//	    it.Answer(q, askHuman(q))
-//	}
-//	res := it.Wait()
-//
-// Each member's questions are delivered in the engine's order; NextQuestion
-// blocks until a question for that member is ready or the run ends. Answer
-// unblocks the engine. The engine goroutine finishes when the lattice is
-// classified, every member stops (Leave), or the question budget runs out;
-// Wait returns the result.
-type Interactive struct {
-	res  *Result
-	done chan struct{}
+// Session errors.
+var (
+	// ErrSessionDone is returned by Submit after the run has finished.
+	ErrSessionDone = errors.New("core: session finished")
+	// ErrUnknownQuestion is returned by Submit for an ID the session never
+	// issued or has already consumed an answer for.
+	ErrUnknownQuestion = errors.New("core: unknown or already answered question")
+)
 
-	mu      sync.Mutex
-	members map[string]*sessionMember
-}
+// QuestionID identifies one issued question within a session.
+type QuestionID int64
 
-// Question is one crowd question delivered to a session.
+// Question is one independently answerable crowd question surfaced by a
+// Session. A concrete question carries Facts; a specialization question
+// carries Choices.
 type Question struct {
-	// Member is the member the question is addressed to.
+	ID     QuestionID
 	Member string
-	// Facts is the fact-set whose frequency is asked (concrete question),
-	// or nil for a specialization question.
+	Kind   QuestionKind
+	// Facts is the fact-set whose frequency is asked (concrete question).
 	Facts fact.Set
 	// Choices holds the candidate fact-sets of a specialization question.
 	Choices []fact.Set
-
-	reply chan answerMsg
+	// Terms holds the candidate terms of a user-guided pruning question
+	// (the member may mark one as irrelevant to them).
+	Terms []vocab.Term
+	// Speculative marks a question surfaced ahead of the engine's own
+	// request — the current round's node question, or a mirror of the
+	// question the engine is blocked on, for a member whose turn has not
+	// come yet. Its answer is buffered until the engine asks for it, and
+	// is silently discarded if the engine never does.
+	Speculative bool
 }
 
 // Specialization reports whether the question asks to pick a choice.
-func (q *Question) Specialization() bool { return len(q.Choices) > 0 }
+func (q Question) Specialization() bool { return q.Kind == KindSpecialization }
 
-type answerMsg struct {
-	support  float64
-	choice   int
-	ok       bool // specialization: a choice was made
-	declined bool // specialization: member prefers concrete questions
+// Answer is the reply to a Question. For a concrete question only Support
+// is read. For a specialization question the fields mirror
+// crowd.SpecializeResponse: Chosen+Choice+Support picks a candidate,
+// Declined asks for concrete questions instead, and the zero value is
+// "none of these". For a pruning question Chosen+Choice marks the term at
+// Choice irrelevant and the zero value is "no click".
+type Answer struct {
+	Support  float64
+	Choice   int
+	Chosen   bool
+	Declined bool
 }
 
-// sessionMember adapts the pull API to the engine's crowd.Member interface.
-type sessionMember struct {
-	id        string
-	questions chan *Question
-	left      chan struct{}
-	leaveOnce sync.Once
+// AnswerSupport replies to a concrete question.
+func AnswerSupport(s float64) Answer { return Answer{Support: s} }
+
+// AnswerChoice replies to a specialization question by picking candidate
+// idx with the given support.
+func AnswerChoice(idx int, s float64) Answer {
+	return Answer{Choice: idx, Support: s, Chosen: true}
 }
 
-func (m *sessionMember) ID() string { return m.id }
+// AnswerNoneOfThese rejects every candidate of a specialization question.
+func AnswerNoneOfThese() Answer { return Answer{} }
 
-// deliver sends q to the session and waits for the answer; if the member
-// left, it reports false.
-func (m *sessionMember) deliver(q *Question) (answerMsg, bool) {
-	q.Member = m.id
-	q.reply = make(chan answerMsg, 1)
-	select {
-	case m.questions <- q:
-	case <-m.left:
-		return answerMsg{}, false
+// AnswerDecline asks for concrete questions instead of a specialization.
+func AnswerDecline() Answer { return Answer{Declined: true} }
+
+// AnswerIrrelevant replies to a pruning question by marking the term at
+// idx irrelevant.
+func AnswerIrrelevant(idx int) Answer { return Answer{Choice: idx, Chosen: true} }
+
+// AnswerNoClick replies to a pruning question without marking anything.
+func AnswerNoClick() Answer { return Answer{} }
+
+// payload is an answer in the engine's native shape.
+type payload struct {
+	support float64
+	spec    crowd.SpecializeResponse
+}
+
+// askKey identifies a question independently of when it is asked, so an
+// answer collected early (speculatively) can be merged in when the engine
+// reaches the same question.
+type askKey struct {
+	member string
+	kind   QuestionKind
+	key    string
+}
+
+// ask is one parked engine request: a proxy member blocked waiting for the
+// answer to its question.
+type ask struct {
+	key     askKey
+	facts   fact.Set
+	choices []fact.Set
+	terms   []vocab.Term
+	reply   chan payload
+}
+
+// instance is one issued Question awaiting its answer.
+type instance struct {
+	id          QuestionID
+	q           Question
+	key         askKey
+	gen         int // round generation at issue time (speculative retirement)
+	speculative bool
+	ask         *ask // non-nil when the engine is parked on this question
+}
+
+// roundState mirrors the engine's current scheduling position: the lattice
+// node the main loop is classifying and its instantiated question.
+type roundState struct {
+	node assign.Assignment
+	fs   fact.Set
+	qKey string
+	gen  int
+}
+
+// Session runs the mining engine with inverted, step-driven control: Next
+// surfaces every question that is currently independently answerable, and
+// Submit merges an answer back in, in any order. The engine itself is the
+// unmodified sequential algorithm running on its own goroutine; proxy
+// members park its question requests, and answers submitted ahead of the
+// engine's own order are buffered and merged in when the engine reaches
+// them. Results are therefore bit-identical to Run for members whose
+// answers depend only on (member, question) — which holds for answers
+// ultimately produced by humans or the pure simulated members.
+//
+//	s := core.NewSession(cfg, []string{"ann", "bob"})
+//	for qs := s.Next(); len(qs) > 0; qs = s.Next() {
+//	    for _, q := range qs {
+//	        s.Submit(q.ID, core.AnswerSupport(askHuman(q)))
+//	    }
+//	}
+//	res := s.Close()
+//
+// Beyond the one question the engine is blocked on (always first in Next's
+// slice), Next speculates: for every member whose turn has not come yet it
+// surfaces the current round's node question (the engine is known to ask
+// it unless the node classifies first) and a mirror of the engine's
+// blocked concrete question (members who share habits descend the same
+// specialization chains, so the buffered mirrors serve their chains
+// without a round trip). Speculative answers the round outruns are retired
+// without ever entering the run's statistics.
+//
+// A Session is not safe for concurrent use; callers serialize access (the
+// concurrent dispatcher RunConcurrent drives one session from one
+// goroutine and fans questions out from there).
+type Session struct {
+	eng     *engine
+	order   []string // member IDs in engine order
+	proxies map[string]*proxyMember
+
+	askCh chan *ask
+	done  chan struct{}
+	abort chan struct{}
+	res   *Result // written by the engine goroutine before done closes
+
+	insts    map[QuestionID]*instance
+	byKey    map[askKey]*instance
+	buffered map[askKey]payload
+	retired  map[QuestionID]askKey // late answers are still buffered once
+	blocked  *instance
+	nextID   QuestionID
+
+	// Engine scheduling state, written by hooks on the engine goroutine
+	// and read here only while the engine is parked.
+	round    roundState
+	roundGen int
+	curTurn  int
+
+	closed   bool
+	finished bool
+}
+
+// NewSession starts the engine over the given member IDs and parks it on
+// its first question. cfg.Members is ignored; proxy members are created
+// per ID.
+func NewSession(cfg Config, memberIDs []string) *Session {
+	s := &Session{
+		askCh:    make(chan *ask),
+		done:     make(chan struct{}),
+		abort:    make(chan struct{}),
+		insts:    make(map[QuestionID]*instance),
+		byKey:    make(map[askKey]*instance),
+		buffered: make(map[askKey]payload),
+		retired:  make(map[QuestionID]askKey),
+		proxies:  make(map[string]*proxyMember, len(memberIDs)),
+	}
+	members := make([]crowd.Member, 0, len(memberIDs))
+	for _, id := range memberIDs {
+		p := &proxyMember{s: s, id: id, left: make(chan struct{})}
+		s.proxies[id] = p
+		s.order = append(s.order, id)
+		members = append(members, p)
+	}
+	cfg.Members = members
+	userCanceled := cfg.Canceled
+	cfg.Canceled = func() bool {
+		select {
+		case <-s.abort:
+			return true
+		default:
+		}
+		return userCanceled != nil && userCanceled()
+	}
+	e := newEngine(cfg)
+	e.hooks = engineHooks{
+		onRound: func(node assign.Assignment, fs fact.Set, qKey string) {
+			s.roundGen++
+			s.round = roundState{node: node, fs: fs, qKey: qKey, gen: s.roundGen}
+			s.curTurn = -1
+		},
+		onTurn: func(i int) { s.curTurn = i },
+	}
+	s.eng = e
+	go func() {
+		e.seed()
+		e.mainLoop()
+		s.res = e.result()
+		close(s.done)
+	}()
+	s.advance()
+	return s
+}
+
+// advance waits for the engine to park on its next question (or finish),
+// serving buffered answers along the way. On return either s.blocked is
+// the engine's parked question or s.finished is set.
+func (s *Session) advance() {
+	for {
+		select {
+		case a := <-s.askCh:
+			// The engine is parked on a; it touches no shared state until
+			// the reply, so the session may read engine fields freely.
+			if s.proxies[a.key.member].Left() {
+				// The member left while the engine was already committing
+				// to this ask; answer for them as Leave would.
+				a.reply <- leavePayload(a.key.kind)
+				continue
+			}
+			if pay, ok := s.buffered[a.key]; ok {
+				// An answer collected earlier merges in at the engine's
+				// own position in the question order.
+				delete(s.buffered, a.key)
+				a.reply <- pay
+				continue
+			}
+			if inst, ok := s.byKey[a.key]; ok {
+				// A speculative question already issued for exactly this
+				// ask: adopt it, keeping its ID.
+				inst.ask = a
+				s.blocked = inst
+				return
+			}
+			inst := &instance{
+				id:  s.nextID,
+				key: a.key,
+				gen: s.roundGen,
+				ask: a,
+			}
+			s.nextID++
+			inst.q = Question{
+				ID:      inst.id,
+				Member:  a.key.member,
+				Kind:    a.key.kind,
+				Facts:   a.facts,
+				Choices: a.choices,
+				Terms:   a.terms,
+			}
+			s.insts[inst.id] = inst
+			s.byKey[inst.key] = inst
+			s.blocked = inst
+			return
+		case <-s.done:
+			s.finished = true
+			s.blocked = nil
+			// Whatever is still open can never be consumed.
+			for id, inst := range s.insts {
+				s.retired[id] = inst.key
+			}
+			s.insts = make(map[QuestionID]*instance)
+			s.byKey = make(map[askKey]*instance)
+			return
+		}
+	}
+}
+
+// retireStale drops speculative questions from rounds the engine has moved
+// past. Their IDs stay known so a late answer is still buffered (never
+// re-ask a human), but they are no longer surfaced by Next.
+func (s *Session) retireStale() {
+	for id, inst := range s.insts {
+		if inst.speculative && inst != s.blocked && inst.gen != s.roundGen {
+			s.retired[id] = inst.key
+			delete(s.insts, id)
+			delete(s.byKey, inst.key)
+		}
+	}
+}
+
+// eligible reports whether the engine could still ask member idx the
+// concrete question (key, fs): active, with budget, and without a cached,
+// primed, or pruning-implied answer — and the question is not already open
+// or buffered for them.
+func (s *Session) eligible(idx int, key string, fs fact.Set) bool {
+	id := s.order[idx]
+	if s.proxies[id].Left() {
+		return false
+	}
+	e := s.eng
+	if e.banned != nil && e.banned[id] {
+		return false
+	}
+	if idx < len(e.budgets) && e.budgets[idx] == 0 {
+		return false
+	}
+	if _, ok := e.memberAns[id][key]; ok {
+		return false
+	}
+	if e.pruneHit(id, fs) {
+		return false
+	}
+	if e.cfg.Prime != nil {
+		if _, ok := e.cfg.Prime.Lookup(key, id); ok {
+			return false
+		}
+	}
+	k := askKey{member: id, kind: KindConcrete, key: key}
+	if _, open := s.byKey[k]; open {
+		return false
+	}
+	if _, buf := s.buffered[k]; buf {
+		return false
+	}
+	return true
+}
+
+// issueSpeculative opens a speculative concrete-question instance.
+func (s *Session) issueSpeculative(memberIdx int, key string, fs fact.Set) {
+	k := askKey{member: s.order[memberIdx], kind: KindConcrete, key: key}
+	inst := &instance{
+		id:          s.nextID,
+		key:         k,
+		gen:         s.roundGen,
+		speculative: true,
+	}
+	s.nextID++
+	inst.q = Question{
+		ID:          inst.id,
+		Member:      k.member,
+		Kind:        KindConcrete,
+		Facts:       fs,
+		Speculative: true,
+	}
+	s.insts[inst.id] = inst
+	s.byKey[k] = inst
+}
+
+// speculate issues questions the engine has not asked yet but is likely
+// to, for members whose turn has not come in the current round:
+//
+//   - the round's node question — the engine asks it of every member in
+//     turn unless the node classifies first; and
+//   - a mirror of the question the engine is currently blocked on (when it
+//     is a deeper, concrete descend question): members with similar habits
+//     descend the same chains, so their buffered answers serve whole
+//     chains without a round trip when their turns come.
+//
+// Only members the engine would actually ask are considered, and answers
+// the engine never consumes are discarded without entering the statistics
+// — so speculation affects wall clock and waste, never the result.
+func (s *Session) speculate() {
+	if s.round.gen != s.roundGen {
+		return
+	}
+	mirror := ""
+	var mirrorFS fact.Set
+	if s.blocked != nil && s.blocked.key.kind == KindConcrete {
+		mirror = s.blocked.key.key
+		mirrorFS = s.blocked.q.Facts
+	}
+	for i := s.curTurn + 1; i < len(s.order); i++ {
+		if s.round.qKey != "" && s.eligible(i, s.round.qKey, s.round.fs) {
+			s.issueSpeculative(i, s.round.qKey, s.round.fs)
+		}
+		if mirror != "" && mirror != s.round.qKey && s.eligible(i, mirror, mirrorFS) {
+			s.issueSpeculative(i, mirror, mirrorFS)
+		}
+	}
+}
+
+// Next returns every question that can be answered right now: the one the
+// engine is blocked on (always first), followed by the open speculative
+// questions in issue order. It returns nil exactly when the run has
+// finished and Close/Result hold the outcome.
+func (s *Session) Next() []Question {
+	if s.finished || s.closed {
+		return nil
+	}
+	s.retireStale()
+	s.speculate()
+	out := []Question{s.blocked.q}
+	ids := make([]QuestionID, 0, len(s.insts))
+	for id, inst := range s.insts {
+		if inst != s.blocked {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		out = append(out, s.insts[id].q)
+	}
+	return out
+}
+
+// Submit merges the answer to a previously issued question. Answering the
+// engine's blocked question unparks it and advances the run to its next
+// question; answering a speculative question buffers the answer until the
+// engine reaches it. Answers to retired questions are buffered too —
+// a collected human answer is never thrown away while the question could
+// still be asked — and are discarded only if the run never needs them.
+func (s *Session) Submit(id QuestionID, a Answer) error {
+	if key, ok := s.retired[id]; ok {
+		delete(s.retired, id)
+		if !s.finished {
+			s.buffered[key] = payloadFor(key.kind, a)
+		}
+		return nil
+	}
+	if s.finished || s.closed {
+		return ErrSessionDone
+	}
+	inst, ok := s.insts[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownQuestion, id)
+	}
+	pay := payloadFor(inst.key.kind, a)
+	delete(s.insts, id)
+	delete(s.byKey, inst.key)
+	if inst == s.blocked {
+		s.blocked = nil
+		inst.ask.reply <- pay
+		s.advance()
+		return nil
+	}
+	s.buffered[inst.key] = pay
+	return nil
+}
+
+func payloadFor(kind QuestionKind, a Answer) payload {
+	if kind == KindConcrete {
+		return payload{support: a.Support}
+	}
+	// Specialization and pruning answers both travel as a
+	// SpecializeResponse; for pruning, Chosen+Choice is the clicked term.
+	return payload{spec: crowd.SpecializeResponse{
+		Choice:   a.Choice,
+		Support:  a.Support,
+		Chosen:   a.Chosen,
+		Declined: a.Declined,
+	}}
+}
+
+// leavePayload is the answer the session gives on a leaving member's
+// behalf: support 0 for a concrete question (a harmless one-answer bias
+// the aggregator absorbs), decline for a specialization, no click for a
+// pruning offer.
+func leavePayload(kind QuestionKind) payload {
+	if kind == KindConcrete {
+		return payload{}
+	}
+	return payload{spec: crowd.DeclineSpecialization()}
+}
+
+// Leave ends a member's participation: the engine stops asking them, and a
+// question of theirs still in flight is answered with leavePayload.
+func (s *Session) Leave(memberID string) {
+	if p := s.proxies[memberID]; p != nil {
+		p.leave()
+		if s.blocked != nil && s.blocked.key.member == memberID && !s.finished {
+			// Answer the parked ask on the member's behalf and catch the
+			// engine up to its next question.
+			a := s.blocked.ask
+			id := s.blocked.id
+			s.retired[id] = s.blocked.key
+			delete(s.insts, id)
+			delete(s.byKey, s.blocked.key)
+			s.blocked = nil
+			a.reply <- leavePayload(a.key.kind)
+			s.advance()
+		}
+	}
+}
+
+// Done reports whether the run has finished and Result is available.
+func (s *Session) Done() bool { return s.finished }
+
+// Result returns the outcome, or nil while the run is still going.
+func (s *Session) Result() *Result {
+	if !s.finished {
+		return nil
+	}
+	return s.res
+}
+
+// Close cancels the run if it is still going, waits for the engine to wind
+// down, and returns the (possibly partial) result. Closing an already
+// finished session just returns the result.
+func (s *Session) Close() *Result {
+	if !s.closed {
+		s.closed = true
+		close(s.abort)
+	}
+	if !s.finished {
+		<-s.done
+		s.finished = true
+	}
+	return s.res
+}
+
+// proxyMember adapts the engine's pull on crowd.Member to the session's
+// parked-question handshake.
+type proxyMember struct {
+	s    *Session
+	id   string
+	left chan struct{}
+}
+
+func (p *proxyMember) ID() string { return p.id }
+
+// rendezvous parks the engine on a question and waits for the session to
+// deliver the answer; ok is false when the session aborts or the member
+// leaves while parked.
+func (p *proxyMember) rendezvous(kind QuestionKind, key string, fs fact.Set, choices []fact.Set, terms []vocab.Term) (payload, bool) {
+	a := &ask{
+		key:     askKey{member: p.id, kind: kind, key: key},
+		facts:   fs,
+		choices: choices,
+		terms:   terms,
+		reply:   make(chan payload, 1),
 	}
 	select {
-	case a := <-q.reply:
-		return a, true
-	case <-m.left:
-		return answerMsg{}, false
+	case p.s.askCh <- a:
+	case <-p.s.abort:
+		return payload{}, false
+	case <-p.left:
+		return payload{}, false
+	}
+	// Once the ask is sent the session owns it and always replies (Leave
+	// answers with leavePayload), so the engine provably touches no state
+	// while the session runs: no left case here.
+	select {
+	case pay := <-a.reply:
+		return pay, true
+	case <-p.s.abort:
+		return payload{}, false
 	}
 }
 
-func (m *sessionMember) Concrete(fs fact.Set) float64 {
-	a, ok := m.deliver(&Question{Facts: fs})
+// Concrete implements crowd.Member.
+func (p *proxyMember) Concrete(fs fact.Set) float64 {
+	pay, ok := p.rendezvous(KindConcrete, fs.Key(), fs, nil, nil)
 	if !ok {
 		return 0
 	}
-	return a.support
+	return pay.support
 }
 
-func (m *sessionMember) ChooseSpecialization(candidates []fact.Set) (int, float64, bool, bool) {
-	a, ok := m.deliver(&Question{Choices: candidates})
+// ChooseSpecialization implements crowd.Member.
+func (p *proxyMember) ChooseSpecialization(candidates []fact.Set) crowd.SpecializeResponse {
+	pay, ok := p.rendezvous(KindSpecialization, specKey(candidates), nil, candidates, nil)
 	if !ok {
-		return 0, 0, false, true
+		return crowd.DeclineSpecialization()
 	}
-	return a.choice, a.support, a.ok, a.declined
+	return pay.spec
 }
 
-func (m *sessionMember) Irrelevant([]vocab.Term) (vocab.Term, bool) {
-	// User-guided pruning is not exposed through the pull protocol; the
-	// five-answer UI flow covers the paper's question types.
+// Irrelevant implements crowd.Member: the pruning click travels through
+// the session protocol as a KindPruning question whose answer names the
+// clicked term by index (or clicks nothing).
+func (p *proxyMember) Irrelevant(terms []vocab.Term) (vocab.Term, bool) {
+	if len(terms) == 0 {
+		return vocab.None, false
+	}
+	pay, ok := p.rendezvous(KindPruning, pruneKey(terms), nil, nil, terms)
+	if !ok {
+		return vocab.None, false
+	}
+	if pay.spec.Chosen && pay.spec.Choice >= 0 && pay.spec.Choice < len(terms) {
+		return terms[pay.spec.Choice], true
+	}
 	return vocab.None, false
 }
 
 // Left implements the engine's leaver interface.
-func (m *sessionMember) Left() bool {
+func (p *proxyMember) Left() bool {
 	select {
-	case <-m.left:
+	case <-p.left:
 		return true
 	default:
 		return false
 	}
 }
 
-// NewInteractive starts the engine over the given member IDs. cfg.Members
-// is ignored; sessions are created per ID.
-func NewInteractive(cfg Config, memberIDs []string) *Interactive {
-	it := &Interactive{
-		done:    make(chan struct{}),
-		members: make(map[string]*sessionMember, len(memberIDs)),
-	}
-	var members []crowd.Member
-	for _, id := range memberIDs {
-		sm := &sessionMember{
-			id:        id,
-			questions: make(chan *Question),
-			left:      make(chan struct{}),
-		}
-		it.members[id] = sm
-		members = append(members, sm)
-	}
-	cfg.Members = members
-	go func() {
-		res := Run(cfg)
-		it.mu.Lock()
-		it.res = res
-		it.mu.Unlock()
-		close(it.done)
-	}()
-	return it
-}
-
-// NextQuestion blocks until the engine has a question for the member or the
-// run ends (ok == false).
-func (it *Interactive) NextQuestion(memberID string) (*Question, bool) {
-	q, ok, _ := it.nextQuestion(memberID, nil)
-	return q, ok
-}
-
-// NextQuestionTimeout is NextQuestion with a deadline, for long-polling
-// servers: it returns (nil, false, true) when no question arrived in time
-// but the run is still going, and running == false when the run has ended.
-// A question is never lost to a timeout — the engine's send blocks until
-// some call receives it.
-func (it *Interactive) NextQuestionTimeout(memberID string, d time.Duration) (q *Question, ok, running bool) {
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	return it.nextQuestion(memberID, timer.C)
-}
-
-func (it *Interactive) nextQuestion(memberID string, timeout <-chan time.Time) (*Question, bool, bool) {
-	it.mu.Lock()
-	m := it.members[memberID]
-	it.mu.Unlock()
-	if m == nil {
-		return nil, false, false
-	}
+func (p *proxyMember) leave() {
 	select {
-	case q := <-m.questions:
-		return q, true, true
-	case <-it.done:
-		return nil, false, false
-	case <-timeout:
-		return nil, false, true
+	case <-p.left:
+	default:
+		close(p.left)
 	}
 }
 
-// Answer replies to a concrete question.
-func (it *Interactive) Answer(q *Question, support float64) {
-	q.reply <- answerMsg{support: support}
-}
-
-// AnswerChoice replies to a specialization question with the chosen
-// candidate and its frequency.
-func (it *Interactive) AnswerChoice(q *Question, choice int, support float64) {
-	q.reply <- answerMsg{choice: choice, support: support, ok: true}
-}
-
-// AnswerNoneOfThese replies to a specialization question with "none of
-// these" (all candidates get frequency 0).
-func (it *Interactive) AnswerNoneOfThese(q *Question) {
-	q.reply <- answerMsg{}
-}
-
-// Decline replies to a specialization question by asking for concrete
-// questions instead.
-func (it *Interactive) Decline(q *Question) {
-	q.reply <- answerMsg{declined: true}
-}
-
-// Leave ends a member's participation: the engine stops asking them (a
-// single question already in flight is recorded as support 0, a harmless
-// one-answer bias the aggregator absorbs).
-func (it *Interactive) Leave(memberID string) {
-	it.mu.Lock()
-	m := it.members[memberID]
-	it.mu.Unlock()
-	if m != nil {
-		m.leaveOnce.Do(func() { close(m.left) })
+// specKey builds the ask key of a specialization question from its
+// candidate list.
+func specKey(candidates []fact.Set) string {
+	keys := make([]string, len(candidates))
+	for i, c := range candidates {
+		keys[i] = c.Key()
 	}
+	return strings.Join(keys, "||")
 }
 
-// Wait blocks until the run finishes and returns the result.
-func (it *Interactive) Wait() *Result {
-	<-it.done
-	return it.res
+// pruneKey builds the ask key of a pruning question from its term list.
+func pruneKey(terms []vocab.Term) string {
+	var b strings.Builder
+	for i, t := range terms {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", int(t))
+	}
+	return b.String()
 }
-
-// Done reports a channel closed when the run finishes.
-func (it *Interactive) Done() <-chan struct{} { return it.done }

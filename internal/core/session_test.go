@@ -1,48 +1,53 @@
 package core
 
 import (
-	"sync"
+	"errors"
+	"fmt"
 	"testing"
-	"time"
 
 	"oassis/internal/aggregate"
 	"oassis/internal/crowd"
-	"oassis/internal/fact"
-	"oassis/internal/ontology"
 )
 
-// driveSession answers every question for one member from a personal DB,
-// like a human with that history would.
-func driveSession(t *testing.T, it *Interactive, id string, db *crowd.PersonalDB, wg *sync.WaitGroup) {
+// driveSession answers every surfaced question (blocked and speculative)
+// from the members' personal DBs, like the crowd with those histories
+// would, until the run finishes.
+func driveSession(t *testing.T, s *Session, dbs map[string]*crowd.PersonalDB) {
 	t.Helper()
-	defer wg.Done()
-	for {
-		q, ok := it.NextQuestion(id)
-		if !ok {
-			return
+	for qs := s.Next(); qs != nil; qs = s.Next() {
+		if len(qs) == 0 {
+			t.Fatal("Next returned an empty, non-nil slice")
 		}
-		if q.Member != id {
-			t.Errorf("question for %s delivered to %s", q.Member, id)
-		}
-		if q.Specialization() {
-			picked := false
-			for i, c := range q.Choices {
-				if db.Support(c) >= 0.3 {
-					it.AnswerChoice(q, i, db.Support(c))
-					picked = true
-					break
-				}
+		for _, q := range qs {
+			db := dbs[q.Member]
+			if db == nil {
+				t.Fatalf("question for unknown member %q", q.Member)
 			}
-			if !picked {
-				it.AnswerNoneOfThese(q)
+			if err := s.Submit(q.ID, answerFromDB(db, q)); err != nil {
+				t.Fatalf("submit %d: %v", q.ID, err)
 			}
-			continue
+			if s.Done() {
+				break
+			}
 		}
-		it.Answer(q, db.Support(q.Facts))
 	}
 }
 
-func TestInteractiveSessionMatchesBatchRun(t *testing.T) {
+// answerFromDB answers one question the way a member with that personal
+// history would.
+func answerFromDB(db *crowd.PersonalDB, q Question) Answer {
+	if q.Specialization() {
+		for i, c := range q.Choices {
+			if db.Support(c) >= 0.3 {
+				return AnswerChoice(i, db.Support(c))
+			}
+		}
+		return AnswerNoneOfThese()
+	}
+	return AnswerSupport(db.Support(q.Facts))
+}
+
+func TestSessionMatchesBatchRun(t *testing.T) {
 	s, q, sp := buildSpace(t, figure3Restricted)
 	batch := Run(Config{
 		Space:   sp,
@@ -52,145 +57,313 @@ func TestInteractiveSessionMatchesBatchRun(t *testing.T) {
 	})
 
 	_, _, sp2 := buildSpace(t, figure3Restricted)
-	it := NewInteractive(Config{
+	sess := NewSession(Config{
 		Space: sp2,
 		Theta: q.Support,
 		Agg:   aggregate.NewFixedSample(2),
 	}, []string{"u1", "u2"})
-
 	u1, u2 := crowd.SampleDBs(s)
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go driveSession(t, it, "u1", u1, &wg)
-	go driveSession(t, it, "u2", u2, &wg)
-	res := it.Wait()
-	wg.Wait()
+	driveSession(t, sess, map[string]*crowd.PersonalDB{"u1": u1, "u2": u2})
 
+	res := sess.Close()
 	want := mspNames(sp, batch.ValidMSPs)
 	got := mspNames(sp2, res.ValidMSPs)
 	if len(got) != len(want) {
-		t.Fatalf("interactive %v vs batch %v", got, want)
+		t.Fatalf("session %v vs batch %v", got, want)
 	}
 	for k := range want {
 		if !got[k] {
-			t.Errorf("interactive run missing MSP %s", k)
+			t.Errorf("session run missing MSP %s", k)
 		}
+	}
+	if fmt.Sprintf("%+v", res.Stats) != fmt.Sprintf("%+v", batch.Stats) {
+		t.Errorf("stats diverged:\nsession %+v\nbatch   %+v", res.Stats, batch.Stats)
 	}
 }
 
-func TestInteractiveSpecializationFlow(t *testing.T) {
+// TestSessionSpeculativeOrder answers the speculative questions before the
+// engine's blocked one on every step: the merge order must not change the
+// outcome, and speculation must actually surface extra questions.
+func TestSessionSpeculativeOrder(t *testing.T) {
 	s, q, sp := buildSpace(t, figure3Restricted)
-	it := NewInteractive(Config{
+	batch := Run(Config{
+		Space:   sp,
+		Theta:   q.Support,
+		Members: sampleMembers(s),
+		Agg:     aggregate.NewFixedSample(2),
+	})
+
+	_, _, sp2 := buildSpace(t, figure3Restricted)
+	sess := NewSession(Config{
+		Space: sp2,
+		Theta: q.Support,
+		Agg:   aggregate.NewFixedSample(2),
+	}, []string{"u1", "u2"})
+	u1, u2 := crowd.SampleDBs(s)
+	dbs := map[string]*crowd.PersonalDB{"u1": u1, "u2": u2}
+
+	sawSpeculative := false
+	for qs := sess.Next(); qs != nil; qs = sess.Next() {
+		// Reverse order: speculative answers land first, the blocked
+		// question last.
+		for i := len(qs) - 1; i >= 0 && !sess.Done(); i-- {
+			q := qs[i]
+			if q.Speculative {
+				sawSpeculative = true
+			}
+			if err := sess.Submit(q.ID, answerFromDB(dbs[q.Member], q)); err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+		}
+	}
+	if !sawSpeculative {
+		t.Error("no speculative question surfaced for a two-member crowd")
+	}
+	res := sess.Close()
+	want := mspNames(sp, batch.ValidMSPs)
+	got := mspNames(sp2, res.ValidMSPs)
+	if len(got) != len(want) {
+		t.Fatalf("session %v vs batch %v", got, want)
+	}
+	if fmt.Sprintf("%+v", res.Stats) != fmt.Sprintf("%+v", batch.Stats) {
+		t.Errorf("stats diverged:\nsession %+v\nbatch   %+v", res.Stats, batch.Stats)
+	}
+}
+
+func TestSessionSpecializationFlow(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	sess := NewSession(Config{
 		Space:               sp,
 		Theta:               q.Support,
 		Agg:                 aggregate.NewFixedSample(1),
 		SpecializationRatio: 1,
 	}, []string{"u1"})
 	u1, _ := crowd.SampleDBs(s)
-	var wg sync.WaitGroup
-	wg.Add(1)
 	sawSpecialization := false
-	go func() {
-		defer wg.Done()
-		for {
-			qq, ok := it.NextQuestion("u1")
-			if !ok {
-				return
+	for qs := sess.Next(); qs != nil; qs = sess.Next() {
+		q := qs[0]
+		if q.Specialization() {
+			sawSpecialization = true
+			if err := sess.Submit(q.ID, AnswerDecline()); err != nil {
+				t.Fatalf("submit: %v", err)
 			}
-			if qq.Specialization() {
-				sawSpecialization = true
-				it.Decline(qq) // always prefer concrete questions
-				continue
-			}
-			it.Answer(qq, u1.Support(qq.Facts))
+			continue
 		}
-	}()
-	res := it.Wait()
-	wg.Wait()
+		if err := sess.Submit(q.ID, AnswerSupport(u1.Support(q.Facts))); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	res := sess.Close()
 	if !sawSpecialization {
 		t.Error("no specialization question delivered at ratio 1")
 	}
 	if len(res.MSPs) == 0 {
-		t.Error("no MSPs from interactive specialization flow")
+		t.Error("no MSPs from session specialization flow")
 	}
 }
 
-func TestInteractiveLeave(t *testing.T) {
+func TestSessionLeave(t *testing.T) {
 	s, q, sp := buildSpace(t, figure3Restricted)
-	it := NewInteractive(Config{
+	sess := NewSession(Config{
 		Space: sp,
 		Theta: q.Support,
 		Agg:   aggregate.NewFixedSample(2),
 	}, []string{"u1", "quitter"})
 	u1, _ := crowd.SampleDBs(s)
-	var wg sync.WaitGroup
-	wg.Add(2)
-	answered := 0
-	go func() {
-		defer wg.Done()
-		for {
-			qq, ok := it.NextQuestion("quitter")
-			if !ok {
-				return
+	quitterAnswers := 0
+	for qs := sess.Next(); qs != nil; qs = sess.Next() {
+		q := qs[0]
+		switch q.Member {
+		case "quitter":
+			quitterAnswers++
+			if err := sess.Submit(q.ID, AnswerSupport(0.5)); err != nil {
+				t.Fatalf("submit: %v", err)
 			}
-			answered++
-			it.Answer(qq, 0.5)
-			if answered >= 2 {
-				it.Leave("quitter")
-				return
+			if quitterAnswers == 2 {
+				sess.Leave("quitter")
+			}
+		default:
+			if err := sess.Submit(q.ID, answerFromDB(u1, q)); err != nil {
+				t.Fatalf("submit: %v", err)
 			}
 		}
-	}()
-	go driveSession(t, it, "u1", u1, &wg)
-	res := it.Wait()
-	wg.Wait()
+	}
+	res := sess.Close()
 	if res == nil {
 		t.Fatal("no result after a member left")
 	}
 	// Leaving twice is harmless; leaving an unknown member too.
-	it.Leave("quitter")
-	it.Leave("nobody")
-	if _, ok := it.NextQuestion("nobody"); ok {
-		t.Error("question delivered to unknown member")
+	sess.Leave("quitter")
+	sess.Leave("nobody")
+}
+
+// TestSessionLeaveBlockedMember leaves the member the engine is currently
+// parked on; the session must catch the engine up to its next question
+// rather than deadlock.
+func TestSessionLeaveBlockedMember(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	sess := NewSession(Config{
+		Space: sp,
+		Theta: q.Support,
+		Agg:   aggregate.NewFixedSample(2),
+	}, []string{"quitter", "u1"})
+	u1, _ := crowd.SampleDBs(s)
+	qs := sess.Next()
+	if qs[0].Member != "quitter" {
+		t.Fatalf("first question for %s, want quitter", qs[0].Member)
+	}
+	leftID := qs[0].ID
+	sess.Leave("quitter")
+	for qs := sess.Next(); qs != nil; qs = sess.Next() {
+		q := qs[0]
+		if q.Member == "quitter" {
+			t.Fatal("question for a member who left")
+		}
+		if err := sess.Submit(q.ID, answerFromDB(u1, q)); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	if sess.Close() == nil {
+		t.Fatal("no result")
+	}
+	// A late answer to the abandoned question is accepted and dropped.
+	if err := sess.Submit(leftID, AnswerSupport(1)); err != nil {
+		t.Errorf("late submit to retired question: %v", err)
 	}
 }
 
-func TestInteractiveDoneUnblocksWaiters(t *testing.T) {
-	s := ontology.NewSample()
-	_ = s
+func TestSessionSubmitErrors(t *testing.T) {
 	_, q, sp := buildSpace(t, figure3Restricted)
-	it := NewInteractive(Config{
+	sess := NewSession(Config{
 		Space:        sp,
 		Theta:        q.Support,
 		Agg:          aggregate.NewFixedSample(1),
 		MaxQuestions: 1,
 	}, []string{"u1"})
-	// Answer one question, then the budget ends the run; NextQuestion must
-	// return ok=false rather than hang.
-	qq, ok := it.NextQuestion("u1")
-	if !ok {
+	qs := sess.Next()
+	if len(qs) == 0 {
 		t.Fatal("no first question")
 	}
-	it.Answer(qq, 1)
-	done := make(chan struct{})
-	go func() {
-		if _, ok := it.NextQuestion("u1"); ok {
-			// A second question may arrive before the budget check; answer
-			// it so the run can end.
-			t.Error("question beyond budget")
+	if err := sess.Submit(QuestionID(999), AnswerSupport(1)); !errors.Is(err, ErrUnknownQuestion) {
+		t.Errorf("unknown id: got %v, want ErrUnknownQuestion", err)
+	}
+	if err := sess.Submit(qs[0].ID, AnswerSupport(1)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// The one-question budget ends the run.
+	for qs := sess.Next(); qs != nil; qs = sess.Next() {
+		if err := sess.Submit(qs[0].ID, AnswerSupport(1)); err != nil {
+			t.Fatalf("submit: %v", err)
 		}
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(5 * time.Second):
-		t.Fatal("NextQuestion hung after run end")
 	}
-	_ = it.Wait()
-	select {
-	case <-it.Done():
-	default:
-		t.Error("Done not closed after Wait")
+	if !sess.Done() {
+		t.Fatal("session not done after budget")
 	}
-	_ = fact.Set{}
+	if err := sess.Submit(QuestionID(998), AnswerSupport(1)); !errors.Is(err, ErrSessionDone) {
+		t.Errorf("submit after done: got %v, want ErrSessionDone", err)
+	}
+	if sess.Result() == nil {
+		t.Error("no result after done")
+	}
+	if sess.Close() == nil {
+		t.Error("Close lost the result")
+	}
+}
+
+// TestSessionCloseMidRun abandons the run with a question outstanding; the
+// engine must wind down and report the partial result.
+func TestSessionCloseMidRun(t *testing.T) {
+	_, q, sp := buildSpace(t, figure3Restricted)
+	sess := NewSession(Config{
+		Space: sp,
+		Theta: q.Support,
+		Agg:   aggregate.NewFixedSample(1),
+	}, []string{"u1"})
+	if qs := sess.Next(); len(qs) == 0 {
+		t.Fatal("no first question")
+	}
+	res := sess.Close()
+	if res == nil {
+		t.Fatal("no partial result from Close")
+	}
+	if sess.Next() != nil {
+		t.Error("Next after Close surfaced a question")
+	}
+}
+
+// TestSessionCanceled wires Config.Canceled the way ExecContext does and
+// cancels after the first answer: the run must stop early with a partial
+// result.
+func TestSessionCanceled(t *testing.T) {
+	_, q, sp := buildSpace(t, figure3Restricted)
+	canceled := false
+	sess := NewSession(Config{
+		Space:    sp,
+		Theta:    q.Support,
+		Agg:      aggregate.NewFixedSample(1),
+		Canceled: func() bool { return canceled },
+	}, []string{"u1"})
+	qs := sess.Next()
+	if len(qs) == 0 {
+		t.Fatal("no first question")
+	}
+	canceled = true
+	if err := sess.Submit(qs[0].ID, AnswerSupport(1)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	for qs := sess.Next(); qs != nil; qs = sess.Next() {
+		if err := sess.Submit(qs[0].ID, AnswerSupport(1)); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	res := sess.Close()
+	if res == nil {
+		t.Fatal("no result after cancellation")
+	}
+	// The discarded in-flight answer must not have been recorded.
+	if res.Stats.TotalQuestions != 0 {
+		t.Errorf("answers recorded after cancel: %d", res.Stats.TotalQuestions)
+	}
+}
+
+// TestSessionPruningFlow routes a user-guided pruning click through the
+// session protocol.
+func TestSessionPruningFlow(t *testing.T) {
+	s, q, sp := buildSpace(t, figure3Restricted)
+	sess := NewSession(Config{
+		Space:         sp,
+		Theta:         q.Support,
+		Agg:           aggregate.NewFixedSample(1),
+		EnablePruning: true,
+	}, []string{"u1"})
+	u1, _ := crowd.SampleDBs(s)
+	sawPruning := false
+	for qs := sess.Next(); qs != nil; qs = sess.Next() {
+		q := qs[0]
+		if q.Kind == KindPruning {
+			sawPruning = true
+			// Click the first term that never occurs in the history.
+			ans := AnswerNoClick()
+			for i, term := range q.Terms {
+				if !u1.ContainsTerm(term) {
+					ans = AnswerIrrelevant(i)
+					break
+				}
+			}
+			if err := sess.Submit(q.ID, ans); err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+			continue
+		}
+		if err := sess.Submit(q.ID, answerFromDB(u1, q)); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	res := sess.Close()
+	if !sawPruning {
+		t.Error("no pruning question surfaced with EnablePruning")
+	}
+	if res.Stats.Pruning == 0 {
+		t.Error("pruning click not recorded")
+	}
 }

@@ -128,23 +128,22 @@ func TestSimMemberSpecialization(t *testing.T) {
 		{s.Fact("Feed a Monkey", "doAt", "Bronx Zoo")}, // 3/6
 		{s.Fact("Basketball", "doAt", "Central Park")}, // 1/6
 	}
-	idx, sup, ok, declined := m.ChooseSpecialization(candidates)
-	if declined || !ok {
-		t.Fatalf("ok=%v declined=%v", ok, declined)
+	r := m.ChooseSpecialization(candidates)
+	if r.Declined || !r.Chosen {
+		t.Fatalf("chosen=%v declined=%v", r.Chosen, r.Declined)
 	}
-	if idx != 1 || !almost(sup, 0.5) {
-		t.Errorf("picked %d (%v), want 1 (0.5)", idx, sup)
+	if r.Choice != 1 || !almost(r.Support, 0.5) {
+		t.Errorf("picked %d (%v), want 1 (0.5)", r.Choice, r.Support)
 	}
 	// All below theta → "none of these".
 	m.Theta = 0.9
-	_, _, ok, declined = m.ChooseSpecialization(candidates)
-	if ok || declined {
-		t.Errorf("want none-of-these, got ok=%v declined=%v", ok, declined)
+	r = m.ChooseSpecialization(candidates)
+	if r.Chosen || r.Declined {
+		t.Errorf("want none-of-these, got chosen=%v declined=%v", r.Chosen, r.Declined)
 	}
 	// SpecializeProb 0 → declines.
 	m.SpecializeProb = 0
-	_, _, _, declined = m.ChooseSpecialization(candidates)
-	if !declined {
+	if !m.ChooseSpecialization(candidates).Declined {
 		t.Error("member should decline with SpecializeProb 0")
 	}
 	// Probabilistic path with RNG.
@@ -152,7 +151,7 @@ func TestSimMemberSpecialization(t *testing.T) {
 	m.Rng = rand.New(rand.NewSource(1))
 	declinedCount := 0
 	for i := 0; i < 200; i++ {
-		if _, _, _, d := m.ChooseSpecialization(candidates); d {
+		if m.ChooseSpecialization(candidates).Declined {
 			declinedCount++
 		}
 	}

@@ -1,0 +1,39 @@
+package crowd
+
+import (
+	"time"
+
+	"oassis/internal/fact"
+	"oassis/internal/vocab"
+)
+
+// Latent wraps a Member with a fixed per-answer latency, modeling the
+// dominant cost of crowd mining: a human answer takes seconds, not
+// nanoseconds (§6.2 collects answers over days). It is the workload behind
+// the dispatcher benchmarks — with latent members, wall clock measures how
+// many questions are genuinely in flight at once rather than CPU time.
+type Latent struct {
+	M     Member
+	Delay time.Duration
+}
+
+// ID implements Member.
+func (l *Latent) ID() string { return l.M.ID() }
+
+// Concrete implements Member, answering after Delay.
+func (l *Latent) Concrete(fs fact.Set) float64 {
+	time.Sleep(l.Delay)
+	return l.M.Concrete(fs)
+}
+
+// ChooseSpecialization implements Member, answering after Delay.
+func (l *Latent) ChooseSpecialization(candidates []fact.Set) SpecializeResponse {
+	time.Sleep(l.Delay)
+	return l.M.ChooseSpecialization(candidates)
+}
+
+// Irrelevant implements Member, answering after Delay.
+func (l *Latent) Irrelevant(terms []vocab.Term) (vocab.Term, bool) {
+	time.Sleep(l.Delay)
+	return l.M.Irrelevant(terms)
+}

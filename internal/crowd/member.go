@@ -7,6 +7,39 @@ import (
 	"oassis/internal/vocab"
 )
 
+// SpecializeResponse is the structured answer to a specialization question.
+// Exactly one of the three outcomes applies: Chosen (the member picked the
+// candidate at Choice and reports its Support), Declined (the member
+// prefers concrete questions — the paper lets members choose the question
+// type), or neither ("none of these", which assigns support 0 to every
+// candidate at once).
+type SpecializeResponse struct {
+	// Choice indexes the picked candidate; meaningful only when Chosen.
+	Choice int
+	// Support is the member's support for the picked candidate in [0, 1].
+	Support float64
+	// Chosen reports that a candidate was picked.
+	Chosen bool
+	// Declined reports that the member wants a concrete question instead.
+	Declined bool
+	// More is reserved for volunteered MORE-facts accompanying the answer
+	// (the §8 extension); the engine ignores it today.
+	More fact.Set
+}
+
+// Choose is a SpecializeResponse picking candidate idx with the given
+// support.
+func Choose(idx int, support float64) SpecializeResponse {
+	return SpecializeResponse{Choice: idx, Support: support, Chosen: true}
+}
+
+// NoneOfThese is the SpecializeResponse rejecting every candidate.
+func NoneOfThese() SpecializeResponse { return SpecializeResponse{} }
+
+// DeclineSpecialization is the SpecializeResponse asking for concrete
+// questions instead.
+func DeclineSpecialization() SpecializeResponse { return SpecializeResponse{Declined: true} }
+
 // Member is the question interface between the mining engine and one crowd
 // member. All questions are about fact-sets (the instantiated SATISFYING
 // meta-fact-set of an assignment).
@@ -21,11 +54,9 @@ type Member interface {
 	// ChooseSpecialization answers a specialization question: given the
 	// candidate specializations of the current fact-set (the UI's
 	// auto-completion suggestions, §6.2), the member picks one that is
-	// significant in their history and reports its support. ok == false
-	// means "none of these", which assigns support 0 to every candidate at
-	// once. declined == true means the member prefers a concrete question
-	// instead (the paper lets members choose the question type).
-	ChooseSpecialization(candidates []fact.Set) (idx int, support float64, ok, declined bool)
+	// significant in their history and reports its support, rejects all of
+	// them, or declines in favor of a concrete question.
+	ChooseSpecialization(candidates []fact.Set) SpecializeResponse
 
 	// Irrelevant implements user-guided pruning (§6.2): the member may mark
 	// one of the given terms as irrelevant, meaning every assignment
@@ -112,13 +143,13 @@ func (m *SimMember) Concrete(fs fact.Set) float64 {
 }
 
 // ChooseSpecialization implements Member.
-func (m *SimMember) ChooseSpecialization(candidates []fact.Set) (int, float64, bool, bool) {
+func (m *SimMember) ChooseSpecialization(candidates []fact.Set) SpecializeResponse {
 	if !m.chance(m.SpecializeProb) {
-		return 0, 0, false, true // prefers a concrete question
+		return DeclineSpecialization() // prefers a concrete question
 	}
 	idx, sup := m.DB.FrequentSupersets(candidates, m.Theta)
 	if len(idx) == 0 {
-		return 0, 0, false, false // "none of these"
+		return NoneOfThese()
 	}
 	// Pick the most frequent candidate (deterministic tie-break by index).
 	best := 0
@@ -127,7 +158,7 @@ func (m *SimMember) ChooseSpecialization(candidates []fact.Set) (int, float64, b
 			best = i
 		}
 	}
-	return idx[best], m.disc(sup[best]), true, false
+	return Choose(idx[best], m.disc(sup[best]))
 }
 
 // Irrelevant implements Member: terms never occurring (even generalized) in

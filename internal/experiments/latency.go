@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/synth"
+)
+
+// latencyPoint is one dispatcher measurement: the wall clock of a full
+// mining run at one parallelism level, plus what the dispatcher paid in
+// speculative answers for it.
+type latencyPoint struct {
+	Parallelism int
+	Elapsed     time.Duration
+	Dispatch    core.DispatchStats
+	Questions   int
+}
+
+// latencyConfig builds the latency workload: a small synthetic space mined
+// by a crowd of pure oracles, each wrapped in crowd.Latent so every answer
+// costs `delay` of wall clock — the regime the paper collects answers in
+// (humans take seconds; §6.2 runs over days). Answer aggregation needs
+// answersPerQuestion members per node, which is the parallelism the
+// dispatcher can actually exploit.
+func latencyConfig(delay time.Duration, members, answersPerQuestion int) (core.Config, error) {
+	sp, err := synth.GenerateSpace(synth.DAGConfig{
+		Width: 4, Depth: 2, XWidth: 2, XDepth: 1, Seed: 5,
+	})
+	if err != nil {
+		return core.Config{}, err
+	}
+	planted, err := sp.PlantMSPs(synth.MSPConfig{Count: 3, Seed: 5})
+	if err != nil {
+		return core.Config{}, err
+	}
+	crowdMembers := make([]crowd.Member, members)
+	for i := range crowdMembers {
+		crowdMembers[i] = &crowd.Latent{
+			M:     synth.NewOracle(fmt.Sprintf("m%02d", i), sp, planted),
+			Delay: delay,
+		}
+	}
+	return core.Config{
+		Space:   sp.Sp,
+		Theta:   0.5,
+		Members: crowdMembers,
+		Agg:     aggregate.NewFixedSample(answersPerQuestion),
+	}, nil
+}
+
+// latencySummary renders a run result for equality checks across
+// parallelism levels.
+func latencySummary(res *core.Result) string {
+	keys := make([]string, 0, len(res.MSPs))
+	for _, m := range res.MSPs {
+		keys = append(keys, m.Key())
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("msps=%v stats=%v", keys, res.Stats.String())
+}
+
+// runDispatchLatency measures one full mining run per parallelism level and
+// verifies the mined result never moves. The workload holds 12 latent
+// members with 8 answers required per question, so up to 8 questions are
+// genuinely useful in flight at once.
+func runDispatchLatency(delay time.Duration, parallelisms []int) ([]latencyPoint, error) {
+	var points []latencyPoint
+	var want string
+	for i, p := range parallelisms {
+		cfg, err := latencyConfig(delay, 12, 8)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, ds := core.RunConcurrent(cfg, p, 42)
+		elapsed := time.Since(start)
+		got := latencySummary(res)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			return nil, fmt.Errorf("parallelism %d changed the result:\n got %s\nwant %s", p, got, want)
+		}
+		points = append(points, latencyPoint{
+			Parallelism: p,
+			Elapsed:     elapsed,
+			Dispatch:    ds,
+			Questions:   res.Stats.TotalQuestions,
+		})
+	}
+	return points, nil
+}
+
+// DispatchLatency regenerates the concurrent-dispatch scenario: the same
+// crowd-latency-bound query at increasing parallelism, reporting wall
+// clock, speedup over sequential, and the speculation the dispatcher paid.
+// The mined MSPs and statistics are identical at every level — parallelism
+// buys wall clock, never a different answer.
+func DispatchLatency(delay time.Duration, parallelisms []int) (*Report, error) {
+	points, err := runDispatchLatency(delay, parallelisms)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:    "latency",
+		Title: fmt.Sprintf("concurrent crowd dispatch (%v per answer)", delay),
+		Header: []string{"parallelism", "wall clock", "speedup",
+			"questions", "launched", "wasted", "max in flight"},
+	}
+	base := points[0].Elapsed
+	for _, pt := range points {
+		r.Add(pt.Parallelism, pt.Elapsed.Round(time.Millisecond).String(),
+			float64(base)/float64(pt.Elapsed), pt.Questions,
+			pt.Dispatch.Launched, pt.Dispatch.Wasted, pt.Dispatch.MaxInFlight)
+	}
+	r.Note("12 latent members, 8 answers per question; results are bit-identical at every parallelism")
+	return r, nil
+}

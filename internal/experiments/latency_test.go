@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDispatchLatencySpeedup is a conservative floor under the bench's
+// headline number: with answers costing wall clock, dispatching at
+// parallelism 8 must finish in well under half the sequential time while
+// mining the identical result (runDispatchLatency fails the run outright
+// if any level's MSPs or statistics move).
+func TestDispatchLatencySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	points, err := runDispatchLatency(10*time.Millisecond, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := points[0], points[1]
+	if par.Elapsed >= seq.Elapsed/2 {
+		t.Fatalf("parallelism 8 took %v, want < half of sequential %v",
+			par.Elapsed, seq.Elapsed)
+	}
+	if par.Dispatch.MaxInFlight > 8 {
+		t.Fatalf("MaxInFlight = %d, want <= 8", par.Dispatch.MaxInFlight)
+	}
+	if seq.Questions != par.Questions {
+		t.Fatalf("question count moved: %d sequential vs %d parallel",
+			seq.Questions, par.Questions)
+	}
+}

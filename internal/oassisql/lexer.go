@@ -1,9 +1,6 @@
 package oassisql
 
-import (
-	"fmt"
-	"strings"
-)
+import "strings"
 
 // keywords maps upper-cased identifier text to keyword kinds.
 var keywords = map[string]TokenKind{
@@ -30,7 +27,7 @@ func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
 func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col, Offset: l.off} }
 
 func (l *lexer) errf(p Pos, format string, args ...interface{}) error {
-	return &SyntaxError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+	return errAt(p, format, args...)
 }
 
 func (l *lexer) advance() byte {

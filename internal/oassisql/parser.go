@@ -27,7 +27,7 @@ func (p *parser) take() Token {
 }
 
 func (p *parser) errf(t Token, msg string) error {
-	return &SyntaxError{Pos: t.Pos, Msg: msg}
+	return errAt(t.Pos, "%s", msg)
 }
 
 func (p *parser) expect(k TokenKind) (Token, error) {

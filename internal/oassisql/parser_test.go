@@ -1,6 +1,7 @@
 package oassisql
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -188,12 +189,12 @@ func TestErrorPositions(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected error")
 	}
-	se, ok := err.(*SyntaxError)
-	if !ok {
+	var se *ParseError
+	if !errors.As(err, &se) {
 		t.Fatalf("error type %T", err)
 	}
-	if se.Pos.Line != 3 {
-		t.Errorf("error line = %d, want 3 (%v)", se.Pos.Line, err)
+	if se.Line != 3 {
+		t.Errorf("error line = %d, want 3 (%v)", se.Line, err)
 	}
 }
 

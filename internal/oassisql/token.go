@@ -94,10 +94,18 @@ type Token struct {
 	End  int // byte offset just past the token
 }
 
-// SyntaxError is a parse or lex error with a position.
-type SyntaxError struct {
-	Pos Pos
-	Msg string
+// ParseError is a parse or lex error with its source position; it is
+// retrievable from ParseQuery errors via errors.As.
+type ParseError struct {
+	Line, Col int
+	Msg       string
 }
 
-func (e *SyntaxError) Error() string { return fmt.Sprintf("oassisql: %s: %s", e.Pos, e.Msg) }
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("oassisql: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// errAt builds a ParseError at a position.
+func errAt(p Pos, format string, args ...interface{}) *ParseError {
+	return &ParseError{Line: p.Line, Col: p.Col, Msg: fmt.Sprintf(format, args...)}
+}

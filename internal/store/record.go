@@ -51,6 +51,13 @@ const (
 	// RecJoin records a crowd member claiming a slot (member ID and
 	// display name), so a restarted server restores its roster.
 	RecJoin RecordType = 4
+	// RecIssued records a question handed out to a member before its
+	// answer arrived. An issued record without a matching RecAnswer marks
+	// a question that was in flight at a crash; recovery surfaces those as
+	// Recovered.InFlight so a restarted server re-issues rather than loses
+	// them. Issued records whose answers are durable are dropped at
+	// snapshot compaction.
+	RecIssued RecordType = 5
 )
 
 // Record is the decoded form of one WAL entry. Fields are a union over the
@@ -112,6 +119,9 @@ func encodePayload(r Record) []byte {
 	case RecJoin:
 		b = appendString(b, r.Member)
 		b = appendString(b, r.Note)
+	case RecIssued:
+		b = appendString(b, r.Question)
+		b = appendString(b, r.Member)
 	}
 	return b
 }
@@ -232,6 +242,13 @@ func decodePayload(payload []byte) (Record, error) {
 			return Record{}, err
 		}
 		if rec.Note, rest, err = decodeString(rest); err != nil {
+			return Record{}, err
+		}
+	case RecIssued:
+		if rec.Question, rest, err = decodeString(rest); err != nil {
+			return Record{}, err
+		}
+		if rec.Member, rest, err = decodeString(rest); err != nil {
 			return Record{}, err
 		}
 	default:

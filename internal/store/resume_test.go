@@ -48,13 +48,15 @@ func buildResumeSpace(t testing.TB) (*ontology.Sample, *assign.Space, float64) {
 	return s, sp, q.Support
 }
 
-// driveInteractive answers every delivered question from db's personal
-// history until the run ends or stopAfter answers were given. When it
-// stops early it simulates a crash: it waits for the next question (which
-// proves the engine durably processed the last answer), closes the store,
-// and only then lets the engine unwind. It returns the question keys it
-// answered, in order, and the run result (nil when crashed).
-func driveInteractive(t *testing.T, sp *assign.Space, theta float64, st *Store,
+// driveSession answers every surfaced question from db's personal history
+// until the run ends or stopAfter answers were given, journaling each
+// question as issued before answering it — exactly what oassis-server does.
+// When it stops early it simulates a crash: the store is closed with the
+// last question issued but unanswered, and only then is the engine unwound
+// (so the unwinding cannot pollute the log with answers the member never
+// gave). It returns the question keys it answered, in order, and the run
+// result (nil when crashed).
+func driveSession(t *testing.T, sp *assign.Space, theta float64, st *Store,
 	prime *core.Cache, db *crowd.PersonalDB, stopAfter int) ([]string, *core.Result) {
 	t.Helper()
 	cfg := core.Config{Space: sp, Theta: theta, Agg: aggregate.NewFixedSample(1)}
@@ -64,44 +66,56 @@ func driveInteractive(t *testing.T, sp *assign.Space, theta float64, st *Store,
 	if prime != nil {
 		cfg.Prime = prime
 	}
-	it := core.NewInteractive(cfg, []string{"u1"})
+	sess := core.NewSession(cfg, []string{"u1"})
 	var asked []string
 	for {
-		q, ok := it.NextQuestion("u1")
-		if !ok {
-			return asked, it.Wait()
+		qs := sess.Next()
+		if qs == nil {
+			return asked, sess.Close()
 		}
+		q := qs[0]
 		if q.Specialization() {
 			t.Fatal("unexpected specialization question (ratio is 0)")
 		}
+		if st != nil {
+			if err := st.AppendIssued(q.Facts.Key(), "u1"); err != nil {
+				t.Fatal(err)
+			}
+		}
 		if stopAfter > 0 && len(asked) == stopAfter {
 			// Crash point: the previous answer is durable (the engine
-			// recorded it before delivering this question). Closing the
+			// recorded it before surfacing this question) and the current
+			// question is journaled as issued but unanswered. Closing the
 			// store first means the engine's own unwinding below — Leave
 			// makes the in-flight question report support 0 — cannot
 			// pollute the log with answers the member never gave.
 			if err := st.Close(); err != nil {
 				t.Fatal(err)
 			}
-			it.Leave("u1")
-			it.Wait()
+			sess.Leave("u1")
+			sess.Close()
 			return asked, nil
 		}
 		asked = append(asked, q.Facts.Key())
-		it.Answer(q, crowd.FiveLevel(db.Support(q.Facts)))
+		if err := sess.Submit(q.ID, core.AnswerSupport(crowd.FiveLevel(db.Support(q.Facts)))); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
-// TestInteractiveKillAndRestart is the acceptance scenario: a session
-// stopped mid-query and restarted against the same store completes the
-// query re-asking zero already-answered questions and reaches the same
-// result as an uninterrupted run — at every possible crash point.
-func TestInteractiveKillAndRestart(t *testing.T) {
+// TestSessionKillAndRestart is the acceptance scenario: a session stopped
+// mid-query and restarted against the same store completes the query
+// re-asking zero already-answered questions and reaches the same result as
+// an uninterrupted run — at every possible crash point. The question that
+// was in flight at the crash is surfaced by recovery (Recovered.InFlight)
+// and re-issued as the restarted run's first question: never lost, never
+// double-counted.
+func TestSessionKillAndRestart(t *testing.T) {
 	s, sp, theta := buildResumeSpace(t)
 	u1, _ := crowd.SampleDBs(s)
 
 	// Reference: an uninterrupted run without a store.
-	refAsked, refRes := driveInteractive(t, sp, theta, nil, nil, u1, 0)
+	refAsked, refRes := driveSession(t, sp, theta, nil, nil, u1, 0)
 	if refRes == nil || len(refAsked) < 5 {
 		t.Fatalf("reference run asked only %d questions", len(refAsked))
 	}
@@ -112,7 +126,7 @@ func TestInteractiveKillAndRestart(t *testing.T) {
 		if len(rec1.Answers) != 0 {
 			t.Fatal("fresh store not empty")
 		}
-		asked1, res := driveInteractive(t, sp, theta, st1, nil, u1, stop)
+		asked1, res := driveSession(t, sp, theta, st1, nil, u1, stop)
 		if res != nil {
 			t.Fatalf("stop=%d: run finished before the crash point", stop)
 		}
@@ -126,11 +140,32 @@ func TestInteractiveKillAndRestart(t *testing.T) {
 				t.Fatalf("stop=%d: recovered answer %d is %q, want %q", stop, i, a.Question, asked1[i])
 			}
 		}
-		asked2, res2 := driveInteractive(t, sp, theta, st2, rec2.PrimeCache(), u1, 0)
+		// Exactly one question was in flight at the crash — the one issued
+		// but never answered — and it is not among the recovered answers.
+		if len(rec2.InFlight) != 1 {
+			t.Fatalf("stop=%d: %d in-flight questions recovered, want 1", stop, len(rec2.InFlight))
+		}
+		inFlight := rec2.InFlight[0]
+		if inFlight.Member != "u1" {
+			t.Errorf("stop=%d: in-flight member %q", stop, inFlight.Member)
+		}
+		for _, a := range rec2.Answers {
+			if a.Question == inFlight.Question {
+				t.Fatalf("stop=%d: in-flight question %q also recovered as answered", stop, inFlight.Question)
+			}
+		}
+
+		asked2, res2 := driveSession(t, sp, theta, st2, rec2.PrimeCache(), u1, 0)
 		if res2 == nil {
 			t.Fatalf("stop=%d: resumed run did not finish", stop)
 		}
 		st2.Close()
+
+		// The in-flight question is re-issued first, not lost.
+		if len(asked2) == 0 || asked2[0] != inFlight.Question {
+			t.Fatalf("stop=%d: in-flight question %q not re-issued first (got %v)",
+				stop, inFlight.Question, asked2)
+		}
 
 		// Zero duplicate questions: nothing asked before the crash is
 		// ever re-asked, and the combined sequence is exactly the

@@ -49,6 +49,8 @@ type Store struct {
 	joins   []Record
 	seen    map[string]map[string]bool // question -> member -> answered
 	answers []Record                   // unique answers, first-write order
+	issued  map[string]map[string]bool // question -> member -> handed out
+	issues  []Record                   // unique issued records, first-write order
 }
 
 // Recovered is the state replayed from a store directory at Open.
@@ -62,6 +64,10 @@ type Recovered struct {
 	Joins []Record
 	// Session is the query text the store is bound to ("" if unbound).
 	Session string
+	// InFlight are the questions that were issued to members but whose
+	// answers never arrived — what a crashed server must re-issue rather
+	// than lose.
+	InFlight []Record
 	// TruncatedBytes counts WAL tail bytes dropped because the final
 	// record was torn or corrupt.
 	TruncatedBytes int64
@@ -103,6 +109,7 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 		walRecords: len(walRecs),
 		joined:     make(map[string]bool),
 		seen:       make(map[string]map[string]bool),
+		issued:     make(map[string]map[string]bool),
 	}
 	rec := &Recovered{TruncatedBytes: dropped}
 	for _, lists := range [][]Record{snapRecs, walRecs} {
@@ -111,6 +118,13 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 		}
 	}
 	rec.Session = s.session
+	// An issued question whose answer never landed was in flight at the
+	// crash; surface it so the caller re-issues it.
+	for _, r := range s.issues {
+		if !s.seen[r.Question][r.Member] {
+			rec.InFlight = append(rec.InFlight, r)
+		}
+	}
 	return s, rec, nil
 }
 
@@ -133,6 +147,10 @@ func (s *Store) absorb(r Record, out *Recovered) {
 			s.joins = append(s.joins, r)
 			out.Joins = append(out.Joins, r)
 		}
+	case RecIssued:
+		if s.markIssued(r.Question, r.Member) {
+			s.issues = append(s.issues, r)
+		}
 	}
 }
 
@@ -142,6 +160,21 @@ func (s *Store) markSeen(question, member string) bool {
 	if byMember == nil {
 		byMember = make(map[string]bool)
 		s.seen[question] = byMember
+	}
+	if byMember[member] {
+		return false
+	}
+	byMember[member] = true
+	return true
+}
+
+// markIssued records that (question, member) was handed out and reports
+// whether it was new.
+func (s *Store) markIssued(question, member string) bool {
+	byMember := s.issued[question]
+	if byMember == nil {
+		byMember = make(map[string]bool)
+		s.issued[question] = byMember
 	}
 	if byMember[member] {
 		return false
@@ -188,6 +221,26 @@ func (s *Store) AppendAnswer(question, member string, support float64, kind core
 	r := Record{Type: RecAnswer, Question: question, Member: member,
 		Support: support, Kind: kind, Counted: counted}
 	s.answers = append(s.answers, r)
+	return s.append(r)
+}
+
+// AppendIssued durably records that a question was handed to a member,
+// before the (possibly never arriving) answer. Re-appending a pair already
+// issued or already answered is a no-op.
+func (s *Store) AppendIssued(question, member string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.seen[question][member] {
+		return nil // the answer is already durable; nothing is in flight
+	}
+	if !s.markIssued(question, member) {
+		return nil
+	}
+	r := Record{Type: RecIssued, Question: question, Member: member}
+	s.issues = append(s.issues, r)
 	return s.append(r)
 }
 
@@ -266,12 +319,19 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 	s.sinceSync = 0
-	recs := make([]Record, 0, 1+len(s.joins)+len(s.answers))
+	recs := make([]Record, 0, 1+len(s.joins)+len(s.answers)+len(s.issues))
 	if s.session != "" {
 		recs = append(recs, Record{Type: RecSession, Note: s.session})
 	}
 	recs = append(recs, s.joins...)
 	recs = append(recs, s.answers...)
+	// Issued questions still awaiting answers stay in the snapshot (they
+	// are exactly the crash-recovery state); answered ones are dropped.
+	for _, r := range s.issues {
+		if !s.seen[r.Question][r.Member] {
+			recs = append(recs, r)
+		}
+	}
 	if err := writeSnapshot(s.dir, recs); err != nil {
 		return err
 	}

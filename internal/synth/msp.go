@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"oassis/internal/assign"
+	"oassis/internal/crowd"
 	"oassis/internal/fact"
 	"oassis/internal/vocab"
 )
@@ -223,16 +224,16 @@ func (o *Oracle) chance(p float64) bool {
 }
 
 // ChooseSpecialization implements crowd.Member.
-func (o *Oracle) ChooseSpecialization(candidates []fact.Set) (int, float64, bool, bool) {
+func (o *Oracle) ChooseSpecialization(candidates []fact.Set) crowd.SpecializeResponse {
 	if !o.chance(o.SpecializeProb) {
-		return 0, 0, false, true
+		return crowd.DeclineSpecialization()
 	}
 	for i, c := range candidates {
 		if o.significant(c) {
-			return i, 1, true, false
+			return crowd.Choose(i, 1)
 		}
 	}
-	return 0, 0, false, false // none of these
+	return crowd.NoneOfThese()
 }
 
 // Irrelevant implements crowd.Member: a term is irrelevant when no planted

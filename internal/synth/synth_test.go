@@ -220,12 +220,12 @@ func TestOracleSpecializationAndPruning(t *testing.T) {
 	for i, su := range succs {
 		sets[i] = s.Sp.Instantiate(su)
 	}
-	idx, sup, ok, declined := o.ChooseSpecialization(sets)
-	if declined {
+	r := o.ChooseSpecialization(sets)
+	if r.Declined {
 		t.Fatal("oracle declined at SpecializeProb 1")
 	}
-	if ok {
-		if sup != 1 || o.Concrete(sets[idx]) != 1 {
+	if r.Chosen {
+		if r.Support != 1 || o.Concrete(sets[r.Choice]) != 1 {
 			t.Error("oracle picked an insignificant specialization")
 		}
 	}

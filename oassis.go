@@ -22,6 +22,7 @@
 package oassis
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -199,6 +200,39 @@ func (q *Query) String() string { return q.ast.String() }
 // Support returns the query's support threshold.
 func (q *Query) Support() float64 { return q.ast.Support }
 
+// SpecializeResponse is the structured answer to a specialization
+// question. Exactly one outcome applies: Chosen (the member picked the
+// candidate at Choice, doing it with the given Frequency), Declined (the
+// member prefers concrete questions), or neither ("none of these"). The
+// struct form leaves room for future answer enrichments such as
+// volunteered MORE-facts.
+type SpecializeResponse struct {
+	// Choice indexes the picked candidate; meaningful only when Chosen.
+	Choice int
+	// Frequency is how often the member does the picked candidate, in
+	// [0, 1].
+	Frequency float64
+	// Chosen reports that a candidate was picked.
+	Chosen bool
+	// Declined reports that the member wants a concrete question instead.
+	Declined bool
+}
+
+// Choose is a SpecializeResponse picking candidate idx with the given
+// frequency.
+func Choose(idx int, freq float64) SpecializeResponse {
+	return SpecializeResponse{Choice: idx, Frequency: freq, Chosen: true}
+}
+
+// NoneOfThese is the SpecializeResponse rejecting every candidate.
+func NoneOfThese() SpecializeResponse { return SpecializeResponse{} }
+
+// DeclineSpecialization is the SpecializeResponse asking for concrete
+// questions instead.
+func DeclineSpecialization() SpecializeResponse {
+	return SpecializeResponse{Declined: true}
+}
+
 // Member is a crowd member: the engine poses it questions about fact-sets.
 // Implementations with human backends should translate the triples to
 // natural language (see Questionnaire for templates).
@@ -209,14 +243,49 @@ type Member interface {
 	// combination of facts occurs in the member's history, in [0, 1].
 	HowOften(facts []Triple) float64
 	// Specialize answers a specialization question: pick the candidate the
-	// member does significantly often (returning its index and frequency),
-	// report "none of these" (ok=false), or decline in favor of concrete
-	// questions (declined=true).
-	Specialize(candidates [][]Triple) (idx int, freq float64, ok, declined bool)
+	// member does significantly often, report "none of these", or decline
+	// in favor of concrete questions (see SpecializeResponse).
+	Specialize(candidates [][]Triple) SpecializeResponse
 	// Irrelevant optionally marks one of the given terms as irrelevant to
 	// the member (user-guided pruning): everything involving the term is
 	// then assumed never to occur for them.
 	Irrelevant(terms []string) (string, bool)
+}
+
+// LegacyMember is the previous Member interface, whose Specialize returned
+// four bare values instead of a SpecializeResponse. Wrap implementations
+// with UpgradeMember to keep them working.
+//
+// Deprecated: implement Member directly; this shim lasts one release.
+type LegacyMember interface {
+	ID() string
+	HowOften(facts []Triple) float64
+	Specialize(candidates [][]Triple) (idx int, freq float64, ok, declined bool)
+	Irrelevant(terms []string) (string, bool)
+}
+
+// UpgradeMember adapts a LegacyMember to the current Member interface.
+func UpgradeMember(m LegacyMember) Member { return &legacyAdapter{m} }
+
+type legacyAdapter struct{ m LegacyMember }
+
+func (a *legacyAdapter) ID() string                   { return a.m.ID() }
+func (a *legacyAdapter) HowOften(fs []Triple) float64 { return a.m.HowOften(fs) }
+
+func (a *legacyAdapter) Specialize(candidates [][]Triple) SpecializeResponse {
+	idx, freq, ok, declined := a.m.Specialize(candidates)
+	switch {
+	case declined:
+		return DeclineSpecialization()
+	case !ok:
+		return NoneOfThese()
+	default:
+		return Choose(idx, freq)
+	}
+}
+
+func (a *legacyAdapter) Irrelevant(terms []string) (string, bool) {
+	return a.m.Irrelevant(terms)
 }
 
 // memberAdapter bridges the facade Member to the internal crowd.Member.
@@ -231,12 +300,18 @@ func (a *memberAdapter) Concrete(fs fact.Set) float64 {
 	return a.m.HowOften(a.db.triples(fs))
 }
 
-func (a *memberAdapter) ChooseSpecialization(candidates []fact.Set) (int, float64, bool, bool) {
+func (a *memberAdapter) ChooseSpecialization(candidates []fact.Set) crowd.SpecializeResponse {
 	cs := make([][]Triple, len(candidates))
 	for i, c := range candidates {
 		cs[i] = a.db.triples(c)
 	}
-	return a.m.Specialize(cs)
+	r := a.m.Specialize(cs)
+	return crowd.SpecializeResponse{
+		Choice:   r.Choice,
+		Support:  r.Frequency,
+		Chosen:   r.Chosen,
+		Declined: r.Declined,
+	}
 }
 
 func (a *memberAdapter) Irrelevant(terms []vocab.Term) (vocab.Term, bool) {
@@ -294,16 +369,22 @@ func (w *simWrapper) HowOften(facts []Triple) float64 {
 	return w.sim.Concrete(fs)
 }
 
-func (w *simWrapper) Specialize(candidates [][]Triple) (int, float64, bool, bool) {
+func (w *simWrapper) Specialize(candidates [][]Triple) SpecializeResponse {
 	sets := make([]fact.Set, len(candidates))
 	for i, c := range candidates {
 		fs, err := w.db.factSet(c)
 		if err != nil {
-			return 0, 0, false, true
+			return DeclineSpecialization()
 		}
 		sets[i] = fs
 	}
-	return w.sim.ChooseSpecialization(sets)
+	r := w.sim.ChooseSpecialization(sets)
+	return SpecializeResponse{
+		Choice:    r.Choice,
+		Frequency: r.Support,
+		Chosen:    r.Chosen,
+		Declined:  r.Declined,
+	}
 }
 
 func (w *simWrapper) Irrelevant(terms []string) (string, bool) {
@@ -329,7 +410,7 @@ func (db *DB) factSet(ts []Triple) (fact.Set, error) {
 		}
 		t, ok := db.voc.Lookup(name)
 		if !ok {
-			return vocab.None, fmt.Errorf("oassis: unknown term %q", name)
+			return vocab.None, ErrUnknownTerm{Name: name}
 		}
 		if db.voc.KindOf(t) != kind {
 			return vocab.None, fmt.Errorf("oassis: %q has the wrong kind", name)
@@ -411,6 +492,7 @@ type options struct {
 	moreCandidates      []Triple
 	topK                int
 	spamMaxViolations   int
+	parallelism         int
 	store               *Store
 }
 
@@ -460,18 +542,23 @@ func WithSpamFilter(maxViolations int) Option {
 	return func(o *options) { o.spamMaxViolations = maxViolations }
 }
 
-// Exec evaluates the query over the DB with the given crowd.
-func Exec(db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
+// WithParallelism keeps up to p questions in flight at once, dispatching
+// them to members from a worker pool. Mined results are identical to the
+// sequential run for members whose answers depend only on the question
+// asked (true for humans and the simulated members); only wall clock
+// changes. Default 1 (sequential).
+func WithParallelism(p int) Option { return func(o *options) { o.parallelism = p } }
+
+// compile turns (DB, query, options) into the engine configuration and the
+// assignment space shared by Exec, ExecContext and NewSession.
+func compile(db *DB, q *Query, o *options) (*assign.Space, core.Config, error) {
+	var cfg core.Config
 	if !db.voc.Frozen() {
-		return nil, fmt.Errorf("oassis: DB must be frozen before Exec")
-	}
-	o := options{answersPerQuestion: 1, seed: 1}
-	for _, opt := range opts {
-		opt(&o)
+		return nil, cfg, ErrNotFrozen
 	}
 	bindings, err := sparql.Evaluate(db.onto, q.ast.Where)
 	if err != nil {
-		return nil, err
+		return nil, cfg, err
 	}
 	maps := make([]map[string]vocab.Term, len(bindings))
 	for i, b := range bindings {
@@ -479,23 +566,18 @@ func Exec(db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
 	}
 	sp, err := assign.NewSpace(db.voc, q.ast, maps, sparql.Anchors(db.voc, q.ast.Where))
 	if err != nil {
-		return nil, err
+		return nil, cfg, err
 	}
 	if q.ast.More && len(o.moreCandidates) > 0 {
 		pool, err := db.factSet(o.moreCandidates)
 		if err != nil {
-			return nil, err
+			return nil, cfg, err
 		}
 		sp.MoreCandidates = pool
 	}
-	cms := make([]crowd.Member, len(members))
-	for i, m := range members {
-		cms[i] = &memberAdapter{db: db, m: m}
-	}
-	cfg := core.Config{
+	cfg = core.Config{
 		Space:                 sp,
 		Theta:                 q.ast.Support,
-		Members:               cms,
 		Agg:                   aggregate.NewFixedSample(o.answersPerQuestion),
 		SpecializationRatio:   o.specializationRatio,
 		EnablePruning:         o.pruning,
@@ -512,7 +594,11 @@ func Exec(db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
 			cfg.Prime = o.store.prime
 		}
 	}
-	res := core.Run(cfg)
+	return sp, cfg, nil
+}
+
+// convertResult maps an engine result to the facade's textual form.
+func convertResult(db *DB, q *Query, sp *assign.Space, res *core.Result) *Result {
 	out := &Result{Stats: Stats{
 		TotalQuestions:  res.Stats.TotalQuestions,
 		UniqueQuestions: res.Stats.UniqueQuestions,
@@ -548,7 +634,81 @@ func Exec(db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
 			out.AllSignificant = append(out.AllSignificant, toAnswer(a, sp.IsValid(a)))
 		}
 	}
-	return out, nil
+	return out
+}
+
+// answerWith obtains m's answer to a session question.
+func answerWith(m crowd.Member, q core.Question) core.Answer {
+	switch q.Kind {
+	case core.KindSpecialization:
+		r := m.ChooseSpecialization(q.Choices)
+		return core.Answer{Support: r.Support, Choice: r.Choice, Chosen: r.Chosen, Declined: r.Declined}
+	case core.KindPruning:
+		if t, ok := m.Irrelevant(q.Terms); ok {
+			for i, cand := range q.Terms {
+				if cand == t {
+					return core.AnswerIrrelevant(i)
+				}
+			}
+		}
+		return core.AnswerNoClick()
+	default:
+		return core.AnswerSupport(m.Concrete(q.Facts))
+	}
+}
+
+// Exec evaluates the query over the DB with the given crowd.
+func Exec(db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
+	return ExecContext(context.Background(), db, q, members, opts...)
+}
+
+// ExecContext is Exec honoring a context: when ctx is canceled the run
+// stops asking questions, discards any answer still in flight, and returns
+// ctx's error.
+func ExecContext(ctx context.Context, db *DB, q *Query, members []Member, opts ...Option) (*Result, error) {
+	o := options{answersPerQuestion: 1, seed: 1, parallelism: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	sp, cfg, err := compile(db, q, &o)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Canceled = func() bool { return ctx.Err() != nil }
+	cms := make([]crowd.Member, len(members))
+	byID := make(map[string]crowd.Member, len(members))
+	ids := make([]string, len(members))
+	for i, m := range members {
+		cms[i] = &memberAdapter{db: db, m: m}
+		ids[i] = m.ID()
+		byID[m.ID()] = cms[i]
+	}
+	cfg.Members = cms
+	var res *core.Result
+	if o.parallelism > 1 {
+		res, _ = core.RunConcurrent(cfg, o.parallelism, o.seed)
+	} else {
+		// The sequential path is a thin loop over the step-driven session:
+		// answer the engine's next question until the run finishes.
+		s := core.NewSession(cfg, ids)
+		for qs := s.Next(); len(qs) > 0; qs = s.Next() {
+			if ctx.Err() != nil {
+				break
+			}
+			next := qs[0]
+			if err := s.Submit(next.ID, answerWith(byID[next.Member], next)); err != nil {
+				break
+			}
+		}
+		res = s.Close()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return convertResult(db, q, sp, res), nil
 }
 
 // Questionnaire renders fact-sets as natural-language questions using the

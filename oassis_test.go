@@ -2,6 +2,7 @@ package oassis
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -251,5 +252,41 @@ SATISFYING $x doAt $x WITH SUPPORT = 0.5`)
 	}
 	if _, err := Exec(db, q, nil); err == nil {
 		t.Error("unknown term in WHERE accepted at Exec")
+	}
+}
+
+// TestExecParallelismEquivalence pins the facade's dispatcher promise: the
+// running example mined with WithParallelism(4) and (16) yields exactly
+// the MSPs and statistics of the sequential run.
+func TestExecParallelismEquivalence(t *testing.T) {
+	db := SampleDB()
+	q, err := ParseQuery(figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts ...Option) *Result {
+		opts = append(opts,
+			WithAnswersPerQuestion(2),
+			WithMoreCandidates(Triple{"Rent Bikes", "doAt", "Boathouse"}))
+		res, err := Exec(db, q, table3Members(t, db), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	render := func(r *Result) string {
+		var b bytes.Buffer
+		for _, m := range r.MSPs {
+			b.WriteString(m.Text)
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%+v", r.Stats)
+		return b.String()
+	}
+	want := render(run())
+	for _, p := range []int{4, 16} {
+		if got := render(run(WithParallelism(p))); got != want {
+			t.Errorf("parallelism %d changed the result:\n got %s\nwant %s", p, got, want)
+		}
 	}
 }

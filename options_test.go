@@ -38,13 +38,13 @@ func (m *customMember) HowOften(facts []Triple) float64 {
 	return 0
 }
 
-func (m *customMember) Specialize(candidates [][]Triple) (int, float64, bool, bool) {
+func (m *customMember) Specialize(candidates [][]Triple) SpecializeResponse {
 	for i, c := range candidates {
 		if m.HowOften(c) >= 1 {
-			return i, 1, true, false
+			return Choose(i, 1)
 		}
 	}
-	return 0, 0, false, false
+	return NoneOfThese()
 }
 
 func (m *customMember) Irrelevant(terms []string) (string, bool) {
@@ -149,8 +149,9 @@ func TestSpamFilterOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A member whose answers invert monotonicity: generalities never,
-	// specifics always.
-	spam := &invertedMember{}
+	// specifics always. It still implements the pre-SpecializeResponse
+	// 4-tuple interface, exercising the UpgradeMember shim.
+	spam := UpgradeMember(&invertedMember{})
 	members := append([]Member{spam}, table3Members(t, db)...)
 	res, err := Exec(db, q, members,
 		WithAnswersPerQuestion(3),
