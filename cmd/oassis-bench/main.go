@@ -15,6 +15,8 @@
 //
 // -out FILE writes the JSON report stream to FILE (implying -json), the
 // mechanism behind `make bench`'s BENCH_*.json perf-trajectory artifacts.
+// -metrics FILE additionally dumps the engine-metrics registry covering
+// all experiments (Prometheus text format) after the run.
 package main
 
 import (
@@ -27,7 +29,9 @@ import (
 	"strings"
 	"time"
 
+	"oassis/internal/core"
 	"oassis/internal/experiments"
+	"oassis/internal/obs"
 	"oassis/internal/synth"
 )
 
@@ -52,8 +56,15 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON document per report, with wall-clock duration")
 		outFile  = flag.String("out", "", "write the -json report stream to FILE instead of stdout (implies -json)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for experiment grid cells (1 = sequential; output is identical at any setting)")
+		metricsF = flag.String("metrics", "", "write the engine-metrics registry (Prometheus text format) covering all experiments to FILE after the run")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsF != "" {
+		reg = obs.NewRegistry()
+		experiments.SetMetrics(core.NewMetrics(reg))
+	}
 
 	sc := experiments.QuickScale
 	if *full {
@@ -172,5 +183,18 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "oassis-bench: no experiment matched %q\n", *exp)
 		os.Exit(2)
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsF)
+		if err == nil {
+			err = reg.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oassis-bench: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -12,6 +12,12 @@
 // server down gracefully, draining in-flight requests and flushing the
 // store.
 //
+// GET /metrics serves the instrument registry in the Prometheus text
+// format (questions in flight, answer latency, per-route request
+// counters, long-poll waits, store fsyncs) and GET /debug/vars serves
+// the same snapshot via expvar. -debug additionally mounts
+// net/http/pprof under /debug/pprof/; without it those paths 404.
+//
 // Usage:
 //
 //	oassis-server -query q.oql [-ontology o.ttl] [-addr :8080] [-slots 20] [-k 5] [-store DIR]
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"oassis/internal/oassisql"
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/rdfio"
 	"oassis/internal/store"
@@ -43,6 +50,7 @@ func main() {
 		slots     = flag.Int("slots", 20, "maximum crowd members")
 		k         = flag.Int("k", 5, "answers required per question")
 		storeDir  = flag.String("store", "", "durable answer-store directory: a restarted server resumes the session without re-asking answered questions")
+		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (profiling endpoints are opt-in)")
 	)
 	flag.Parse()
 	if *queryFile == "" {
@@ -73,10 +81,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	reg := obs.NewRegistry()
 	var st *store.Store
 	var rec *store.Recovered
 	if *storeDir != "" {
-		st, rec, err = store.Open(*storeDir, store.Options{})
+		st, rec, err = store.Open(*storeDir, store.Options{Metrics: store.NewMetrics(reg)})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -88,14 +97,14 @@ func main() {
 			log.Printf("oassis-server: re-issuing %d questions that were in flight at shutdown", n)
 		}
 	}
-	srv, err := newServer(voc, onto, query, *slots, *k, 20*time.Second, st, rec)
+	srv, err := newServer(voc, onto, query, *slots, *k, 20*time.Second, st, rec, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("oassis-server: crowdsourcing %q on %s (%d slots, %d answers/question)",
 		*queryFile, *addr, *slots, *k)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes(*debug)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {

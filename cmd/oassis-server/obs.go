@@ -1,0 +1,114 @@
+package main
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oassis/internal/obs"
+)
+
+// serverObs holds the HTTP-layer instruments. A nil *serverObs (server
+// built without a registry) disables all of them; every method is
+// nil-receiver-guarded like the engine's.
+type serverObs struct {
+	reg *obs.Registry
+
+	longpollWait *obs.Histogram
+	longpollOut  map[string]*obs.Counter
+}
+
+// longpollOutcomes are the ways a GET /api/question long-poll can end:
+// a question was delivered, the run finished, the poll deadline passed,
+// or the client went away.
+var longpollOutcomes = []string{"question", "done", "timeout", "disconnect"}
+
+func newServerObs(reg *obs.Registry) *serverObs {
+	if reg == nil {
+		return nil
+	}
+	o := &serverObs{
+		reg: reg,
+		longpollWait: reg.Histogram("oassis_longpoll_wait_seconds",
+			"seconds a GET /api/question request waited before returning", nil),
+		longpollOut: make(map[string]*obs.Counter, len(longpollOutcomes)),
+	}
+	for _, out := range longpollOutcomes {
+		o.longpollOut[out] = reg.Counter("oassis_longpoll_total",
+			"long-poll requests by how they ended", obs.L("outcome", out))
+	}
+	return o
+}
+
+// instrument wraps a handler with a per-route request counter and latency
+// histogram. With no registry it returns the handler untouched.
+func (o *serverObs) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if o == nil {
+		return h
+	}
+	reqs := o.reg.Counter("oassis_http_requests_total",
+		"HTTP requests served", obs.L("route", route))
+	lat := o.reg.Histogram("oassis_http_request_seconds",
+		"HTTP request handling time in seconds", nil, obs.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		reqs.Inc()
+		lat.Observe(time.Since(start).Seconds())
+	}
+}
+
+// longpolled records how a GET /api/question long-poll ended and how long
+// the client waited.
+func (o *serverObs) longpolled(outcome string, start time.Time) {
+	if o == nil {
+		return
+	}
+	if c := o.longpollOut[outcome]; c != nil {
+		c.Inc()
+	}
+	o.longpollWait.Observe(time.Since(start).Seconds())
+}
+
+// expvar.Publish panics on duplicate names and the process hosts one
+// expvar namespace, so the published Func indirects through an atomic
+// pointer: tests build many servers, and the last registry wins.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[obs.Registry]
+)
+
+func publishExpvar(reg *obs.Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("oassis", expvar.Func(func() any {
+			if r := expvarReg.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return map[string]float64{}
+		}))
+	})
+}
+
+// mountDebug adds the observability endpoints to mux: GET /metrics
+// (Prometheus text) and GET /debug/vars (expvar) always, and the pprof
+// handlers only when debug is set — profiling endpoints can stall the
+// process and are opt-in. Without debug, /debug/pprof/* falls through to
+// the index handler's 404.
+func (s *server) mountDebug(mux *http.ServeMux, debug bool) {
+	if s.obs != nil {
+		mux.Handle("GET /metrics", s.obs.reg.Handler())
+		publishExpvar(s.obs.reg)
+	}
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	if debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"oassis/internal/crowd"
+	"oassis/internal/oassisql"
+	"oassis/internal/obs"
+	"oassis/internal/ontology"
+)
+
+// newObsServer builds a test server with a metrics registry attached.
+func newObsServer(t *testing.T, debug bool) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	s := ontology.NewSample()
+	q := oassisql.MustParse(serverQuery)
+	reg := obs.NewRegistry()
+	srv, err := newServer(s.Voc, s.Onto, q, 2, 1, 100*time.Millisecond, nil, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes(debug))
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+// TestDebugEndpoints drives the observability routes through the mux:
+// /metrics and /debug/vars are always mounted, the pprof endpoints only
+// behind -debug.
+func TestDebugEndpoints(t *testing.T) {
+	cases := []struct {
+		name     string
+		debug    bool
+		path     string
+		status   int
+		contains string
+	}{
+		{"metrics", false, "/metrics", http.StatusOK, "# TYPE oassis_http_requests_total counter"},
+		{"metrics with debug", true, "/metrics", http.StatusOK, "oassis_session_questions_inflight"},
+		{"expvar", false, "/debug/vars", http.StatusOK, `"oassis"`},
+		{"pprof gated off", false, "/debug/pprof/", http.StatusNotFound, ""},
+		{"pprof index on", true, "/debug/pprof/", http.StatusOK, "Types of profiles available"},
+		{"pprof cmdline gated off", false, "/debug/pprof/cmdline", http.StatusNotFound, ""},
+		{"pprof symbol on", true, "/debug/pprof/symbol", http.StatusOK, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, _ := newObsServer(t, tc.debug)
+			resp, err := http.Get(ts.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("GET %s: status %d, want %d\n%s", tc.path, resp.StatusCode, tc.status, body)
+			}
+			if tc.contains != "" && !strings.Contains(string(body), tc.contains) {
+				t.Fatalf("GET %s: body missing %q:\n%s", tc.path, tc.contains, body)
+			}
+		})
+	}
+}
+
+// TestExpvarSnapshot checks /debug/vars serves valid JSON whose oassis key
+// mirrors the registry snapshot.
+func TestExpvarSnapshot(t *testing.T) {
+	ts, reg := newObsServer(t, false)
+	if _, err := http.Get(ts.URL + "/api/stats"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	var vars map[string]float64
+	if err := json.Unmarshal(doc["oassis"], &vars); err != nil {
+		t.Fatalf("oassis expvar is not a flat map: %v", err)
+	}
+	if want := reg.Snapshot()[`oassis_http_requests_total{route="stats"}`]; want == 0 || vars[`oassis_http_requests_total{route="stats"}`] == 0 {
+		t.Fatalf("stats request not visible via expvar: registry=%g vars=%+v", want, vars)
+	}
+}
+
+// TestMetricsLiveSession scrapes /metrics during a live session: with a
+// question handed out but unanswered the in-flight gauge is nonzero, and
+// after the answer the latency histogram has an observation. The scrape
+// must be valid Prometheus text (checked by re-parsing it).
+func TestMetricsLiveSession(t *testing.T) {
+	s := ontology.NewSample()
+	u1, _ := crowd.SampleDBs(s)
+	ts, reg := newObsServer(t, false)
+
+	resp, body := postJSON(t, ts.URL+"/api/join", map[string]string{"name": "alice"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: %d %v", resp.StatusCode, body)
+	}
+	member := body["member"].(string)
+
+	// Long-poll the first question but leave it unanswered: it is now in
+	// flight from the session's point of view.
+	var q questionJSON
+	getJSON(t, ts.URL+"/api/question?member="+member, &q)
+	if q.Type != "concrete" && q.Type != "specialize" {
+		t.Fatalf("first question type %q", q.Type)
+	}
+
+	samples := scrape(t, ts.URL)
+	byKey := map[string]float64{}
+	for _, sm := range samples {
+		byKey[sm.Key()] = sm.Value
+	}
+	if byKey["oassis_session_questions_inflight"] == 0 {
+		t.Fatalf("in-flight gauge is zero with a question pending:\n%+v", byKey)
+	}
+	if byKey[`oassis_http_requests_total{route="question"}`] == 0 {
+		t.Fatalf("question route counter is zero: %+v", byKey)
+	}
+	if byKey[`oassis_longpoll_total{outcome="question"}`] == 0 {
+		t.Fatalf("longpoll outcome counter is zero: %+v", byKey)
+	}
+
+	// Answer it; the latency histogram must record the issue-to-answer gap.
+	if text, typ := answerOne(t, ts.URL, member, s, u1); typ != "concrete" || text == "" {
+		t.Fatalf("answerOne: type %q text %q", typ, text)
+	}
+	snap := reg.Snapshot()
+	if snap["oassis_session_answer_latency_seconds_count"] == 0 {
+		t.Fatalf("latency histogram empty after an answer: %+v", snap)
+	}
+	if snap[`oassis_http_requests_total{route="answer"}`] == 0 {
+		t.Fatalf("answer route counter is zero: %+v", snap)
+	}
+}
+
+// scrape fetches /metrics and re-parses it with the package's own strict
+// parser, failing the test on any formatting error.
+func scrape(t *testing.T, base string) []obs.Sample {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape unparseable: %v", err)
+	}
+	return samples
+}

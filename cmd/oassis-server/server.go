@@ -15,6 +15,7 @@ import (
 	"oassis/internal/core"
 	"oassis/internal/crowd"
 	"oassis/internal/oassisql"
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/sparql"
 	"oassis/internal/store"
@@ -34,6 +35,7 @@ type server struct {
 	tpl   *crowd.Templates
 	poll  time.Duration
 	store *store.Store // nil without -store
+	obs   *serverObs   // nil without a registry
 
 	// sess is the step-driven engine session. It is not safe for
 	// concurrent use, so every Next/Submit happens under mu; handlers
@@ -64,9 +66,11 @@ type pendingQuestion struct {
 // returning members keep their slots, recovered answers are replayed
 // instead of re-asked, and every new answer is persisted before the
 // engine proceeds — so a killed and restarted server resumes mid-query.
+// A non-nil registry instruments the engine session and the HTTP layer;
+// it is purely observational and never changes what the server serves.
 func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Query,
 	slots, answersPerQuestion int, poll time.Duration,
-	st *store.Store, rec *store.Recovered) (*server, error) {
+	st *store.Store, rec *store.Recovered, reg *obs.Registry) (*server, error) {
 	bindings, err := sparql.Evaluate(onto, query.Where)
 	if err != nil {
 		return nil, err
@@ -98,6 +102,10 @@ func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Q
 		Space: sp,
 		Theta: query.Support,
 		Agg:   aggregate.NewFixedSample(answersPerQuestion),
+	}
+	if reg != nil {
+		s.obs = newServerObs(reg)
+		cfg.Metrics = core.NewMetrics(reg)
 	}
 	if st != nil {
 		// A store directory holds one query's answers: refuse to replay
@@ -183,14 +191,17 @@ func (s *server) shutdown() error {
 	return s.store.Close()
 }
 
-func (s *server) routes() *http.ServeMux {
+// routes builds the server mux. debug additionally mounts the pprof
+// endpoints (see mountDebug).
+func (s *server) routes(debug bool) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", s.handleIndex)
-	mux.HandleFunc("POST /api/join", s.handleJoin)
-	mux.HandleFunc("GET /api/question", s.handleQuestion)
-	mux.HandleFunc("POST /api/answer", s.handleAnswer)
-	mux.HandleFunc("GET /api/results", s.handleResults)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /", s.obs.instrument("index", s.handleIndex))
+	mux.HandleFunc("POST /api/join", s.obs.instrument("join", s.handleJoin))
+	mux.HandleFunc("GET /api/question", s.obs.instrument("question", s.handleQuestion))
+	mux.HandleFunc("POST /api/answer", s.obs.instrument("answer", s.handleAnswer))
+	mux.HandleFunc("GET /api/results", s.obs.instrument("results", s.handleResults))
+	mux.HandleFunc("GET /api/stats", s.obs.instrument("stats", s.handleStats))
+	s.mountDebug(mux, debug)
 	return mux
 }
 
@@ -260,6 +271,7 @@ func (s *server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown member %q", member)
 		return
 	}
+	start := time.Now()
 	deadline := time.NewTimer(s.poll)
 	defer deadline.Stop()
 	for {
@@ -270,11 +282,13 @@ func (s *server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 		if p := s.pending[member]; p != nil {
 			resp := s.renderQuestion(p)
 			s.mu.Unlock()
+			s.obs.longpolled("question", start)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		if s.finished {
 			s.mu.Unlock()
+			s.obs.longpolled("done", start)
 			writeJSON(w, http.StatusOK, questionJSON{Type: "done"})
 			return
 		}
@@ -285,9 +299,11 @@ func (s *server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-notify:
 		case <-deadline.C:
+			s.obs.longpolled("timeout", start)
 			writeJSON(w, http.StatusOK, questionJSON{Type: "wait"})
 			return
 		case <-r.Context().Done():
+			s.obs.longpolled("disconnect", start)
 			return
 		}
 	}

@@ -33,11 +33,11 @@ func newTestServer(t *testing.T, slots, k int) (*server, *httptest.Server) {
 	t.Helper()
 	s := ontology.NewSample()
 	q := oassisql.MustParse(serverQuery)
-	srv, err := newServer(s.Voc, s.Onto, q, slots, k, 100*time.Millisecond, nil, nil)
+	srv, err := newServer(s.Voc, s.Onto, q, slots, k, 100*time.Millisecond, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.routes())
+	ts := httptest.NewServer(srv.routes(false))
 	t.Cleanup(ts.Close)
 	return srv, ts
 }

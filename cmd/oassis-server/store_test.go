@@ -50,11 +50,11 @@ func TestServerKillAndRestartResumes(t *testing.T) {
 	q := oassisql.MustParse(serverQuery)
 	u1, _ := crowd.SampleDBs(s)
 	newSrv := func(st *store.Store, rec *store.Recovered) (*server, *httptest.Server) {
-		srv, err := newServer(s.Voc, s.Onto, q, 2, 1, 100*time.Millisecond, st, rec)
+		srv, err := newServer(s.Voc, s.Onto, q, 2, 1, 100*time.Millisecond, st, rec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ts := httptest.NewServer(srv.routes())
+		ts := httptest.NewServer(srv.routes(false))
 		t.Cleanup(ts.Close)
 		return srv, ts
 	}
@@ -233,7 +233,7 @@ func TestServerStoreQueryMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := newServer(s.Voc, s.Onto, oassisql.MustParse(serverQuery), 1, 1,
-		time.Second, st, rec); err != nil {
+		time.Second, st, rec, nil); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
@@ -243,7 +243,7 @@ func TestServerStoreQueryMismatch(t *testing.T) {
 	}
 	defer st2.Close()
 	other := oassisql.MustParse(resumeAltQuery)
-	if _, err := newServer(s.Voc, s.Onto, other, 1, 1, time.Second, st2, rec2); err == nil {
+	if _, err := newServer(s.Voc, s.Onto, other, 1, 1, time.Second, st2, rec2, nil); err == nil {
 		t.Fatal("different query accepted against a bound store")
 	}
 }

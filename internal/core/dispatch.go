@@ -57,6 +57,7 @@ func RunConcurrent(cfg Config, parallelism int, seed int64) (*Result, DispatchSt
 	launch := func(q Question) {
 		inFlight[q.ID] = true
 		ds.Launched++
+		cfg.Metrics.launched()
 		if len(inFlight) > ds.MaxInFlight {
 			ds.MaxInFlight = len(inFlight)
 		}
@@ -114,15 +115,18 @@ func RunConcurrent(cfg Config, parallelism int, seed int64) (*Result, DispatchSt
 		delete(inFlight, o.id)
 		if s.Done() {
 			ds.Wasted++ // landed after the run ended
+			cfg.Metrics.wasted(1)
 			continue
 		}
 		if err := s.Submit(o.id, o.ans); err != nil {
 			ds.Wasted++ // the question was consumed another way
+			cfg.Metrics.wasted(1)
 		}
 	}
 	res := s.Close()
 	// Submit silently buffers answers to retired questions; count the
 	// buffered leftovers the engine never consumed as waste too.
 	ds.Wasted += len(s.buffered)
+	cfg.Metrics.wasted(len(s.buffered))
 	return res, ds
 }

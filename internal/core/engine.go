@@ -8,6 +8,7 @@ import (
 	"oassis/internal/assign"
 	"oassis/internal/crowd"
 	"oassis/internal/fact"
+	"oassis/internal/obs"
 	"oassis/internal/vocab"
 )
 
@@ -87,6 +88,18 @@ type Config struct {
 	// still in flight, and returns the partial result. It is how
 	// Session.Close and ExecContext implement deadline/cancel.
 	Canceled func() bool
+
+	// Metrics, when non-nil, receives engine and session instrumentation
+	// (questions issued/answered/retired, in-flight gauge, answer latency,
+	// rounds, generated nodes). Purely observational: the mined result is
+	// bit-identical with or without it.
+	Metrics *Metrics
+
+	// Tracer, when non-nil, receives span start/end events: one span per
+	// main-loop round and one per issued question, annotated with question
+	// IDs, members, and phases. Implementations must be concurrency-safe
+	// and non-blocking; like Metrics, tracing never perturbs the run.
+	Tracer obs.Tracer
 }
 
 // Result is the outcome of a mining run.
@@ -245,6 +258,7 @@ func (e *engine) addNode(a assign.Assignment) {
 	e.pool[k] = a
 	e.poolOrder = append(e.poolOrder, k)
 	e.stats.GeneratedNodes++
+	e.cfg.Metrics.nodeGenerated()
 	e.cls.register(a) // track its status incrementally from now on
 }
 
@@ -301,6 +315,7 @@ func (e *engine) canceled() bool {
 func (e *engine) countAnswer(kind QuestionKind) {
 	e.stats.TotalQuestions++
 	e.newAnswers++
+	e.cfg.Metrics.answerCounted(kind)
 	switch kind {
 	case KindConcrete:
 		e.stats.Concrete++
@@ -353,6 +368,7 @@ func (e *engine) recordAnswer(node assign.Assignment, qKey string, member string
 			e.answersBy[member]++
 		} else {
 			e.stats.FreeAnswers++
+			e.cfg.Metrics.freeAnswer()
 		}
 		if e.consistency != nil && !e.banned[member] {
 			fs, _ := e.instantiate(node)
@@ -438,6 +454,7 @@ func (e *engine) memberSupport(m crowd.Member, node assign.Assignment) float64 {
 	fs, qKey := e.instantiate(node)
 	if s, ok := e.memberAns[m.ID()][qKey]; ok {
 		e.stats.FreeAnswers++
+		e.cfg.Metrics.freeAnswer()
 		e.applyVerdict(node, qKey)
 		return s
 	}
@@ -448,6 +465,7 @@ func (e *engine) memberSupport(m crowd.Member, node assign.Assignment) float64 {
 	if e.cfg.Prime != nil {
 		if s, ok := e.cfg.Prime.Lookup(qKey, m.ID()); ok {
 			e.stats.PrimedAnswers++
+			e.cfg.Metrics.primedAnswer()
 			e.recordAnswer(node, qKey, m.ID(), s, KindConcrete, true)
 			return s
 		}
@@ -643,6 +661,8 @@ func (e *engine) mainLoop() {
 			budgets[i] = -1
 		}
 	}
+	endRound := func() {}
+	defer func() { endRound() }()
 	for e.budgetLeft() {
 		e.drainExpansions()
 		node, ok := e.pickMinimalUnclassified()
@@ -652,6 +672,9 @@ func (e *engine) mainLoop() {
 		if e.cfg.MaxMSPs > 0 && e.confirmedMSPs() >= e.cfg.MaxMSPs {
 			return // top-k extension: enough answers confirmed
 		}
+		e.cfg.Metrics.roundStarted()
+		endRound()
+		endRound = obs.Begin(e.cfg.Tracer, "round", obs.A("node", node.Key()))
 		if e.hooks.onRound != nil {
 			fs, qKey := e.instantiate(node)
 			e.hooks.onRound(node, fs, qKey)

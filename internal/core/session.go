@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"oassis/internal/assign"
 	"oassis/internal/crowd"
 	"oassis/internal/fact"
+	"oassis/internal/obs"
 	"oassis/internal/vocab"
 )
 
@@ -181,6 +183,15 @@ type Session struct {
 	roundGen int
 	curTurn  int
 
+	// Observability (nil/empty when neither metrics nor tracer is
+	// attached). issuedAt and spanEnd are keyed by question ID; recording
+	// is write-only w.r.t. the engine, so instrumented runs stay
+	// bit-identical to uninstrumented ones.
+	metrics  *Metrics
+	tracer   obs.Tracer
+	issuedAt map[QuestionID]time.Time
+	spanEnd  map[QuestionID]func()
+
 	closed   bool
 	finished bool
 }
@@ -198,6 +209,12 @@ func NewSession(cfg Config, memberIDs []string) *Session {
 		buffered: make(map[askKey]payload),
 		retired:  make(map[QuestionID]askKey),
 		proxies:  make(map[string]*proxyMember, len(memberIDs)),
+		metrics:  cfg.Metrics,
+		tracer:   cfg.Tracer,
+	}
+	if s.metrics != nil || s.tracer != nil {
+		s.issuedAt = make(map[QuestionID]time.Time)
+		s.spanEnd = make(map[QuestionID]func())
 	}
 	members := make([]crowd.Member, 0, len(memberIDs))
 	for _, id := range memberIDs {
@@ -283,6 +300,7 @@ func (s *Session) advance() {
 			s.insts[inst.id] = inst
 			s.byKey[inst.key] = inst
 			s.blocked = inst
+			s.noteIssued(inst)
 			return
 		case <-s.done:
 			s.finished = true
@@ -290,11 +308,61 @@ func (s *Session) advance() {
 			// Whatever is still open can never be consumed.
 			for id, inst := range s.insts {
 				s.retired[id] = inst.key
+				s.noteRetired(id)
 			}
 			s.insts = make(map[QuestionID]*instance)
 			s.byKey = make(map[askKey]*instance)
 			return
 		}
+	}
+}
+
+// noteIssued books a freshly issued question instance with the attached
+// metrics and tracer. With neither attached it does nothing at all (not
+// even a clock read).
+func (s *Session) noteIssued(inst *instance) {
+	if s.metrics == nil && s.tracer == nil {
+		return
+	}
+	s.metrics.questionIssued(inst.key.kind, inst.speculative)
+	if s.metrics != nil {
+		s.issuedAt[inst.id] = time.Now()
+	}
+	if s.tracer != nil {
+		phase := "blocked"
+		if inst.speculative {
+			phase = "speculative"
+		}
+		s.spanEnd[inst.id] = s.tracer.Begin("question",
+			obs.A("id", strID(inst.id)), obs.A("member", inst.key.member),
+			obs.A("kind", inst.key.kind.String()), obs.A("phase", phase))
+	}
+}
+
+// noteAnswered books an answered question: latency observation and span
+// end.
+func (s *Session) noteAnswered(inst *instance) {
+	if s.metrics == nil && s.tracer == nil {
+		return
+	}
+	s.metrics.questionAnswered(inst.key.kind, s.issuedAt[inst.id])
+	delete(s.issuedAt, inst.id)
+	if end, ok := s.spanEnd[inst.id]; ok {
+		end()
+		delete(s.spanEnd, inst.id)
+	}
+}
+
+// noteRetired books a question retired without an answer.
+func (s *Session) noteRetired(id QuestionID) {
+	if s.metrics == nil && s.tracer == nil {
+		return
+	}
+	s.metrics.questionRetired()
+	delete(s.issuedAt, id)
+	if end, ok := s.spanEnd[id]; ok {
+		end()
+		delete(s.spanEnd, id)
 	}
 }
 
@@ -307,6 +375,7 @@ func (s *Session) retireStale() {
 			s.retired[id] = inst.key
 			delete(s.insts, id)
 			delete(s.byKey, inst.key)
+			s.noteRetired(id)
 		}
 	}
 }
@@ -367,6 +436,7 @@ func (s *Session) issueSpeculative(memberIdx int, key string, fs fact.Set) {
 	}
 	s.insts[inst.id] = inst
 	s.byKey[k] = inst
+	s.noteIssued(inst)
 }
 
 // speculate issues questions the engine has not asked yet but is likely
@@ -450,6 +520,7 @@ func (s *Session) Submit(id QuestionID, a Answer) error {
 	pay := payloadFor(inst.key.kind, a)
 	delete(s.insts, id)
 	delete(s.byKey, inst.key)
+	s.noteAnswered(inst)
 	if inst == s.blocked {
 		s.blocked = nil
 		inst.ask.reply <- pay
@@ -498,6 +569,7 @@ func (s *Session) Leave(memberID string) {
 			s.retired[id] = s.blocked.key
 			delete(s.insts, id)
 			delete(s.byKey, s.blocked.key)
+			s.noteRetired(id)
 			s.blocked = nil
 			a.reply <- leavePayload(a.key.kind)
 			s.advance()
@@ -527,6 +599,15 @@ func (s *Session) Close() *Result {
 	if !s.finished {
 		<-s.done
 		s.finished = true
+		// The engine goroutine has exited (done is closed), so the open
+		// instances can never be consumed; retire them for the in-flight
+		// gauge and the open spans. On the normal-finish path advance()
+		// already did this and the map is empty.
+		for id := range s.insts {
+			s.noteRetired(id)
+		}
+		s.insts = make(map[QuestionID]*instance)
+		s.byKey = make(map[askKey]*instance)
 	}
 	return s.res
 }

@@ -26,6 +26,7 @@ func (e *engine) sinkAnswer(qKey, member string, sup float64, kind QuestionKind,
 	}
 	if err := e.cfg.Store.AppendAnswer(qKey, member, sup, kind, counted); err != nil {
 		e.stats.StoreErrors++
+		e.cfg.Metrics.storeError()
 	}
 }
 
@@ -36,5 +37,6 @@ func (e *engine) sinkClassified(node assign.Assignment, significant bool) {
 	}
 	if err := e.cfg.Store.AppendClassification(node.Key(), significant); err != nil {
 		e.stats.StoreErrors++
+		e.cfg.Metrics.storeError()
 	}
 }

@@ -84,7 +84,8 @@ func ItemsetCapture(items, transactions int, minSupport float64, seed int64) (*R
 		return nil, err
 	}
 	member := &crowd.SimMember{Name: "u", DB: pdb, Disc: crowd.Exact}
-	res := core.Run(core.Config{Space: sp, Theta: minSupport, Members: []crowd.Member{member}})
+	res := core.Run(core.Config{Space: sp, Theta: minSupport, Members: []crowd.Member{member},
+		Metrics: sharedMetrics()})
 
 	// Compare: each mined MSP's value set as an itemset.
 	mined := map[string]bool{}

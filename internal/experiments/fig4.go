@@ -48,6 +48,7 @@ func runDomain(d *synth.Domain, theta float64, sample int, prime *core.Cache, ti
 		Agg:           aggregate.NewFixedSample(sample),
 		Prime:         prime,
 		TrackTimeline: timeline,
+		Metrics:       sharedMetrics(),
 	})
 }
 
@@ -223,6 +224,7 @@ func CrowdSummary(sc DomainScale) (*Report, error) {
 			SpecializationRatio: 0.35,
 			EnablePruning:       true,
 			Rng:                 newRng(cfg.Seed),
+			Metrics:             sharedMetrics(),
 		})
 		mult := 0
 		for _, m := range res.MSPs {

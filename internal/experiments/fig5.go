@@ -116,6 +116,7 @@ func Fig5(cfg Fig5Config) (*Report, error) {
 				Theta:   0.5,
 				Members: []crowd.Member{oracle},
 				Rng:     rand.New(rand.NewSource(seed + 13)),
+				Metrics: sharedMetrics(),
 			}
 			var res *core.Result
 			switch alg {
@@ -254,6 +255,7 @@ func Fig4f(cfg Fig4fConfig) (*Report, error) {
 			SpecializationRatio: v.specialize,
 			EnablePruning:       v.prune > 0,
 			Rng:                 rand.New(rand.NewSource(seed + 13)),
+			Metrics:             sharedMetrics(),
 		})
 		curves[cell] = discoveryCurve(res, planted, cfg.Steps)
 		return nil

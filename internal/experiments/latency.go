@@ -50,6 +50,7 @@ func latencyConfig(delay time.Duration, members, answersPerQuestion int) (core.C
 		Theta:   0.5,
 		Members: crowdMembers,
 		Agg:     aggregate.NewFixedSample(answersPerQuestion),
+		Metrics: sharedMetrics(),
 	}, nil
 }
 

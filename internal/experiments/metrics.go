@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"oassis/internal/core"
+)
+
+// benchMetrics is the engine-metrics handle every experiment run attaches
+// to its core.Config, so oassis-bench can dump a registry covering the
+// whole bench invocation. Experiments run concurrently across the worker
+// pool, hence the atomic pointer; a nil handle (the default) disables
+// instrumentation entirely.
+var benchMetrics atomic.Pointer[core.Metrics]
+
+// SetMetrics attaches m to every engine run started by this package from
+// now on (nil detaches). Instrumentation is purely observational: the
+// experiment outputs are bit-identical with and without it.
+func SetMetrics(m *core.Metrics) { benchMetrics.Store(m) }
+
+// sharedMetrics is the handle experiment configs attach.
+func sharedMetrics() *core.Metrics { return benchMetrics.Load() }

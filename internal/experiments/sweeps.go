@@ -37,6 +37,7 @@ func sweepRun(dag synth.DAGConfig, mspCfg synth.MSPConfig) (*synth.Space, *core.
 		Space:   s.Sp,
 		Theta:   0.5,
 		Members: []crowd.Member{synth.NewOracle("u", s, planted)},
+		Metrics: sharedMetrics(),
 	})
 	return s, res, nil
 }
@@ -210,6 +211,7 @@ func SweepMultiplicities(scale float64, trials, parallelism int) (*Report, error
 			Space:   s.Sp,
 			Theta:   0.5,
 			Members: []crowd.Member{synth.NewOracle("u", s, planted)},
+			Metrics: sharedMetrics(),
 		})
 		cells[i] = cellOut{
 			questions: float64(res.Stats.TotalQuestions),
@@ -280,6 +282,7 @@ func ComplexityBounds(scale float64, parallelism int) (*Report, error) {
 			Space:   s.Sp,
 			Theta:   0.5,
 			Members: []crowd.Member{synth.NewOracle("u", s, planted)},
+			Metrics: sharedMetrics(),
 		})
 		terms := s.Voc.Len()
 		upper := terms*len(res.MSPs) + res.InsigMinimal

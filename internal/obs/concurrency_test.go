@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentExactTotals hammers one registry from 32 goroutines
+// — concurrently registering, incrementing, and exposing — and asserts the
+// final totals are exact: no increment may be lost to a race. `make check`
+// runs this under -race, which is what actually exercises the atomics.
+func TestRegistryConcurrentExactTotals(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 2000
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			// Every goroutine looks its instruments up by name each
+			// iteration, so registration races are exercised too; two label
+			// variants interleave to contend on the family map.
+			for i := 0; i < perG; i++ {
+				kind := "even"
+				if i%2 == 1 {
+					kind = "odd"
+				}
+				r.Counter("hammer_total", "hammered counter", L("kind", kind)).Inc()
+				r.Gauge("hammer_gauge", "hammered gauge").Inc()
+				r.Histogram("hammer_seconds", "hammered histogram", []float64{0.5, 1}).
+					Observe(float64(i%3) * 0.5)
+				if i%500 == 0 {
+					// Expose concurrently with the writers; output just has
+					// to stay parseable, values are racing.
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Errorf("goroutine %d: expose: %v", g, err)
+						return
+					}
+					if _, err := ParseText(strings.NewReader(b.String())); err != nil {
+						t.Errorf("goroutine %d: mid-race exposition unparseable: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := goroutines * perG
+	even := r.Counter("hammer_total", "", L("kind", "even")).Value()
+	odd := r.Counter("hammer_total", "", L("kind", "odd")).Value()
+	if int(even) != total/2 || int(odd) != total/2 {
+		t.Errorf("counters = %d even + %d odd, want %d each", even, odd, total/2)
+	}
+	if got := r.Gauge("hammer_gauge", "").Value(); int(got) != total {
+		t.Errorf("gauge = %d, want %d", got, total)
+	}
+	h := r.Histogram("hammer_seconds", "", nil)
+	if int(h.Count()) != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	// Each goroutine observes 0, 0.5, 1 cyclically: perG/3 full cycles
+	// leave perG%3 == 2 extras (0 and 0.5) per goroutine.
+	wantSum := float64(goroutines) * (float64(perG/3)*1.5 + 0.5)
+	if h.Sum() != wantSum {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), wantSum)
+	}
+
+	// The settled exposition must carry the exact totals too.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	if got := byKey[fmt.Sprintf("hammer_total{kind=%q}", "even")]; int(got) != total/2 {
+		t.Errorf("exposed even counter = %g, want %d", got, total/2)
+	}
+	if got := byKey["hammer_seconds_count"]; int(got) != total {
+		t.Errorf("exposed histogram count = %g, want %d", got, total)
+	}
+}
+
+// TestTracerConcurrent begins and ends spans from many goroutines; the
+// recorded span count must be exact and every span must close.
+func TestTracerConcurrent(t *testing.T) {
+	var tr MemTracer
+	const goroutines, perG = 32, 200
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				end := tr.Begin("span", A("g", fmt.Sprint(g)))
+				end()
+			}
+		}(g)
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != goroutines*perG {
+		t.Fatalf("spans = %d, want %d", len(spans), goroutines*perG)
+	}
+	for _, s := range spans {
+		if s.End.IsZero() {
+			t.Fatal("unclosed span after all end funcs ran")
+		}
+	}
+}

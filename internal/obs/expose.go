@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sanitizeName coerces a metric or label name into the Prometheus alphabet
+// ([a-zA-Z_:][a-zA-Z0-9_:]* for metrics; label names additionally may not
+// contain ':'). Invalid runes become '_' and an empty or digit-led name is
+// prefixed with '_', so exposition output is always parseable no matter
+// what the instrumenting code passed in.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName is sanitizeName without the ':' allowance.
+func sanitizeLabelName(name string) string {
+	return strings.ReplaceAll(sanitizeName(name), ":", "_")
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text format:
+// backslash, double quote, and newline become \\, \", and \n. Every other
+// byte passes through untouched (values are arbitrary UTF-8).
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLabelValue inverts EscapeLabelValue.
+func UnescapeLabelValue(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default: // unknown escape: keep both bytes
+				b.WriteByte(v[i])
+				b.WriteByte(v[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line: backslash and newline only (quotes are
+// legal there).
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatLabels renders {k="v",...} with extra appended last; "" when empty.
+func formatLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format (version 0.0.4), families in registration order and
+// series within a family in first-registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		series := make([]*metric, 0, len(f.order))
+		for _, key := range f.order {
+			series = append(series, f.series[key])
+		}
+		f.mu.Unlock()
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, m := range series {
+			if err := writeSeries(w, f, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries writes the sample line(s) of one labeled series.
+func writeSeries(w io.Writer, f *family, m *metric) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(m.labels), m.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(m.labels), m.g.Value())
+		return err
+	default:
+		h := m.h
+		// Cumulative bucket counts, then sum and count.
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			le := L("le", formatValue(bound))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, formatLabels(m.labels, le), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, formatLabels(m.labels, L("le", "+Inf")), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			f.name, formatLabels(m.labels), formatValue(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+			f.name, formatLabels(m.labels), h.Count())
+		return err
+	}
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text format — mount it on GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Snapshot flattens the registry into name{labels} -> value samples:
+// counters and gauges one sample each, histograms as _sum and _count. It
+// backs the expvar (/debug/vars) view and the bench registry dump.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, n := range r.order {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, f := range fams {
+		f.mu.Lock()
+		for _, key := range f.order {
+			m := f.series[key]
+			ls := formatLabels(m.labels)
+			switch f.kind {
+			case kindCounter:
+				out[f.name+ls] = float64(m.c.Value())
+			case kindGauge:
+				out[f.name+ls] = float64(m.g.Value())
+			default:
+				out[f.name+"_sum"+ls] = m.h.Sum()
+				out[f.name+"_count"+ls] = float64(m.h.Count())
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its labels in
+// appearance order (values unescaped), and the sample value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Key renders the sample's identity as name{k="v",...} with label values
+// re-escaped — the same shape Snapshot uses, so tests can index either.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, EscapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseText parses the Prometheus text exposition format (the subset
+// WritePrometheus emits: HELP/TYPE comments and sample lines). It exists so
+// tests assert on parsed samples instead of eyeballing strings; it rejects
+// malformed lines rather than skipping them.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample parses one `name{k="v",...} value` line.
+func parseSample(text string) (Sample, error) {
+	var s Sample
+	i := strings.IndexAny(text, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no value in %q", text)
+	}
+	s.Name = text[:i]
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", text)
+	}
+	rest := text[i:]
+	if rest[0] == '{' {
+		labels, n, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[n:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", text, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block, returning the labels and the
+// number of input bytes consumed (including both braces).
+func parseLabels(text string) ([]Label, int, error) {
+	var labels []Label
+	i := 1 // past '{'
+	for {
+		if i >= len(text) {
+			return nil, 0, fmt.Errorf("unterminated label block in %q", text)
+		}
+		if text[i] == '}' {
+			return labels, i + 1, nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 {
+			return nil, 0, fmt.Errorf("no '=' in label block %q", text)
+		}
+		key := text[i : i+eq]
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return nil, 0, fmt.Errorf("unquoted label value in %q", text)
+		}
+		i++ // past opening quote
+		var b strings.Builder
+		for {
+			if i >= len(text) {
+				return nil, 0, fmt.Errorf("unterminated label value in %q", text)
+			}
+			c := text[i]
+			if c == '\\' && i+1 < len(text) {
+				switch text[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(c)
+					b.WriteByte(text[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\n' {
+				return nil, 0, fmt.Errorf("raw newline in label value of %q", text)
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Key: key, Value: b.String()})
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}

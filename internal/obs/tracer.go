@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span (question IDs, members,
+// phases).
+type Attr struct {
+	Key, Value string
+}
+
+// A(key, value) builds an Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer receives span start/end events from the engine: one span per
+// engine round and per issued question, annotated with question IDs and
+// phases. Implementations must be safe for concurrent use (the engine
+// goroutine and the session caller both emit spans) and must not block —
+// spans fire on the question hot path. A tracer observes; it can never
+// change what the engine asks or concludes.
+type Tracer interface {
+	// Begin starts a span and returns the func that ends it. The end func
+	// is called exactly once, on an arbitrary goroutine.
+	Begin(name string, attrs ...Attr) func()
+}
+
+// Begin starts a span on t, tolerating a nil tracer: with no tracer
+// attached it returns a shared no-op end func and does no work at all.
+func Begin(t Tracer, name string, attrs ...Attr) func() {
+	if t == nil {
+		return nopEnd
+	}
+	return t.Begin(name, attrs...)
+}
+
+var nopEnd = func() {}
+
+// Span is one completed (or still open) trace span recorded by MemTracer.
+type Span struct {
+	Name  string
+	Attrs []Attr
+	Start time.Time
+	End   time.Time // zero while the span is open
+}
+
+// Duration is End-Start, or zero while the span is open.
+func (s Span) Duration() time.Duration {
+	if s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Attr returns the value of the named attribute ("" if absent).
+func (s Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// MemTracer collects spans in memory — the reference Tracer for tests and
+// for dumping a session's trace after the fact. The zero value is ready to
+// use.
+type MemTracer struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// Begin implements Tracer.
+func (t *MemTracer) Begin(name string, attrs ...Attr) func() {
+	s := &Span{Name: name, Attrs: append([]Attr(nil), attrs...), Start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			end := time.Now()
+			t.mu.Lock()
+			s.End = end
+			t.mu.Unlock()
+		})
+	}
+}
+
+// Spans returns a copy of every span recorded so far, in start order.
+func (t *MemTracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = *s
+	}
+	return out
+}
+
+// Len returns how many spans have been recorded.
+func (t *MemTracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}

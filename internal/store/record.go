@@ -60,6 +60,24 @@ const (
 	RecIssued RecordType = 5
 )
 
+// String returns the record type's metric-label name.
+func (t RecordType) String() string {
+	switch t {
+	case RecAnswer:
+		return "answer"
+	case RecClassified:
+		return "classified"
+	case RecSession:
+		return "session"
+	case RecJoin:
+		return "join"
+	case RecIssued:
+		return "issued"
+	default:
+		return "unknown"
+	}
+}
+
 // Record is the decoded form of one WAL entry. Fields are a union over the
 // record types: Question/Member/Support/Kind/Counted for RecAnswer,
 // Node/Significant for RecClassified, Note for RecSession (query text) and

@@ -22,6 +22,11 @@ type Options struct {
 	// many records (default 4096; -1 disables automatic compaction —
 	// Compact can still be called explicitly).
 	CompactEvery int
+
+	// Metrics, when non-nil, receives store instrumentation (records and
+	// bytes appended, fsyncs, compactions, recovery counts). Purely
+	// observational: it never changes what the store persists or recovers.
+	Metrics *Metrics
 }
 
 const defaultCompactEvery = 4096
@@ -125,6 +130,7 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 			rec.InFlight = append(rec.InFlight, r)
 		}
 	}
+	opts.Metrics.recovered(rec)
 	return s, rec, nil
 }
 
@@ -189,9 +195,11 @@ func (s *Store) append(r Record) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if _, err := s.wal.Write(EncodeRecord(r)); err != nil {
+	buf := EncodeRecord(r)
+	if _, err := s.wal.Write(buf); err != nil {
 		return err
 	}
+	s.opts.Metrics.recordAppended(r.Type, len(buf))
 	s.walRecords++
 	s.sinceSync++
 	every := s.opts.SyncEvery
@@ -202,6 +210,7 @@ func (s *Store) append(r Record) error {
 		if err := s.wal.Sync(); err != nil {
 			return err
 		}
+		s.opts.Metrics.fsynced()
 		s.sinceSync = 0
 	}
 	return s.maybeCompact()
@@ -318,6 +327,7 @@ func (s *Store) compactLocked() error {
 	if err := s.wal.Sync(); err != nil {
 		return err
 	}
+	s.opts.Metrics.fsynced()
 	s.sinceSync = 0
 	recs := make([]Record, 0, 1+len(s.joins)+len(s.answers)+len(s.issues))
 	if s.session != "" {
@@ -339,6 +349,7 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 	s.walRecords = 0
+	s.opts.Metrics.compacted()
 	return nil
 }
 
@@ -360,6 +371,7 @@ func (s *Store) resetWAL() error {
 		f.Close()
 		return err
 	}
+	s.opts.Metrics.fsynced()
 	s.wal = f
 	return nil
 }
@@ -372,7 +384,11 @@ func (s *Store) Flush() error {
 		return ErrClosed
 	}
 	s.sinceSync = 0
-	return s.wal.Sync()
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.opts.Metrics.fsynced()
+	return nil
 }
 
 // Close flushes and closes the WAL. Further appends return ErrClosed.
@@ -384,6 +400,9 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	syncErr := s.wal.Sync()
+	if syncErr == nil {
+		s.opts.Metrics.fsynced()
+	}
 	closeErr := s.wal.Close()
 	if syncErr != nil {
 		return syncErr

@@ -494,6 +494,8 @@ type options struct {
 	spamMaxViolations   int
 	parallelism         int
 	store               *Store
+	metrics             *Metrics
+	tracer              Tracer
 }
 
 // Option configures Exec.
@@ -594,6 +596,10 @@ func compile(db *DB, q *Query, o *options) (*assign.Space, core.Config, error) {
 			cfg.Prime = o.store.prime
 		}
 	}
+	if o.metrics != nil {
+		cfg.Metrics = o.metrics.core
+	}
+	cfg.Tracer = o.tracer
 	return sp, cfg, nil
 }
 

@@ -1,0 +1,59 @@
+package oassis
+
+import (
+	"io"
+	"net/http"
+
+	"oassis/internal/core"
+	"oassis/internal/obs"
+)
+
+// Tracer receives span start/end events from an instrumented run: Begin is
+// called when a span (a mining round, a crowd question) opens, with
+// attributes such as the question ID and phase, and the returned function
+// is called when it closes. Implementations must be safe for concurrent
+// use; the engine guarantees tracing never changes what it asks or
+// concludes. TestTracer is a ready-made implementation for tests.
+type Tracer = obs.Tracer
+
+// TraceAttr is one key/value attribute on a trace span.
+type TraceAttr = obs.Attr
+
+// TestTracer is an in-memory Tracer that records completed spans, for
+// tests and debugging.
+type TestTracer = obs.MemTracer
+
+// Metrics collects instrumentation from runs it is attached to (via
+// WithMetrics): questions issued/answered/retired, in-flight and latency
+// series, engine rounds and cache hits. A Metrics may be attached to any
+// number of runs, concurrently; recording is write-only and never changes
+// mined results (see the equivalence test).
+type Metrics struct {
+	reg  *obs.Registry
+	core *core.Metrics
+}
+
+// NewMetrics returns an empty Metrics registry.
+func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	return &Metrics{reg: reg, core: core.NewMetrics(reg)}
+}
+
+// WritePrometheus writes every series in the Prometheus text exposition
+// format (the format served by oassis-server's /metrics).
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
+
+// Handler returns an http.Handler serving the Prometheus text exposition.
+func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }
+
+// Snapshot returns the current value of every series, keyed by
+// name{label="value",...}; histograms appear as their _sum and _count.
+func (m *Metrics) Snapshot() map[string]float64 { return m.reg.Snapshot() }
+
+// WithMetrics attaches a Metrics registry to the run. Purely
+// observational: results are bit-identical with and without it.
+func WithMetrics(m *Metrics) Option { return func(o *options) { o.metrics = m } }
+
+// WithTracer attaches a Tracer to the run. Purely observational: results
+// are bit-identical with and without it.
+func WithTracer(t Tracer) Option { return func(o *options) { o.tracer = t } }

@@ -1,0 +1,121 @@
+package oassis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMetricsDoNotPerturbResults is the observability layer's contract:
+// attaching metrics and tracing to a run changes nothing about what it
+// mines. MSPs, bindings, and Stats must be bit-identical with and without
+// instrumentation, sequentially and under the concurrent dispatcher.
+func TestMetricsDoNotPerturbResults(t *testing.T) {
+	for _, parallelism := range []int{1, 8} {
+		run := func(extra ...Option) *Result {
+			db := SampleDB()
+			q, err := ParseQuery(figure2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := append([]Option{
+				WithAnswersPerQuestion(2),
+				WithMoreCandidates(Triple{"Rent Bikes", "doAt", "Boathouse"}),
+				WithParallelism(parallelism),
+			}, extra...)
+			res, err := Exec(db, q, table3Members(t, db), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		plain := run()
+		m := NewMetrics()
+		tr := &TestTracer{}
+		instrumented := run(WithMetrics(m), WithTracer(tr))
+		if !reflect.DeepEqual(plain, instrumented) {
+			t.Errorf("parallelism %d: instrumented result differs from plain run\nplain: %+v\ninstrumented: %+v",
+				parallelism, plain, instrumented)
+		}
+
+		snap := m.Snapshot()
+		total := func(name string) float64 {
+			var sum float64
+			for k, v := range snap {
+				if strings.HasPrefix(k, name) {
+					sum += v
+				}
+			}
+			return sum
+		}
+		issued := total("oassis_session_questions_issued_total")
+		answered := total("oassis_session_questions_answered_total")
+		if issued == 0 || answered == 0 {
+			t.Errorf("parallelism %d: instruments empty: issued=%g answered=%g",
+				parallelism, issued, answered)
+		}
+		// Sequentially every submitted answer is one the engine asked for;
+		// concurrently, speculative answers the round outran still land on
+		// open instances, so the session-level counter may exceed the
+		// engine's counted questions but never undershoot them.
+		if parallelism == 1 && answered != float64(instrumented.Stats.TotalQuestions) {
+			t.Errorf("answered counter %g != Stats.TotalQuestions %d",
+				answered, instrumented.Stats.TotalQuestions)
+		}
+		if answered < float64(instrumented.Stats.TotalQuestions) {
+			t.Errorf("parallelism %d: answered counter %g < Stats.TotalQuestions %d",
+				parallelism, answered, instrumented.Stats.TotalQuestions)
+		}
+		if got := total("oassis_session_answer_latency_seconds_count"); got != answered {
+			t.Errorf("parallelism %d: latency observations %g != answered %g",
+				parallelism, got, answered)
+		}
+		if snap["oassis_session_questions_inflight"] != 0 {
+			t.Errorf("parallelism %d: in-flight gauge %g after the run, want 0",
+				parallelism, snap["oassis_session_questions_inflight"])
+		}
+		if tr.Len() == 0 {
+			t.Errorf("parallelism %d: tracer saw no spans", parallelism)
+		}
+		var b strings.Builder
+		if err := m.WritePrometheus(&b); err != nil {
+			t.Fatalf("parallelism %d: WritePrometheus: %v", parallelism, err)
+		}
+		if !strings.Contains(b.String(), "# TYPE oassis_session_questions_issued_total counter") {
+			t.Errorf("parallelism %d: exposition missing TYPE line:\n%s", parallelism, b.String())
+		}
+	}
+}
+
+// TestTracerSeesQuestionAttributes checks the span vocabulary: question
+// spans carry the member, kind, and phase attributes the docs promise.
+func TestTracerSeesQuestionAttributes(t *testing.T) {
+	db := SampleDB()
+	q, err := ParseQuery(figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &TestTracer{}
+	if _, err := Exec(db, q, table3Members(t, db),
+		WithAnswersPerQuestion(2), WithTracer(tr)); err != nil {
+		t.Fatal(err)
+	}
+	var questions, rounds int
+	for _, sp := range tr.Spans() {
+		switch sp.Name {
+		case "question":
+			questions++
+			if sp.Attr("member") == "" || sp.Attr("kind") == "" || sp.Attr("phase") == "" || sp.Attr("id") == "" {
+				t.Fatalf("question span missing attributes: %+v", sp)
+			}
+		case "round":
+			rounds++
+			if sp.Attr("node") == "" {
+				t.Fatalf("round span missing node attribute: %+v", sp)
+			}
+		}
+	}
+	if questions == 0 || rounds == 0 {
+		t.Fatalf("spans: questions=%d rounds=%d, want both > 0", questions, rounds)
+	}
+}
