@@ -13,9 +13,9 @@ BENCH_STAMP := $(shell date +%Y%m%d_%H%M%S)
 # floored slightly to absorb timing-dependent recovery paths.
 COVER_MIN ?= 80.0
 
-.PHONY: check fmt vet build api api-update test race fuzz cover bench
+.PHONY: check fmt vet build api api-update test race fuzz cover bench plan-golden plan-golden-update
 
-check: fmt vet build api race fuzz cover
+check: fmt vet build api plan-golden race fuzz cover
 
 # Fail when the root package's exported surface no longer matches the
 # committed api.txt golden; `make api-update` regenerates it after a
@@ -25,6 +25,15 @@ api:
 
 api-update:
 	$(GO) test -run '^TestPublicAPISurface$$' -update .
+
+# Fail when the serialized Plan IR of the running-example and synthetic
+# queries no longer matches the testdata/plan goldens; `make
+# plan-golden-update` regenerates them after a reviewed planner change.
+plan-golden:
+	$(GO) test -run '^TestPlanGolden' .
+
+plan-golden-update:
+	$(GO) test -run '^TestPlanGolden' -update .
 
 # Fail when any file is not gofmt-clean; print the offenders.
 fmt:
@@ -55,8 +64,9 @@ fuzz:
 # Combined core+store statement coverage, gated at COVER_MIN so engine or
 # store changes that shed tests fail the build.
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/core,./internal/store ./internal/core ./internal/store
-	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	@mkdir -p build
+	$(GO) test -coverprofile=build/cover.out -coverpkg=./internal/core,./internal/store ./internal/core ./internal/store
+	@total=$$($(GO) tool cover -func=build/cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	echo "combined core+store coverage: $$total% (floor $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% fell below the $(COVER_MIN)% floor"; exit 1; }

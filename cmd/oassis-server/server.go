@@ -17,7 +17,7 @@ import (
 	"oassis/internal/oassisql"
 	"oassis/internal/obs"
 	"oassis/internal/ontology"
-	"oassis/internal/sparql"
+	"oassis/internal/plan"
 	"oassis/internal/store"
 	"oassis/internal/vocab"
 )
@@ -28,14 +28,16 @@ import (
 // and appear on the top-20 statistics page; the query owner polls for the
 // mined answers.
 type server struct {
-	voc   *vocab.Vocabulary
-	onto  *ontology.Ontology
-	sp    *assign.Space
-	query *oassisql.Query
-	tpl   *crowd.Templates
-	poll  time.Duration
-	store *store.Store // nil without -store
-	obs   *serverObs   // nil without a registry
+	voc    *vocab.Vocabulary
+	onto   *ontology.Ontology
+	domain *core.Domain // shared read-only domain with the per-domain plan cache
+	plan   *plan.Plan   // the compiled plan the session executes
+	sp     *assign.Space
+	query  *oassisql.Query
+	tpl    *crowd.Templates
+	poll   time.Duration
+	store  *store.Store // nil without -store
+	obs    *serverObs   // nil without a registry
 
 	// sess is the step-driven engine session. It is not safe for
 	// concurrent use, so every Next/Submit happens under mu; handlers
@@ -71,21 +73,32 @@ type pendingQuestion struct {
 func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Query,
 	slots, answersPerQuestion int, poll time.Duration,
 	st *store.Store, rec *store.Recovered, reg *obs.Registry) (*server, error) {
-	bindings, err := sparql.Evaluate(onto, query.Where)
+	dom, err := core.NewDomain(voc, onto)
 	if err != nil {
 		return nil, err
 	}
-	maps := make([]map[string]vocab.Term, len(bindings))
-	for i, b := range bindings {
-		maps[i] = b
+	var planMetrics *plan.CacheMetrics
+	if reg != nil {
+		planMetrics = plan.NewCacheMetrics(reg)
 	}
-	sp, err := assign.NewSpace(voc, query, maps, sparql.Anchors(voc, query.Where))
+	// Compile through the per-domain plan cache: sessions over the same
+	// domain (the server restarts against the same ontology, future
+	// multi-session serving) reuse the compiled plan instead of
+	// re-analyzing the query.
+	pl, _, err := dom.Compile(query, planMetrics)
+	if err != nil {
+		return nil, err
+	}
+	sp := pl.NewSpace()
+	policy, err := pl.Policy()
 	if err != nil {
 		return nil, err
 	}
 	s := &server{
 		voc:     voc,
 		onto:    onto,
+		domain:  dom,
+		plan:    pl,
 		sp:      sp,
 		query:   query,
 		tpl:     crowd.NewTemplates(voc),
@@ -99,9 +112,10 @@ func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Q
 		s.slots = append(s.slots, fmt.Sprintf("p%02d", i))
 	}
 	cfg := core.Config{
-		Space: sp,
-		Theta: query.Support,
-		Agg:   aggregate.NewFixedSample(answersPerQuestion),
+		Space:  sp,
+		Theta:  pl.Support,
+		Policy: policy,
+		Agg:    aggregate.NewFixedSample(answersPerQuestion),
 	}
 	if reg != nil {
 		s.obs = newServerObs(reg)
@@ -115,6 +129,16 @@ func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Q
 			return nil, fmt.Errorf("store is bound to a different query; use a fresh -store directory")
 		}
 		if err := st.BindSession(query.String()); err != nil {
+			return nil, err
+		}
+		// The same query can compile to a different plan if the ontology
+		// changed between runs (domain drift); the recorded answers then
+		// belong to the old plan's assignment space, so refuse to resume.
+		if rec.Plan != "" && rec.Plan != pl.Fingerprint() {
+			return nil, fmt.Errorf("store was recorded under plan %s but the query now compiles to %s (domain drift); use a fresh -store directory",
+				rec.Plan, pl.Fingerprint())
+		}
+		if err := st.BindPlan(pl.Fingerprint()); err != nil {
 			return nil, err
 		}
 		for _, j := range rec.Joins {
@@ -201,8 +225,35 @@ func (s *server) routes(debug bool) *http.ServeMux {
 	mux.HandleFunc("POST /api/answer", s.obs.instrument("answer", s.handleAnswer))
 	mux.HandleFunc("GET /api/results", s.obs.instrument("results", s.handleResults))
 	mux.HandleFunc("GET /api/stats", s.obs.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /plans", s.obs.instrument("plans", s.handlePlans))
 	s.mountDebug(mux, debug)
 	return mux
+}
+
+// handlePlans is the planner introspection route: the domain fingerprint
+// and every plan in the per-domain cache, serialized as the reviewable
+// IR (terms resolved to names), with the fingerprint of the plan the
+// running session executes.
+func (s *server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	cached := s.domain.Plans().Plans()
+	out := struct {
+		Domain  string            `json:"domain"`
+		Session string            `json:"session_plan"`
+		Plans   []json.RawMessage `json:"plans"`
+	}{
+		Domain:  s.domain.Fingerprint(),
+		Session: s.plan.Fingerprint(),
+		Plans:   make([]json.RawMessage, 0, len(cached)),
+	}
+	for _, p := range cached {
+		js, err := p.MarshalJSON()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		out.Plans = append(out.Plans, js)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

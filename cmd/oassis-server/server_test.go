@@ -330,3 +330,44 @@ func TestStarThresholds(t *testing.T) {
 	}
 	_ = fmt.Sprint() // keep fmt for drive helpers
 }
+
+// TestServerPlansRoute: GET /plans exposes the domain fingerprint, the
+// session's plan fingerprint, and the cached plan IRs.
+func TestServerPlansRoute(t *testing.T) {
+	srv, ts := newTestServer(t, 2, 1)
+	resp, err := http.Get(ts.URL + "/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Domain  string `json:"domain"`
+		Session string `json:"session_plan"`
+		Plans   []struct {
+			Query     string `json:"query"`
+			Policy    string `json:"policy"`
+			Substrate string `json:"substrate"`
+		} `json:"plans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Domain != srv.domain.Fingerprint() {
+		t.Errorf("domain = %q, want %q", out.Domain, srv.domain.Fingerprint())
+	}
+	if out.Session != srv.plan.Fingerprint() {
+		t.Errorf("session_plan = %q, want %q", out.Session, srv.plan.Fingerprint())
+	}
+	if len(out.Plans) != 1 {
+		t.Fatalf("cached plans = %d, want 1", len(out.Plans))
+	}
+	if out.Plans[0].Query != srv.query.String() {
+		t.Errorf("plan query = %q", out.Plans[0].Query)
+	}
+	if out.Plans[0].Policy == "" || out.Plans[0].Substrate == "" {
+		t.Errorf("plan IR missing policy/substrate: %+v", out.Plans[0])
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -261,3 +262,40 @@ SATISFYING
   $y doAt $x
 WITH SUPPORT = 0.6
 `
+
+// TestServerStorePlanDrift refuses to replay a store whose journaled plan
+// fingerprint no longer matches what the query compiles to — the same
+// query text over a drifted domain must not silently replay answers into
+// a different assignment space.
+func TestServerStorePlanDrift(t *testing.T) {
+	s := ontology.NewSample()
+	q := oassisql.MustParse(serverQuery)
+	dir := t.TempDir()
+	st, _, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindSession(q.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindPlan("sha256:recorded-under-another-domain"); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, rec2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if rec2.Plan != "sha256:recorded-under-another-domain" {
+		t.Fatalf("recovered plan = %q", rec2.Plan)
+	}
+	_, err = newServer(s.Voc, s.Onto, q, 1, 1, time.Second, st2, rec2, nil)
+	if err == nil {
+		t.Fatal("drifted plan fingerprint accepted against a bound store")
+	}
+	if !strings.Contains(err.Error(), "domain drift") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -196,6 +196,32 @@ func NewSpace(v *vocab.Vocabulary, q *oassisql.Query, bindings []map[string]voca
 	return sp, nil
 }
 
+// FromParts rebuilds a Space from previously compiled parts (see
+// internal/plan): the variable specs, resolved meta-facts, MORE flag and
+// the valid base rows in their canonical (sorted-key) order. The memo
+// structures are rebuilt fresh so the returned Space is private to its
+// session even when the parts are shared, and the fill mirrors NewSpace
+// exactly so planned execution is bit-identical to direct construction.
+func FromParts(v *vocab.Vocabulary, vars []VarSpec, sat []Meta, more bool,
+	validBase [][]vocab.Term) *Space {
+
+	sp := &Space{Voc: v, Vars: vars, Sat: sat, More: more}
+	sp.validKeys = make(map[string]struct{}, len(validBase))
+	sp.valsAt = make([]map[vocab.Term]struct{}, len(sp.Vars))
+	for i := range sp.valsAt {
+		sp.valsAt[i] = make(map[vocab.Term]struct{})
+	}
+	for _, tuple := range validBase {
+		sp.ValidBase = append(sp.ValidBase, tuple)
+		sp.validKeys[baseKey(tuple)] = struct{}{}
+		for i, t := range tuple {
+			sp.valsAt[i][t] = struct{}{}
+		}
+	}
+	sp.coversMemo = make(map[string]bool)
+	return sp
+}
+
 // expandUnbound fills kind-wide domains for unbound variables.
 func expandUnbound(v *vocab.Vocabulary, tuple []vocab.Term, unbound []int, kinds []vocab.Kind,
 	k int, rows map[string][]vocab.Term) {

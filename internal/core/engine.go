@@ -9,6 +9,7 @@ import (
 	"oassis/internal/crowd"
 	"oassis/internal/fact"
 	"oassis/internal/obs"
+	"oassis/internal/plan"
 	"oassis/internal/vocab"
 )
 
@@ -79,6 +80,13 @@ type Config struct {
 	// violation (one answer-scale step, 0.25, is a good default).
 	SpamTolerance float64
 
+	// Policy orders the crowd's questions: among the unclassified
+	// generated lattice nodes, the one the policy ranks best is asked
+	// about next. nil means plan.PaperOrder{}, the paper's §4
+	// smallest-first order, which is bit-identical to the engine's
+	// original hard-coded selection.
+	Policy plan.Policy
+
 	// Rng drives the specialization-ratio coin flips; nil disables
 	// specialization questions unless the ratio is 1.
 	Rng *rand.Rand
@@ -142,11 +150,12 @@ type engineHooks struct {
 
 // engine carries the run state of the vertical multi-user algorithm.
 type engine struct {
-	cfg   Config
-	hooks engineHooks
-	sp    *assign.Space
-	agg   aggregate.Aggregator
-	cls   *classifier
+	cfg    Config
+	hooks  engineHooks
+	sp     *assign.Space
+	agg    aggregate.Aggregator
+	cls    *classifier
+	policy plan.Policy
 
 	pool      map[string]assign.Assignment // generated lattice nodes
 	poolOrder []string
@@ -205,11 +214,16 @@ func newEngine(cfg Config) *engine {
 	if agg == nil {
 		agg = aggregate.NewFixedSample(1)
 	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = plan.PaperOrder{}
+	}
 	e := &engine{
 		cfg:            cfg,
 		sp:             cfg.Space,
 		agg:            agg,
 		cls:            newClassifier(cfg.Space),
+		policy:         policy,
 		pool:           make(map[string]assign.Assignment),
 		memberAns:      make(map[string]map[string]float64),
 		pruned:         make(map[string][]vocab.Term),
@@ -274,10 +288,12 @@ func (e *engine) expand(a assign.Assignment) {
 	}
 }
 
-// pickMinimalUnclassified returns a most general unclassified generated
-// node, or ok=false when every generated node is classified. It scans the
-// classifier's incrementally-maintained unclassified set and picks the
-// (size, key)-least pool node: a node of minimal size is minimal in the
+// pickMinimalUnclassified returns the unclassified generated node the
+// ordering policy ranks first, or ok=false when every generated node is
+// classified. It scans the classifier's incrementally-maintained
+// unclassified set and keeps the best pool node under the policy's
+// comparison; under the default plan.PaperOrder this is the
+// (size, key)-least node — a node of minimal size is minimal in the
 // order up to rare multi-cover DAG absorptions, which cost at most a few
 // extra questions, never correctness.
 func (e *engine) pickMinimalUnclassified() (assign.Assignment, bool) {
@@ -289,7 +305,7 @@ func (e *engine) pickMinimalUnclassified() (assign.Assignment, bool) {
 			continue
 		}
 		size := n.Size()
-		if bestSize < 0 || size < bestSize || (size == bestSize && key < bestKey) {
+		if bestSize < 0 || e.policy.Better(key, size, bestKey, bestSize) {
 			bestKey, bestSize = key, size
 		}
 	}

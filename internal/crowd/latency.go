@@ -1,39 +1,70 @@
 package crowd
 
 import (
+	"math/rand"
+	"sync"
 	"time"
 
 	"oassis/internal/fact"
 	"oassis/internal/vocab"
 )
 
-// Latent wraps a Member with a fixed per-answer latency, modeling the
-// dominant cost of crowd mining: a human answer takes seconds, not
-// nanoseconds (§6.2 collects answers over days). It is the workload behind
-// the dispatcher benchmarks — with latent members, wall clock measures how
+// Latent wraps a Member with a per-answer latency, modeling the dominant
+// cost of crowd mining: a human answer takes seconds, not nanoseconds
+// (§6.2 collects answers over days). It is the workload behind the
+// dispatcher benchmarks — with latent members, wall clock measures how
 // many questions are genuinely in flight at once rather than CPU time.
 type Latent struct {
 	M     Member
 	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter) per answer,
+	// so simulated humans do not all answer in lockstep.
+	Jitter time.Duration
+	// Rng draws the jitter. Jitter requires an explicit Rng — latency
+	// simulations must be reproducible, so there is deliberately no
+	// fallback to the process-global source. Each Latent must own its Rng
+	// (sharing one *rand.Rand across members would interleave their
+	// sequences); draws are serialized internally, since the dispatcher
+	// may have several of one member's questions in flight at once.
+	Rng *rand.Rand
+
+	mu sync.Mutex // guards Rng
+}
+
+// nextDelay is the latency of the next answer: Delay plus a jitter draw
+// from the member's own Rng.
+func (l *Latent) nextDelay() time.Duration {
+	d := l.Delay
+	if l.Jitter > 0 {
+		if l.Rng == nil {
+			panic("crowd: Latent.Jitter requires an explicit Rng (no global rand source)")
+		}
+		l.mu.Lock()
+		j := l.Rng.Int63n(int64(l.Jitter))
+		l.mu.Unlock()
+		d += time.Duration(j)
+	}
+	return d
 }
 
 // ID implements Member.
 func (l *Latent) ID() string { return l.M.ID() }
 
-// Concrete implements Member, answering after Delay.
+// Concrete implements Member, answering after the member's latency.
 func (l *Latent) Concrete(fs fact.Set) float64 {
-	time.Sleep(l.Delay)
+	time.Sleep(l.nextDelay())
 	return l.M.Concrete(fs)
 }
 
-// ChooseSpecialization implements Member, answering after Delay.
+// ChooseSpecialization implements Member, answering after the member's
+// latency.
 func (l *Latent) ChooseSpecialization(candidates []fact.Set) SpecializeResponse {
-	time.Sleep(l.Delay)
+	time.Sleep(l.nextDelay())
 	return l.M.ChooseSpecialization(candidates)
 }
 
-// Irrelevant implements Member, answering after Delay.
+// Irrelevant implements Member, answering after the member's latency.
 func (l *Latent) Irrelevant(terms []vocab.Term) (vocab.Term, bool) {
-	time.Sleep(l.Delay)
+	time.Sleep(l.nextDelay())
 	return l.M.Irrelevant(terms)
 }

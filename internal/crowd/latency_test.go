@@ -1,0 +1,57 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestLatentJitterDeterminism: jitter is drawn from the member's explicit
+// Rng, so two members seeded identically see identical latency sequences —
+// and a zero-jitter member never touches its Rng at all.
+func TestLatentJitterDeterminism(t *testing.T) {
+	mk := func(seed int64) *Latent {
+		return &Latent{
+			Delay:  time.Millisecond,
+			Jitter: 50 * time.Millisecond,
+			Rng:    rand.New(rand.NewSource(seed)),
+		}
+	}
+	a, b := mk(7), mk(7)
+	for i := 0; i < 64; i++ {
+		da, db := a.nextDelay(), b.nextDelay()
+		if da != db {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < time.Millisecond || da >= 51*time.Millisecond {
+			t.Fatalf("draw %d: delay %v outside [Delay, Delay+Jitter)", i, da)
+		}
+	}
+	other := mk(8)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.nextDelay() != other.nextDelay() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter sequences")
+	}
+
+	fixed := &Latent{Delay: 3 * time.Millisecond} // no Jitter, no Rng needed
+	if d := fixed.nextDelay(); d != 3*time.Millisecond {
+		t.Errorf("zero-jitter delay = %v", d)
+	}
+}
+
+// TestLatentJitterRequiresRng: jitter without an explicit Rng is a
+// programming error, not a silent fallback to the global source.
+func TestLatentJitterRequiresRng(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Jitter without Rng did not panic")
+		}
+	}()
+	l := &Latent{Delay: time.Millisecond, Jitter: time.Millisecond}
+	l.nextDelay()
+}

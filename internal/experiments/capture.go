@@ -10,6 +10,7 @@ import (
 	"oassis/internal/fact"
 	"oassis/internal/itemset"
 	"oassis/internal/oassisql"
+	"oassis/internal/plan"
 	"oassis/internal/vocab"
 
 	"oassis/internal/assign"
@@ -56,16 +57,13 @@ func ItemsetCapture(items, transactions int, minSupport float64, seed int64) (*R
 		pdb.Add(fs.Canon())
 	}
 
-	// Ground truth: Apriori + maximal filter.
-	truth := itemset.Maximal(itemset.Apriori(db, minSupport))
-	truthKeys := map[string]bool{}
-	for _, s := range truth {
-		key := ""
-		for _, it := range s.Items {
-			key += fmt.Sprintf("%02d,", it)
-		}
-		truthKeys[key] = true
+	// Ground truth through the planner's pluggable mining substrate (the
+	// classic Apriori + maximal-filter black box).
+	itemsetSub, err := plan.SubstrateByName(plan.SubstrateItemset)
+	if err != nil {
+		return nil, err
 	}
+	truthKeys := substrateKeys(itemsetSub, db, minSupport)
 
 	// OASSIS: the capture query over the same transactions.
 	q := &oassisql.Query{
@@ -97,20 +95,50 @@ func ItemsetCapture(items, transactions int, minSupport float64, seed int64) (*R
 		}
 		mined[key] = true
 	}
-	agree := len(mined) == len(truthKeys)
-	for k := range truthKeys {
-		if !mined[k] {
-			agree = false
-		}
+	agree := sameKeys(mined, truthKeys)
+
+	// The alternative substrate — the SIGMOD'13 association-rule framework
+	// behind the same plan.Substrate interface — must agree bitwise too.
+	assocSub, err := plan.SubstrateByName(plan.SubstrateAssoc)
+	if err != nil {
+		return nil, err
 	}
+	assocKeys := substrateKeys(assocSub, db, minSupport)
 	r.Add("Apriori+maximal", len(truthKeys), "")
 	r.Add("OASSIS $x+ [] []", len(mined), agree)
+	r.Add("assoc substrate", len(assocKeys), sameKeys(assocKeys, truthKeys))
 	r.Note("questions: %d (unique %d); %d transactions, %d items, θ=%.2f",
 		res.Stats.TotalQuestions, res.Stats.UniqueQuestions, transactions, items, minSupport)
 	if !agree {
 		r.Note("MISMATCH between OASSIS MSPs and Apriori maximal itemsets")
 	}
 	return r, nil
+}
+
+// substrateKeys mines the maximal frequent itemsets through a pluggable
+// substrate and renders them as canonical comparison keys.
+func substrateKeys(sub plan.Substrate, db []itemset.Itemset, theta float64) map[string]bool {
+	keys := map[string]bool{}
+	for _, s := range sub.MineMaximal(db, theta) {
+		key := ""
+		for _, it := range s.Items {
+			key += fmt.Sprintf("%02d,", it)
+		}
+		keys[key] = true
+	}
+	return keys
+}
+
+func sameKeys(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range b {
+		if !a[k] {
+			return false
+		}
+	}
+	return true
 }
 
 // AssocMiner regenerates the bridge experiment for the SIGMOD'13 Crowd

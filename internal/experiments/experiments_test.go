@@ -194,6 +194,9 @@ func TestItemsetCapture(t *testing.T) {
 	if r.Rows[1][2] != "true" {
 		t.Fatalf("OASSIS and Apriori disagree: %v\n%s", r.Rows, r.Table())
 	}
+	if r.Rows[2][2] != "true" {
+		t.Fatalf("assoc substrate and Apriori disagree: %v\n%s", r.Rows, r.Table())
+	}
 }
 
 func TestAssocMinerReport(t *testing.T) {

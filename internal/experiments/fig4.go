@@ -6,6 +6,7 @@ import (
 	"oassis/internal/aggregate"
 	"oassis/internal/assign"
 	"oassis/internal/core"
+	"oassis/internal/crowd"
 	"oassis/internal/synth"
 )
 
@@ -38,25 +39,23 @@ func applyScale(cfg synth.DomainConfig, sc DomainScale) synth.DomainConfig {
 	return cfg
 }
 
-// runDomain mines one domain at the given threshold, optionally priming
+// runCell mines one grid cell at the given threshold, optionally priming
 // from a previous run's cache (the §6.3 threshold-replay methodology).
-func runDomain(d *synth.Domain, theta float64, sample int, prime *core.Cache, timeline bool) *core.Result {
+// Each cell gets a private space and crowd so that runs at different
+// thresholds share neither lattice caches nor member RNG streams (the
+// crowd answers are shared via the prime cache instead, as in the paper).
+func runCell(sp *assign.Space, members []crowd.Member, theta float64, sample int,
+	prime *core.Cache, timeline bool) *core.Result {
+
 	return core.Run(core.Config{
-		Space:         d.Sp,
+		Space:         sp,
 		Theta:         theta,
-		Members:       d.Members,
+		Members:       members,
 		Agg:           aggregate.NewFixedSample(sample),
 		Prime:         prime,
 		TrackTimeline: timeline,
 		Metrics:       sharedMetrics(),
 	})
-}
-
-// rebuildSpace re-creates the domain's space so that runs at different
-// thresholds do not share lattice caches (the crowd answers are shared via
-// the prime cache instead, as in the paper).
-func rebuildSpace(cfg synth.DomainConfig) (*synth.Domain, error) {
-	return synth.GenerateDomain(cfg)
 }
 
 // Fig4Domain regenerates one of Figures 4a–4c: per support threshold, the
@@ -74,35 +73,40 @@ func Fig4Domain(id string, base synth.DomainConfig, sc DomainScale) (*Report, er
 		id[len(id)-1:], cfg.Members, sc.Sample)
 	r.Note("thresholds above 0.2 replay the 0.2 run's CrowdCache (§6.3)")
 
-	// The theta-0.2 run feeds the replay cache, so it runs first; the
-	// remaining thresholds are independent given that (read-only) cache and
-	// fan out as grid cells.
-	d0, err := rebuildSpace(cfg)
+	// The domain is generated and its plan compiled exactly once; every
+	// grid cell rebuilds a private lattice from the shared immutable plan
+	// (pl.NewSpace) and a private crowd (NewCrowd) instead of regenerating
+	// the whole domain — bit-identical output, none of the repeated
+	// ontology/space construction. The theta-0.2 run feeds the replay
+	// cache, so it runs first; the remaining thresholds are independent
+	// given that (read-only) cache and fan out as grid cells.
+	d0, err := synth.GenerateDomain(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res0 := runDomain(d0, 0.2, sc.Sample, nil, false)
+	pl, err := d0.Plan(0.2)
+	if err != nil {
+		return nil, err
+	}
+	res0 := runCell(d0.Sp, d0.Members, 0.2, sc.Sample, nil, false)
 	prime := res0.Cache
-	addRow := func(d *synth.Domain, theta float64, res *core.Result) []interface{} {
-		baseline := core.BaselineQuestions(d.Sp, sc.Sample)
+	addRow := func(sp *assign.Space, theta float64, res *core.Result) []interface{} {
+		baseline := core.BaselineQuestions(sp, sc.Sample)
 		return []interface{}{theta, len(res.MSPs), len(res.ValidMSPs),
 			res.Stats.TotalQuestions, pct(res.Stats.TotalQuestions, baseline)}
 	}
 	rest := []float64{0.3, 0.4, 0.5}
 	rows := make([][]interface{}, len(rest))
 	err = RunGrid(sc.Parallelism, len(rest), func(i int) error {
-		d, err := rebuildSpace(cfg)
-		if err != nil {
-			return err
-		}
-		res := runDomain(d, rest[i], sc.Sample, prime, false)
-		rows[i] = addRow(d, rest[i], res)
+		sp := pl.NewSpace()
+		res := runCell(sp, d0.NewCrowd(), rest[i], sc.Sample, prime, false)
+		rows[i] = addRow(sp, rest[i], res)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	r.Add(addRow(d0, 0.2, res0)...)
+	r.Add(addRow(d0.Sp, 0.2, res0)...)
 	for _, row := range rows {
 		r.Add(row...)
 	}
@@ -124,11 +128,11 @@ func Fig4Pace(id string, base synth.DomainConfig, sc DomainScale) (*Report, erro
 		Header: []string{"%discovered", "classified assign.", "valid MSPs", "all MSPs"},
 	}
 	r.Note("paper: Fig 4d/4e; questions needed to reach each discovery percentage")
-	d, err := rebuildSpace(cfg)
+	d, err := synth.GenerateDomain(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := runDomain(d, 0.2, sc.Sample, nil, true)
+	res := runCell(d.Sp, d.Members, 0.2, sc.Sample, nil, true)
 
 	classified := classifiedCurve(res)
 	allMSPs := mspCurve(res, res.MSPs)
@@ -212,7 +216,7 @@ func CrowdSummary(sc DomainScale) (*Report, error) {
 	rows := make([][]interface{}, len(domains))
 	err := RunGrid(sc.Parallelism, len(domains), func(i int) error {
 		cfg := applyScale(domains[i], sc)
-		d, err := rebuildSpace(cfg)
+		d, err := synth.GenerateDomain(cfg)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -40,9 +41,14 @@ func latencyConfig(delay time.Duration, members, answersPerQuestion int) (core.C
 	}
 	crowdMembers := make([]crowd.Member, members)
 	for i := range crowdMembers {
+		// Each latent member owns a deterministically seeded Rng for its
+		// answer jitter: runs are reproducible, and concurrent members
+		// never share a rand source.
 		crowdMembers[i] = &crowd.Latent{
-			M:     synth.NewOracle(fmt.Sprintf("m%02d", i), sp, planted),
-			Delay: delay,
+			M:      synth.NewOracle(fmt.Sprintf("m%02d", i), sp, planted),
+			Delay:  delay,
+			Jitter: delay / 4,
+			Rng:    rand.New(rand.NewSource(42 + int64(i))),
 		}
 	}
 	return core.Config{
@@ -118,6 +124,7 @@ func DispatchLatency(delay time.Duration, parallelisms []int) (*Report, error) {
 			float64(base)/float64(pt.Elapsed), pt.Questions,
 			pt.Dispatch.Launched, pt.Dispatch.Wasted, pt.Dispatch.MaxInFlight)
 	}
-	r.Note("12 latent members, 8 answers per question; results are bit-identical at every parallelism")
+	r.Note("12 latent members (answer jitter up to delay/4, per-member seeds), 8 answers per question;")
+	r.Note("results are bit-identical at every parallelism")
 	return r, nil
 }

@@ -136,6 +136,12 @@ type Query struct {
 	Satisfying []Pattern
 	More       bool // the MORE keyword appeared in the SATISFYING clause
 	Support    float64
+
+	// SatisfyingPos and SupportPos locate the SATISFYING keyword and the
+	// support number in the source text, so every validation error carries
+	// a line/column position (both zero for programmatically built queries).
+	SatisfyingPos Pos
+	SupportPos    Pos
 }
 
 // Vars returns the variable names occurring in the given patterns, in first-

@@ -102,9 +102,11 @@ func (p *parser) parseQuery() (*Query, error) {
 		return nil, err
 	}
 	q.Where = where
-	if _, err := p.expect(SATISFYING); err != nil {
+	satTok, err := p.expect(SATISFYING)
+	if err != nil {
 		return nil, err
 	}
+	q.SatisfyingPos = satTok.Pos
 	sat, more, err := p.parsePatterns(true, WITH)
 	if err != nil {
 		return nil, err
@@ -129,6 +131,7 @@ func (p *parser) parseQuery() (*Query, error) {
 		return nil, p.errf(num, "invalid support value '"+num.Text+"'")
 	}
 	q.Support = val
+	q.SupportPos = num.Pos
 	if t := p.take(); t.Kind != EOF {
 		return nil, p.errf(t, "unexpected "+describe(t)+" after query")
 	}

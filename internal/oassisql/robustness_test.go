@@ -1,6 +1,7 @@
 package oassisql
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -91,5 +92,94 @@ WITH SUPPORT = 0.123`
 	}
 	if q2.String() != text {
 		t.Fatalf("print/parse not a fixpoint:\n%s\nvs\n%s", text, q2.String())
+	}
+}
+
+// TestErrorMessages pins the exact message — including the line:column
+// position — of every reachable lexer, parser, and validation error path.
+func TestErrorMessages(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT NOTHING",
+			"oassisql: 1:8: expected FACT-SETS or VARIABLES after SELECT"},
+		{"SELECT FACT-SETS\nWHERE $ doAt B\nSATISFYING $x doAt B\nWITH SUPPORT = 0.4",
+			"oassisql: 2:7: empty variable name after $"},
+		{"SELECT FACT-SETS\nWHERE $x hasLabel \"oops\nSATISFYING $x doAt B\nWITH SUPPORT = 0.4",
+			"oassisql: 2:19: newline in string"},
+		{"SELECT FACT-SETS\nWHERE $x doAt B\nSATISFYING $x doAt B\nWITH SUPPORT = 0.4 %",
+			"oassisql: 4:20: unexpected character '%'"},
+		{"SELECT FACT-SETS\nWHERE $x+ doAt B\nSATISFYING $x doAt B\nWITH SUPPORT = 0.4",
+			"oassisql: 2:7: multiplicity markers are only allowed in the SATISFYING clause"},
+		{"SELECT FACT-SETS\nWHERE $x doAt B\nSATISFYING $x subClassOf* B\nWITH SUPPORT = 0.4",
+			"oassisql: 3:25: path patterns are not allowed in the SATISFYING clause"},
+		{"SELECT FACT-SETS\nWHERE $x doAt B\nSATISFYING $x{0} doAt B\nWITH SUPPORT = 0.4",
+			"oassisql: 3:14: multiplicity {0} would delete the variable; use {0,m} or *"},
+		{"SELECT FACT-SETS\nWHERE $x doAt B\nSATISFYING $x doAt B\nWITH SUPPORT = 1.5",
+			"oassisql: 4:16: support threshold 1.5 outside (0, 1]"},
+		{"SELECT FACT-SETS\nWHERE $x doAt B\nSATISFYING\nWITH SUPPORT = 0.4",
+			"oassisql: 3:1: SATISFYING clause is empty"},
+		{"SELECT FACT-SETS\nWHERE $x doAt B\nSATISFYING $y doAt B\nWITH SUPPORT = 0.4",
+			"oassisql: 3:1: SATISFYING uses variables not bound in WHERE"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error %q", c.in, c.want)
+			continue
+		}
+		if err.Error() != c.want {
+			t.Errorf("Parse(%q)\n  error = %q\n  want    %q", c.in, err.Error(), c.want)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error is not a *ParseError: %T", c.in, err)
+		} else if pe.Line == 0 || pe.Col == 0 {
+			t.Errorf("Parse(%q) error lacks a position: %+v", c.in, pe)
+		}
+	}
+}
+
+// TestValidateErrorsArePositioned covers the Validate paths only reachable
+// with programmatically built queries (the parser resolves WHERE strings
+// to terms before validation sees them): every one returns a *ParseError,
+// positioned at the offending pattern.
+func TestValidateErrorsArePositioned(t *testing.T) {
+	atomVar := func(n string) Atom { return Atom{Kind: AtomVar, Name: n} }
+	lit := Atom{Kind: AtomLiteral, Name: "x"}
+	rel := Atom{Kind: AtomTerm, Name: "doAt"}
+	pos := Pos{Line: 7, Col: 3}
+	sat := []Pattern{{S: atomVar("x"), R: rel, O: atomVar("y")}}
+	cases := []struct {
+		q    *Query
+		want string
+	}{
+		{&Query{Support: 0.4, Satisfying: sat,
+			Where: []Pattern{{Pos: pos, S: atomVar("x"), SMult: MultPlus, R: rel, O: atomVar("y")}}},
+			"oassisql: 7:3: multiplicity in WHERE clause"},
+		{&Query{Support: 0.4, Satisfying: sat,
+			Where: []Pattern{{Pos: pos, S: lit, SMult: MultOne, R: rel, O: atomVar("y"), OMult: MultOne}}},
+			"oassisql: 7:3: literal in subject position"},
+		{&Query{Support: 0.4, Satisfying: sat,
+			Where: []Pattern{{Pos: pos, S: atomVar("x"), SMult: MultOne, R: rel, O: lit, OMult: MultOne}}},
+			"oassisql: 7:3: label literal with non-label relation"},
+		{&Query{Support: 0.4,
+			Satisfying: []Pattern{{Pos: pos, S: atomVar("x"), R: rel, O: lit}}},
+			"oassisql: 7:3: label literal in SATISFYING clause"},
+		{&Query{Support: 0.4,
+			Satisfying: []Pattern{{Pos: pos, Path: true, S: atomVar("x"), R: rel, O: atomVar("y")}}},
+			"oassisql: 7:3: path pattern in SATISFYING clause"},
+	}
+	for i, c := range cases {
+		err := Validate(c.q)
+		if err == nil {
+			t.Errorf("case %d: Validate succeeded, want %q", i, c.want)
+			continue
+		}
+		if err.Error() != c.want {
+			t.Errorf("case %d: error = %q, want %q", i, err.Error(), c.want)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("case %d: error is not a *ParseError: %T", i, err)
+		}
 	}
 }

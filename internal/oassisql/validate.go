@@ -1,28 +1,26 @@
 package oassisql
 
-import (
-	"fmt"
-)
-
 // Validate performs the structural checks that do not require a vocabulary:
 // support range, clause shapes, and variable usage. Name resolution against
 // a concrete vocabulary happens later, in the WHERE evaluation engine.
+// Every error is a *ParseError carrying the offending source position
+// (line/column are zero for programmatically built queries).
 func Validate(q *Query) error {
 	if !(q.Support > 0 && q.Support <= 1) {
-		return fmt.Errorf("oassisql: support threshold %g outside (0, 1]", q.Support)
+		return errAt(q.SupportPos, "support threshold %g outside (0, 1]", q.Support)
 	}
 	if len(q.Satisfying) == 0 && !q.More {
-		return fmt.Errorf("oassisql: SATISFYING clause is empty")
+		return errAt(q.SatisfyingPos, "SATISFYING clause is empty")
 	}
 	for _, p := range q.Where {
 		if p.SMult != MultOne || p.OMult != MultOne {
-			return fmt.Errorf("oassisql: %s: multiplicity in WHERE clause", p.Pos)
+			return errAt(p.Pos, "multiplicity in WHERE clause")
 		}
 		if p.S.Kind == AtomLiteral {
-			return fmt.Errorf("oassisql: %s: literal in subject position", p.Pos)
+			return errAt(p.Pos, "literal in subject position")
 		}
 		if p.O.Kind == AtomLiteral && !(p.R.Kind == AtomTerm && labelRelations[p.R.Name]) {
-			return fmt.Errorf("oassisql: %s: label literal with non-label relation", p.Pos)
+			return errAt(p.Pos, "label literal with non-label relation")
 		}
 	}
 	whereVars := map[string]bool{}
@@ -32,10 +30,10 @@ func Validate(q *Query) error {
 	satHasUnbound := false
 	for _, p := range q.Satisfying {
 		if p.Path {
-			return fmt.Errorf("oassisql: %s: path pattern in SATISFYING clause", p.Pos)
+			return errAt(p.Pos, "path pattern in SATISFYING clause")
 		}
 		if p.S.Kind == AtomLiteral || p.O.Kind == AtomLiteral || p.R.Kind == AtomLiteral {
-			return fmt.Errorf("oassisql: %s: label literal in SATISFYING clause", p.Pos)
+			return errAt(p.Pos, "label literal in SATISFYING clause")
 		}
 		for _, a := range []Atom{p.S, p.R, p.O} {
 			if a.Kind == AtomVar && !whereVars[a.Name] {
@@ -48,7 +46,7 @@ func Validate(q *Query) error {
 	// Section 4.1); with a non-empty WHERE clause they are almost certainly
 	// typos, so reject them.
 	if satHasUnbound && len(q.Where) > 0 {
-		return fmt.Errorf("oassisql: SATISFYING uses variables not bound in WHERE")
+		return errAt(q.SatisfyingPos, "SATISFYING uses variables not bound in WHERE")
 	}
 	return nil
 }

@@ -1,0 +1,109 @@
+package ontology_test
+
+import (
+	"sync"
+	"testing"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/core"
+	"oassis/internal/synth"
+	"oassis/internal/vocab"
+)
+
+// TestConcurrentReadersWhileSessionsRun guards the shared-domain
+// invariant behind core.Domain: one frozen vocabulary + ontology is
+// referenced read-only by many concurrent sessions, so 16 goroutines
+// hammering every ontology query API while mining sessions execute over
+// the same domain must be race-free (this test is run under -race by
+// `make check`) and observe a never-changing ontology.
+func TestConcurrentReadersWhileSessionsRun(t *testing.T) {
+	d, err := synth.GenerateDomain(synth.DomainConfig{
+		Name: "shared", YTerms: 20, XTerms: 8, YDepth: 3, XDepth: 2,
+		Members: 6, Transactions: 10, Patterns: 4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onto := d.Onto
+	facts := onto.Facts()
+	if len(facts) == 0 {
+		t.Fatal("generated ontology is empty")
+	}
+	wantLen := onto.Len()
+	pl, err := d.Plan(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+
+	// Mining sessions running over the shared domain.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := core.Run(core.Config{
+				Space:   pl.NewSpace(),
+				Theta:   0.2,
+				Members: d.NewCrowd(),
+				Agg:     aggregate.NewFixedSample(2),
+			})
+			if res.Stats.TotalQuestions == 0 {
+				errs <- "session asked no questions"
+			}
+		}()
+	}
+
+	// 16 concurrent readers over every query entry point.
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f := facts[(g*31+i)%len(facts)]
+				if !onto.Contains(f) {
+					errs <- "Contains lost a fact"
+					return
+				}
+				if !onto.Holds(f.S, f.R, f.O) {
+					errs <- "Holds lost a fact"
+					return
+				}
+				if len(onto.Match(f.S, f.R, vocab.Term(-1))) == 0 {
+					errs <- "Match lost a fact"
+					return
+				}
+				if len(onto.MatchRel(f.R)) == 0 {
+					errs <- "MatchRel lost a fact"
+					return
+				}
+				if !onto.Reachable(f.S, f.R, f.O) {
+					errs <- "Reachable lost an edge"
+					return
+				}
+				if len(onto.ReachableSet(f.S, f.R)) == 0 {
+					errs <- "ReachableSet lost an edge"
+					return
+				}
+				onto.SourcesReaching(f.O, f.R)
+				onto.LabelsOf(f.S)
+				onto.Labeled("no-such-label")
+				onto.HasLabel(f.S, "no-such-label")
+				if !onto.Entails(facts[:1]) {
+					errs <- "Entails lost a fact"
+					return
+				}
+				if onto.Len() != wantLen {
+					errs <- "ontology length changed under readers"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

@@ -1,0 +1,115 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"oassis/internal/assign"
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/rdfio"
+	"oassis/internal/sparql"
+	"oassis/internal/vocab"
+)
+
+// ErrNotFrozen is returned when compiling against an unfrozen vocabulary:
+// plans are immutable, so their domain must be too.
+var ErrNotFrozen = fmt.Errorf("plan: vocabulary must be frozen before compiling")
+
+// DomainFingerprint computes the content address of a frozen domain:
+// "sha256:" over a canonical dump of the vocabulary (every term in
+// interning order with its name, kind and children) followed by the
+// deterministic Turtle serialization of the ontology. Two domains with
+// the same fingerprint resolve every plan identically.
+func DomainFingerprint(voc *vocab.Vocabulary, onto *ontology.Ontology) string {
+	h := sha256.New()
+	for t := 0; t < voc.Len(); t++ {
+		term := vocab.Term(t)
+		fmt.Fprintf(h, "%d\x00%s\x00%s\x00", t, voc.Name(term), voc.KindOf(term))
+		for _, c := range voc.Children(term) {
+			fmt.Fprintf(h, "%d,", c)
+		}
+		fmt.Fprint(h, "\x00")
+	}
+	if onto != nil {
+		if err := rdfio.Write(h, onto); err != nil {
+			// rdfio.Write over an in-memory ontology only fails if the
+			// writer fails, and sha256.Hash never does; keep the
+			// signature error-free and poison the digest if it ever does.
+			fmt.Fprintf(h, "write-error:%v", err)
+		}
+	}
+	return fmt.Sprintf("sha256:%x", h.Sum(nil))
+}
+
+// Compile analyzes query q over the frozen domain (voc, onto): it
+// evaluates the WHERE clause, resolves the SATISFYING meta-fact-set and
+// the valid base assignments, and picks the ordering policy and mining
+// substrate. domainFP is the precomputed DomainFingerprint of
+// (voc, onto); the caller usually holds it in a core.Domain so it is
+// hashed once per domain, not once per compile.
+func Compile(voc *vocab.Vocabulary, onto *ontology.Ontology, q *oassisql.Query,
+	domainFP string) (*Plan, error) {
+
+	if !voc.Frozen() {
+		return nil, ErrNotFrozen
+	}
+	bindings, err := sparql.Evaluate(onto, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	maps := make([]map[string]vocab.Term, len(bindings))
+	for i, b := range bindings {
+		maps[i] = b
+	}
+	sp, err := assign.NewSpace(voc, q, maps, sparql.Anchors(voc, q.Where))
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(&Plan{
+		QueryText:     q.String(),
+		Support:       q.Support,
+		All:           q.All,
+		More:          q.More,
+		Vars:          sp.Vars,
+		Sat:           sp.Sat,
+		ValidBase:     sp.ValidBase,
+		PolicyName:    PolicyPaperOrder,
+		SubstrateName: chooseSubstrate(q),
+		DomainFP:      domainFP,
+	}, voc)
+}
+
+// chooseSubstrate picks the mining black box for the query. The pure
+// itemset-capture form of §4.1 — an empty WHERE clause, so the query is
+// frequent-pattern mining over the whole vocabulary — runs on the classic
+// itemset substrate; everything else is crowd mining in the SIGMOD'13
+// association-rule sense and runs on the assoc substrate.
+func chooseSubstrate(q *oassisql.Query) string {
+	if len(q.Where) == 0 {
+		return SubstrateItemset
+	}
+	return SubstrateAssoc
+}
+
+// FromSpace wraps an already-built assignment space as a Plan, for
+// callers (the synthetic-domain generators, programmatic experiments)
+// that construct spaces from explicit bindings rather than a WHERE
+// clause. The space's parts are captured as-is; support is the
+// significance threshold the plan will run with.
+func FromSpace(queryText string, support float64, all bool, domainFP string,
+	sp *assign.Space) (*Plan, error) {
+
+	return newPlan(&Plan{
+		QueryText:     queryText,
+		Support:       support,
+		All:           all,
+		More:          sp.More,
+		Vars:          sp.Vars,
+		Sat:           sp.Sat,
+		ValidBase:     sp.ValidBase,
+		PolicyName:    PolicyPaperOrder,
+		SubstrateName: SubstrateAssoc,
+		DomainFP:      domainFP,
+	}, sp.Voc)
+}

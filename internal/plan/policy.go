@@ -1,0 +1,68 @@
+package plan
+
+import "fmt"
+
+// Policy is the question-ordering strategy of the execution engine: when
+// several unclassified lattice nodes are eligible, the policy decides
+// which one the crowd is asked about next. The engine scans its candidate
+// set and keeps the best node under Better, so a Policy is a strict
+// comparison, not a queue — the engine's allocation-free selection loop
+// is preserved whatever the policy.
+//
+// Policies must be deterministic and stateless: given the same candidate
+// pair they must always answer the same, and ties must be broken totally
+// (no two distinct keys may compare equal both ways), or runs stop being
+// reproducible across parallelism levels.
+type Policy interface {
+	// Name returns the registry name of the policy.
+	Name() string
+	// Better reports whether the candidate node (key aKey, lattice size
+	// aSize) should be asked before the incumbent (bKey, bSize).
+	Better(aKey string, aSize int, bKey string, bSize int) bool
+}
+
+// Registry names of the built-in policies.
+const (
+	PolicyPaperOrder   = "paper-order"
+	PolicyLargestFirst = "largest-first"
+)
+
+// PaperOrder is the paper's §4 order and the default policy: ask about
+// the smallest unclassified assignment first (bottom-up generalization
+// pays for itself — small significant assignments prune the most), with
+// the lexicographically least key breaking ties. This is bit-identical
+// to the engine's original hard-coded selection.
+type PaperOrder struct{}
+
+// Name implements Policy.
+func (PaperOrder) Name() string { return PolicyPaperOrder }
+
+// Better implements Policy with the paper's (size, key)-least order.
+func (PaperOrder) Better(aKey string, aSize int, bKey string, bSize int) bool {
+	return aSize < bSize || (aSize == bSize && aKey < bKey)
+}
+
+// LargestFirst is the alternative top-down policy: ask about the largest
+// unclassified assignment first, descending from the most specific
+// candidates. Ties break on the lexicographically least key, so the
+// policy is still a total order and runs stay deterministic.
+type LargestFirst struct{}
+
+// Name implements Policy.
+func (LargestFirst) Name() string { return PolicyLargestFirst }
+
+// Better implements Policy with a (size, key) greatest-size order.
+func (LargestFirst) Better(aKey string, aSize int, bKey string, bSize int) bool {
+	return aSize > bSize || (aSize == bSize && aKey < bKey)
+}
+
+// PolicyByName resolves a registry name to its Policy.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case PolicyPaperOrder, "":
+		return PaperOrder{}, nil
+	case PolicyLargestFirst:
+		return LargestFirst{}, nil
+	}
+	return nil, fmt.Errorf("plan: unknown policy %q", name)
+}

@@ -1,0 +1,213 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"oassis/internal/assoc"
+	"oassis/internal/itemset"
+)
+
+// Substrate is the mining black box behind the planner: given a
+// transaction database and a support threshold it returns the maximal
+// frequent itemsets. The two substrates of the paper — classic Apriori
+// (internal/itemset, references [1]/[28]) and the SIGMOD'13 crowd
+// association-rule framework (internal/assoc, reference [3]) — implement
+// it, so experiments and ground-truth checks can swap black boxes without
+// knowing which one the planner picked.
+type Substrate interface {
+	// Name returns the registry name of the substrate.
+	Name() string
+	// MineMaximal returns the maximal itemsets with support ≥ theta,
+	// sorted by (size, lexicographic).
+	MineMaximal(db []itemset.Itemset, theta float64) []itemset.Support
+}
+
+// Registry names of the built-in substrates.
+const (
+	SubstrateItemset = "itemset"
+	SubstrateAssoc   = "assoc"
+)
+
+// ItemsetSubstrate mines with the classic levelwise Apriori algorithm
+// followed by the maximal filter.
+type ItemsetSubstrate struct{}
+
+// Name implements Substrate.
+func (ItemsetSubstrate) Name() string { return SubstrateItemset }
+
+// MineMaximal implements Substrate via itemset.Apriori + itemset.Maximal.
+func (ItemsetSubstrate) MineMaximal(db []itemset.Itemset, theta float64) []itemset.Support {
+	return itemset.Maximal(itemset.Apriori(db, theta))
+}
+
+// AssocSubstrate mines through the crowd association-rule black box: it
+// generates candidates levelwise like Apriori, but estimates each
+// candidate's support by asking simulated crowd users closed questions
+// with an empty antecedent ("how often do you do all of X?" — an
+// assoc.User answers Closed(∅, X) with the plain support of X). Users
+// hold the full transaction database and answer noiselessly, so the
+// estimate is exact and the substrate returns precisely the itemset
+// substrate's answer — the parity the equivalence tests pin down.
+type AssocSubstrate struct {
+	// Users is the size of the simulated crowd each support estimate is
+	// averaged over; 0 means 3.
+	Users int
+}
+
+// Name implements Substrate.
+func (AssocSubstrate) Name() string { return SubstrateAssoc }
+
+// MineMaximal implements Substrate.
+func (s AssocSubstrate) MineMaximal(db []itemset.Itemset, theta float64) []itemset.Support {
+	if len(db) == 0 || theta <= 0 {
+		return nil
+	}
+	n := s.Users
+	if n <= 0 {
+		n = 3
+	}
+	users := make([]assoc.User, n)
+	for i := range users {
+		users[i] = &assoc.SimUser{Name: fmt.Sprintf("substrate-u%02d", i), DB: db}
+	}
+	// A unanimous crowd's consensus is the answer itself, so the exactness
+	// of the users carries through without a lossy mean division; only a
+	// split crowd (noisy users) falls back to the sample mean.
+	support := func(c itemset.Itemset) float64 {
+		first := users[0].Closed(nil, c).Support
+		sum, unanimous := first, true
+		for _, u := range users[1:] {
+			a := u.Closed(nil, c).Support
+			if a != first {
+				unanimous = false
+			}
+			sum += a
+		}
+		if unanimous {
+			return first
+		}
+		return sum / float64(n)
+	}
+
+	// Item universe, in sorted order like Apriori's level 1.
+	itemSet := map[int]struct{}{}
+	for _, t := range db {
+		for _, it := range t {
+			itemSet[it] = struct{}{}
+		}
+	}
+	items := make([]int, 0, len(itemSet))
+	for it := range itemSet {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+
+	var frequent []itemset.Support
+	var level []itemset.Itemset
+	for _, it := range items {
+		c := itemset.Itemset{it}
+		if sup := support(c); sup >= theta {
+			frequent = append(frequent, itemset.Support{Items: c, Support: sup})
+			level = append(level, c)
+		}
+	}
+	// Levels k ≥ 2: join equal-prefix pairs, prune non-frequent subsets,
+	// ask the crowd about the survivors.
+	for len(level) > 0 {
+		freq := map[string]struct{}{}
+		for _, c := range level {
+			freq[key(c)] = struct{}{}
+		}
+		candSet := map[string]itemset.Itemset{}
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if !joinable(a, b) {
+					continue
+				}
+				c := append(append(itemset.Itemset(nil), a...), b[len(b)-1])
+				sort.Ints(c)
+				if !allSubsetsFrequent(c, freq) {
+					continue
+				}
+				candSet[key(c)] = c
+			}
+		}
+		keys := make([]string, 0, len(candSet))
+		for k := range candSet {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var next []itemset.Itemset
+		for _, k := range keys {
+			c := candSet[k]
+			if sup := support(c); sup >= theta {
+				frequent = append(frequent, itemset.Support{Items: c, Support: sup})
+				next = append(next, c)
+			}
+		}
+		level = next
+	}
+	sort.Slice(frequent, func(i, j int) bool {
+		if len(frequent[i].Items) != len(frequent[j].Items) {
+			return len(frequent[i].Items) < len(frequent[j].Items)
+		}
+		return lexLess(frequent[i].Items, frequent[j].Items)
+	})
+	return itemset.Maximal(frequent)
+}
+
+func key(s itemset.Itemset) string {
+	b := make([]byte, 0, len(s)*4)
+	for _, it := range s {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+// joinable implements the Apriori join condition: equal prefixes,
+// differing last items.
+func joinable(a, b itemset.Itemset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+func allSubsetsFrequent(c itemset.Itemset, freq map[string]struct{}) bool {
+	tmp := make(itemset.Itemset, len(c)-1)
+	for drop := range c {
+		copy(tmp, c[:drop])
+		copy(tmp[drop:], c[drop+1:])
+		if _, ok := freq[key(tmp)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func lexLess(a, b itemset.Itemset) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// SubstrateByName resolves a registry name to its Substrate.
+func SubstrateByName(name string) (Substrate, error) {
+	switch name {
+	case SubstrateItemset:
+		return ItemsetSubstrate{}, nil
+	case SubstrateAssoc, "":
+		return AssocSubstrate{}, nil
+	}
+	return nil, fmt.Errorf("plan: unknown substrate %q", name)
+}

@@ -58,6 +58,13 @@ const (
 	// them. Issued records whose answers are durable are dropped at
 	// snapshot compaction.
 	RecIssued RecordType = 5
+	// RecPlan binds the store to a plan fingerprint (the content address
+	// of the compiled plan the session executes). Recovery surfaces it as
+	// Recovered.Plan, so a restarted server detects domain drift — the
+	// same query recompiling to a different plan because the ontology
+	// changed — instead of silently replaying answers into a different
+	// assignment space.
+	RecPlan RecordType = 6
 )
 
 // String returns the record type's metric-label name.
@@ -73,6 +80,8 @@ func (t RecordType) String() string {
 		return "join"
 	case RecIssued:
 		return "issued"
+	case RecPlan:
+		return "plan"
 	default:
 		return "unknown"
 	}
@@ -80,8 +89,9 @@ func (t RecordType) String() string {
 
 // Record is the decoded form of one WAL entry. Fields are a union over the
 // record types: Question/Member/Support/Kind/Counted for RecAnswer,
-// Node/Significant for RecClassified, Note for RecSession (query text) and
-// RecJoin (display name, with Member holding the slot ID).
+// Node/Significant for RecClassified, Note for RecSession (query text),
+// RecJoin (display name, with Member holding the slot ID) and RecPlan
+// (plan fingerprint).
 type Record struct {
 	Type RecordType
 
@@ -140,6 +150,8 @@ func encodePayload(r Record) []byte {
 	case RecIssued:
 		b = appendString(b, r.Question)
 		b = appendString(b, r.Member)
+	case RecPlan:
+		b = appendString(b, r.Note)
 	}
 	return b
 }
@@ -267,6 +279,10 @@ func decodePayload(payload []byte) (Record, error) {
 			return Record{}, err
 		}
 		if rec.Member, rest, err = decodeString(rest); err != nil {
+			return Record{}, err
+		}
+	case RecPlan:
+		if rec.Note, rest, err = decodeString(rest); err != nil {
 			return Record{}, err
 		}
 	default:

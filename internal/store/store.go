@@ -50,6 +50,7 @@ type Store struct {
 	// Durable state, mirrored in memory so appends dedupe and snapshots
 	// compact without re-reading the log.
 	session string
+	plan    string
 	joined  map[string]bool
 	joins   []Record
 	seen    map[string]map[string]bool // question -> member -> answered
@@ -69,6 +70,10 @@ type Recovered struct {
 	Joins []Record
 	// Session is the query text the store is bound to ("" if unbound).
 	Session string
+	// Plan is the plan fingerprint the store is bound to ("" if unbound).
+	// A restarted server compares it to the freshly compiled plan's
+	// fingerprint to detect domain drift before replaying answers.
+	Plan string
 	// InFlight are the questions that were issued to members but whose
 	// answers never arrived — what a crashed server must re-issue rather
 	// than lose.
@@ -123,6 +128,7 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 		}
 	}
 	rec.Session = s.session
+	rec.Plan = s.plan
 	// An issued question whose answer never landed was in flight at the
 	// crash; surface it so the caller re-issues it.
 	for _, r := range s.issues {
@@ -147,6 +153,8 @@ func (s *Store) absorb(r Record, out *Recovered) {
 		out.Events = append(out.Events, r)
 	case RecSession:
 		s.session = r.Note
+	case RecPlan:
+		s.plan = r.Note
 	case RecJoin:
 		if !s.joined[r.Member] {
 			s.joined[r.Member] = true
@@ -296,6 +304,24 @@ func (s *Store) BindSession(note string) error {
 	}
 }
 
+// BindPlan binds the store to a plan fingerprint. Rebinding to the same
+// fingerprint is a no-op; a different fingerprint is refused — it means
+// the same query now compiles differently (the domain drifted), and the
+// recorded answers belong to the old plan's assignment space.
+func (s *Store) BindPlan(fingerprint string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.plan {
+	case fingerprint:
+		return nil
+	case "":
+		s.plan = fingerprint
+		return s.append(Record{Type: RecPlan, Note: fingerprint})
+	default:
+		return fmt.Errorf("store: directory already bound to a different plan (domain drift?)")
+	}
+}
+
 // maybeCompact compacts when the WAL has outgrown the policy. Caller
 // holds s.mu.
 func (s *Store) maybeCompact() error {
@@ -329,9 +355,12 @@ func (s *Store) compactLocked() error {
 	}
 	s.opts.Metrics.fsynced()
 	s.sinceSync = 0
-	recs := make([]Record, 0, 1+len(s.joins)+len(s.answers)+len(s.issues))
+	recs := make([]Record, 0, 2+len(s.joins)+len(s.answers)+len(s.issues))
 	if s.session != "" {
 		recs = append(recs, Record{Type: RecSession, Note: s.session})
+	}
+	if s.plan != "" {
+		recs = append(recs, Record{Type: RecPlan, Note: s.plan})
 	}
 	recs = append(recs, s.joins...)
 	recs = append(recs, s.answers...)

@@ -299,3 +299,44 @@ func TestCorruptSnapshotIsAnError(t *testing.T) {
 		t.Error("corrupt snapshot opened without error")
 	}
 }
+
+// TestBindPlan: the plan fingerprint is journaled once, survives reopen
+// (and compaction) as Recovered.Plan, and rebinding to a different
+// fingerprint — domain drift — is refused.
+func TestBindPlan(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{})
+	if err := st.BindSession("query-A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindPlan("sha256:aaaa"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindPlan("sha256:aaaa"); err != nil {
+		t.Errorf("rebind same plan: %v", err)
+	}
+	if err := st.BindPlan("sha256:bbbb"); err == nil {
+		t.Error("rebind to a different plan fingerprint accepted")
+	}
+	if err := st.AppendAnswer("q", "m", 0.5, core.KindConcrete, true); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, rec := mustOpen(t, dir, Options{})
+	if rec.Plan != "sha256:aaaa" {
+		t.Errorf("recovered plan = %q, want sha256:aaaa", rec.Plan)
+	}
+	// Compaction must carry the plan binding into the snapshot.
+	if err := st2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	_, rec2 := mustOpen(t, dir, Options{})
+	if rec2.Plan != "sha256:aaaa" {
+		t.Errorf("plan lost at compaction: %q", rec2.Plan)
+	}
+	if rec2.Session != "query-A" {
+		t.Errorf("session lost at compaction: %q", rec2.Session)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"oassis/internal/fact"
 	"oassis/internal/oassisql"
 	"oassis/internal/ontology"
+	"oassis/internal/plan"
 	"oassis/internal/vocab"
 )
 
@@ -43,6 +44,11 @@ type Domain struct {
 	// PlantedY/PlantedX are the leaf pairs of the planted habit patterns,
 	// most popular first.
 	PlantedY, PlantedX []vocab.Term
+
+	// Generation parts retained for NewCrowd: the doAt relation and the
+	// leaf pools member histories draw from.
+	doAt             vocab.Term
+	yLeaves, xLeaves []vocab.Term
 }
 
 // The paper's three domains with their reported DAG sizes (4773, 10512 and
@@ -165,8 +171,35 @@ func GenerateDomain(cfg DomainConfig) (*Domain, error) {
 		d.PlantedX = append(d.PlantedX, x)
 	}
 
+	d.doAt = doAt
+	d.yLeaves = yLeaves
+	d.xLeaves = xLeaves
+	d.Members = d.NewCrowd()
+	return d, nil
+}
+
+// Plan compiles the generated workload into an immutable plan.Plan, so
+// experiment grids share one compiled plan across cells: each cell
+// materializes a private lattice with pl.NewSpace() and a private crowd
+// with NewCrowd() instead of regenerating the whole domain. The support
+// recorded in the plan is the base threshold; threshold-sweep cells
+// override core.Config.Theta per run exactly as before.
+func (d *Domain) Plan(support float64) (*plan.Plan, error) {
+	fp := plan.DomainFingerprint(d.Voc, d.Onto)
+	return plan.FromSpace("synth:"+d.Cfg.Name, support, false, fp, d.Sp)
+}
+
+// NewCrowd synthesizes a fresh simulated crowd for the domain. Every call
+// returns members with the same histories and the same per-member RNG
+// seeds (cfg.Seed + member index, independent of the domain generation
+// stream), so plan-reusing experiment cells can pair one shared compiled
+// plan with a private crowd and still be bit-identical to cells that
+// regenerate the whole domain.
+func (d *Domain) NewCrowd() []crowd.Member {
+	cfg := d.Cfg
+	members := make([]crowd.Member, 0, cfg.Members)
 	for m := 0; m < cfg.Members; m++ {
-		db := crowd.NewPersonalDB(v)
+		db := crowd.NewPersonalDB(d.Voc)
 		mRng := rand.New(rand.NewSource(cfg.Seed + int64(m)*7919 + 1))
 		// Each occasion revolves around one habit pattern, picked with
 		// geometrically decaying popularity and per-member jitter;
@@ -187,28 +220,28 @@ func GenerateDomain(cfg DomainConfig) (*Domain, error) {
 			var tx fact.Set
 			if mRng.Float64() < 0.85 {
 				k := pickPattern()
-				tx = append(tx, fact.Fact{S: d.PlantedY[k], R: doAt, O: d.PlantedX[k]})
+				tx = append(tx, fact.Fact{S: d.PlantedY[k], R: d.doAt, O: d.PlantedX[k]})
 				// Habits co-occur in correlated pairs (pattern 2i with
 				// 2i+1, like biking with renting bikes): this is what
 				// produces multiplicity MSPs, as in the paper's crowd
 				// (up to 25 per query). Unrelated habits co-occur rarely.
 				if partner := k ^ 1; partner < len(d.PlantedY) && mRng.Float64() < 0.6 {
-					tx = append(tx, fact.Fact{S: d.PlantedY[partner], R: doAt, O: d.PlantedX[partner]})
+					tx = append(tx, fact.Fact{S: d.PlantedY[partner], R: d.doAt, O: d.PlantedX[partner]})
 				} else if mRng.Float64() < 0.08 {
 					k2 := pickPattern()
-					tx = append(tx, fact.Fact{S: d.PlantedY[k2], R: doAt, O: d.PlantedX[k2]})
+					tx = append(tx, fact.Fact{S: d.PlantedY[k2], R: d.doAt, O: d.PlantedX[k2]})
 				}
 			} else {
 				// A noise occasion: a random rare activity.
 				tx = append(tx, fact.Fact{
-					S: yLeaves[mRng.Intn(len(yLeaves))],
-					R: doAt,
-					O: xLeaves[mRng.Intn(len(xLeaves))],
+					S: d.yLeaves[mRng.Intn(len(d.yLeaves))],
+					R: d.doAt,
+					O: d.xLeaves[mRng.Intn(len(d.xLeaves))],
 				})
 			}
 			db.Add(tx.Canon())
 		}
-		d.Members = append(d.Members, &crowd.SimMember{
+		members = append(members, &crowd.SimMember{
 			Name:           fmt.Sprintf("%s-m%03d", cfg.Name, m),
 			DB:             db,
 			Disc:           crowd.FiveLevel,
@@ -218,7 +251,7 @@ func GenerateDomain(cfg DomainConfig) (*Domain, error) {
 			Rng:            mRng,
 		})
 	}
-	return d, nil
+	return members
 }
 
 // DAGSize reports the domain's assignment-DAG size without multiplicities

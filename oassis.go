@@ -27,6 +27,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"oassis/internal/aggregate"
 	"oassis/internal/assign"
@@ -35,8 +36,8 @@ import (
 	"oassis/internal/fact"
 	"oassis/internal/oassisql"
 	"oassis/internal/ontology"
+	"oassis/internal/plan"
 	"oassis/internal/rdfio"
-	"oassis/internal/sparql"
 	"oassis/internal/vocab"
 )
 
@@ -50,10 +51,35 @@ func (t Triple) String() string {
 	return fmt.Sprintf("%s %s %s", t.Subject, t.Relation, t.Object)
 }
 
-// DB bundles a vocabulary and an ontology.
+// DB bundles a vocabulary and an ontology. Once frozen, a DB lazily
+// carries a shared core.Domain — the read-only (vocabulary, ontology,
+// fingerprint, plan cache) bundle that all sessions over this DB
+// reference — so the same query compiles once and is reused.
 type DB struct {
 	voc  *vocab.Vocabulary
 	onto *ontology.Ontology
+
+	domMu sync.Mutex
+	dom   *core.Domain
+}
+
+// domain returns the DB's shared execution domain, building it on first
+// use after Freeze. The error path is not latched: a DB used before
+// Freeze reports ErrNotFrozen and works normally once frozen.
+func (db *DB) domain() (*core.Domain, error) {
+	if !db.voc.Frozen() {
+		return nil, ErrNotFrozen
+	}
+	db.domMu.Lock()
+	defer db.domMu.Unlock()
+	if db.dom == nil {
+		dom, err := core.NewDomain(db.voc, db.onto)
+		if err != nil {
+			return nil, err
+		}
+		db.dom = dom
+	}
+	return db.dom, nil
 }
 
 // NewDB returns an empty database for programmatic construction. Call
@@ -493,6 +519,7 @@ type options struct {
 	topK                int
 	spamMaxViolations   int
 	parallelism         int
+	noPlanCache         bool
 	store               *Store
 	metrics             *Metrics
 	tracer              Tracer
@@ -544,6 +571,12 @@ func WithSpamFilter(maxViolations int) Option {
 	return func(o *options) { o.spamMaxViolations = maxViolations }
 }
 
+// WithoutPlanCache bypasses the DB's shared plan cache: the query is
+// recompiled from scratch and the result is not cached. Mined results
+// are bit-identical either way; the option exists for benchmarks and for
+// callers that compile many one-off queries they will never rerun.
+func WithoutPlanCache() Option { return func(o *options) { o.noPlanCache = true } }
+
 // WithParallelism keeps up to p questions in flight at once, dispatching
 // them to members from a worker pool. Mined results are identical to the
 // sequential run for members whose answers depend only on the question
@@ -551,35 +584,46 @@ func WithSpamFilter(maxViolations int) Option {
 // changes. Default 1 (sequential).
 func WithParallelism(p int) Option { return func(o *options) { o.parallelism = p } }
 
-// compile turns (DB, query, options) into the engine configuration and the
-// assignment space shared by Exec, ExecContext and NewSession.
-func compile(db *DB, q *Query, o *options) (*assign.Space, core.Config, error) {
+// compilePlan resolves the query into a plan, through the DB's shared
+// plan cache unless WithoutPlanCache was given.
+func compilePlan(db *DB, q *Query, o *options) (*plan.Plan, error) {
+	dom, err := db.domain()
+	if err != nil {
+		return nil, err
+	}
+	var m *plan.CacheMetrics
+	if o.metrics != nil {
+		m = o.metrics.plan
+	}
+	if o.noPlanCache {
+		return plan.Compile(dom.Voc, dom.Onto, q.ast, dom.Fingerprint())
+	}
+	pl, _, err := dom.Compile(q.ast, m)
+	return pl, err
+}
+
+// planConfig turns (DB, plan, options) into the engine configuration and
+// a fresh per-run assignment space shared by Exec, ExecContext,
+// ExecPlan and NewSession. The plan's immutable parts are shared; the
+// space's memo state is private to the run.
+func planConfig(db *DB, pl *plan.Plan, o *options) (*assign.Space, core.Config, error) {
 	var cfg core.Config
-	if !db.voc.Frozen() {
-		return nil, cfg, ErrNotFrozen
-	}
-	bindings, err := sparql.Evaluate(db.onto, q.ast.Where)
-	if err != nil {
-		return nil, cfg, err
-	}
-	maps := make([]map[string]vocab.Term, len(bindings))
-	for i, b := range bindings {
-		maps[i] = b
-	}
-	sp, err := assign.NewSpace(db.voc, q.ast, maps, sparql.Anchors(db.voc, q.ast.Where))
-	if err != nil {
-		return nil, cfg, err
-	}
-	if q.ast.More && len(o.moreCandidates) > 0 {
+	sp := pl.NewSpace()
+	if pl.More && len(o.moreCandidates) > 0 {
 		pool, err := db.factSet(o.moreCandidates)
 		if err != nil {
 			return nil, cfg, err
 		}
 		sp.MoreCandidates = pool
 	}
+	policy, err := pl.Policy()
+	if err != nil {
+		return nil, cfg, err
+	}
 	cfg = core.Config{
 		Space:                 sp,
-		Theta:                 q.ast.Support,
+		Theta:                 pl.Support,
+		Policy:                policy,
 		Agg:                   aggregate.NewFixedSample(o.answersPerQuestion),
 		SpecializationRatio:   o.specializationRatio,
 		EnablePruning:         o.pruning,
@@ -603,8 +647,20 @@ func compile(db *DB, q *Query, o *options) (*assign.Space, core.Config, error) {
 	return sp, cfg, nil
 }
 
-// convertResult maps an engine result to the facade's textual form.
-func convertResult(db *DB, q *Query, sp *assign.Space, res *core.Result) *Result {
+// compile turns (DB, query, options) into a compiled plan plus the engine
+// configuration: the planning pipeline of Exec/ExecContext/NewSession.
+func compile(db *DB, q *Query, o *options) (*plan.Plan, *assign.Space, core.Config, error) {
+	pl, err := compilePlan(db, q, o)
+	if err != nil {
+		return nil, nil, core.Config{}, err
+	}
+	sp, cfg, err := planConfig(db, pl, o)
+	return pl, sp, cfg, err
+}
+
+// convertResult maps an engine result to the facade's textual form. all
+// mirrors SELECT ... ALL.
+func convertResult(db *DB, all bool, sp *assign.Space, res *core.Result) *Result {
 	out := &Result{Stats: Stats{
 		TotalQuestions:  res.Stats.TotalQuestions,
 		UniqueQuestions: res.Stats.UniqueQuestions,
@@ -635,7 +691,7 @@ func convertResult(db *DB, q *Query, sp *assign.Space, res *core.Result) *Result
 	for _, m := range res.ValidMSPs {
 		out.MSPs = append(out.MSPs, toAnswer(m, true))
 	}
-	if q.ast.All {
+	if all {
 		for _, a := range core.AllSignificant(sp, res.MSPs) {
 			out.AllSignificant = append(out.AllSignificant, toAnswer(a, sp.IsValid(a)))
 		}
@@ -679,7 +735,92 @@ func ExecContext(ctx context.Context, db *DB, q *Query, members []Member, opts .
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	sp, cfg, err := compile(db, q, &o)
+	pl, err := compilePlan(db, q, &o)
+	if err != nil {
+		return nil, err
+	}
+	return execCompiled(ctx, db, pl, members, &o)
+}
+
+// Plan is a compiled, immutable query plan: the result of Compile, ready
+// to execute any number of times (concurrently, over different crowds)
+// with ExecPlan. Its JSON serialization is the reviewable IR; its
+// fingerprint is the content address the plan cache and the durable
+// store's drift detection use.
+type Plan struct {
+	inner *plan.Plan
+}
+
+// Fingerprint returns the plan's content address ("sha256:…" over the
+// canonical serialization).
+func (p *Plan) Fingerprint() string { return p.inner.Fingerprint() }
+
+// DomainFingerprint returns the fingerprint of the domain (vocabulary +
+// ontology) the plan was compiled against.
+func (p *Plan) DomainFingerprint() string { return p.inner.DomainFP }
+
+// Query returns the canonical text of the compiled query.
+func (p *Plan) Query() string { return p.inner.QueryText }
+
+// MarshalJSON returns the plan IR with terms resolved to names.
+func (p *Plan) MarshalJSON() ([]byte, error) { return p.inner.MarshalJSON() }
+
+// Compile compiles q over db into an immutable Plan, consulting the DB's
+// shared plan cache (compiling the same query text over the same frozen
+// domain twice returns the cached plan). Options that matter here:
+// WithMetrics records cache hits/misses and compile latency;
+// WithoutPlanCache forces a fresh compilation.
+func Compile(db *DB, q *Query, opts ...Option) (*Plan, error) {
+	o := options{answersPerQuestion: 1, seed: 1, parallelism: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	pl, err := compilePlan(db, q, &o)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{inner: pl}, nil
+}
+
+// ExecPlan executes a compiled plan over the DB with the given crowd. The
+// plan must have been compiled against this DB's current domain;
+// executing a plan against a drifted domain is an error, not a wrong
+// answer. Results are bit-identical to Exec of the original query.
+func ExecPlan(db *DB, p *Plan, members []Member, opts ...Option) (*Result, error) {
+	return ExecPlanContext(context.Background(), db, p, members, opts...)
+}
+
+// ExecPlanContext is ExecPlan honoring a context.
+func ExecPlanContext(ctx context.Context, db *DB, p *Plan, members []Member, opts ...Option) (*Result, error) {
+	if p == nil || p.inner == nil {
+		return nil, fmt.Errorf("oassis: ExecPlan of a nil plan")
+	}
+	o := options{answersPerQuestion: 1, seed: 1, parallelism: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	dom, err := db.domain()
+	if err != nil {
+		return nil, err
+	}
+	if fp := p.inner.DomainFP; fp != dom.Fingerprint() {
+		return nil, fmt.Errorf("oassis: plan was compiled against a different domain (plan %s, db %s)",
+			fp, dom.Fingerprint())
+	}
+	return execCompiled(ctx, db, p.inner, members, &o)
+}
+
+// execCompiled is the shared execution tail of ExecContext and
+// ExecPlanContext: build the per-run engine configuration from the plan
+// and drive the crowd.
+func execCompiled(ctx context.Context, db *DB, pl *plan.Plan, members []Member, o *options) (*Result, error) {
+	sp, cfg, err := planConfig(db, pl, o)
 	if err != nil {
 		return nil, err
 	}
@@ -714,7 +855,7 @@ func ExecContext(ctx context.Context, db *DB, q *Query, members []Member, opts .
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return convertResult(db, q, sp, res), nil
+	return convertResult(db, pl.All, sp, res), nil
 }
 
 // Questionnaire renders fact-sets as natural-language questions using the

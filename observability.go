@@ -6,6 +6,7 @@ import (
 
 	"oassis/internal/core"
 	"oassis/internal/obs"
+	"oassis/internal/plan"
 )
 
 // Tracer receives span start/end events from an instrumented run: Begin is
@@ -31,12 +32,13 @@ type TestTracer = obs.MemTracer
 type Metrics struct {
 	reg  *obs.Registry
 	core *core.Metrics
+	plan *plan.CacheMetrics
 }
 
 // NewMetrics returns an empty Metrics registry.
 func NewMetrics() *Metrics {
 	reg := obs.NewRegistry()
-	return &Metrics{reg: reg, core: core.NewMetrics(reg)}
+	return &Metrics{reg: reg, core: core.NewMetrics(reg), plan: plan.NewCacheMetrics(reg)}
 }
 
 // WritePrometheus writes every series in the Prometheus text exposition

@@ -1,0 +1,76 @@
+package oassis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oassis/internal/synth"
+)
+
+// checkPlanGolden compares a plan's serialized IR to its checked-in golden
+// file; -update (as in the api.txt test) rewrites the golden.
+func checkPlanGolden(t *testing.T, name string, marshaler json.Marshaler) {
+	t.Helper()
+	js, err := marshaler.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js = append(js, '\n')
+	path := filepath.Join("testdata", "plan", name+".golden.json")
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, js, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: make plan-golden-update)", err)
+	}
+	if !bytes.Equal(js, want) {
+		t.Errorf("plan IR for %s drifted from %s (regenerate with: make plan-golden-update)\n--- got\n%s--- want\n%s",
+			name, path, js, want)
+	}
+}
+
+// TestPlanGoldenFigure2 pins the serialized Plan IR of the paper's running
+// example: the reviewable compilation contract for the facade.
+func TestPlanGoldenFigure2(t *testing.T) {
+	db := SampleDB()
+	q, err := ParseQuery(figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanGolden(t, "figure2", p)
+}
+
+// TestPlanGoldenSynth pins the IR of two synthetic-domain plans (built via
+// plan.FromSpace rather than a WHERE clause).
+func TestPlanGoldenSynth(t *testing.T) {
+	for _, cfg := range []synth.DomainConfig{
+		{Name: "travel-tiny", YTerms: 12, XTerms: 6, YDepth: 3, XDepth: 2,
+			Members: 4, Transactions: 6, Patterns: 3, Seed: 101},
+		{Name: "culinary-tiny", YTerms: 10, XTerms: 8, YDepth: 3, XDepth: 3,
+			Members: 4, Transactions: 6, Patterns: 4, Seed: 202},
+	} {
+		d, err := synth.GenerateDomain(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := d.Plan(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlanGolden(t, cfg.Name, p)
+	}
+}

@@ -94,7 +94,7 @@ func RespondNoClick() Response { return Response{} }
 type Session struct {
 	ctx   context.Context
 	db    *DB
-	q     *Query
+	all   bool // SELECT ... ALL of the compiled plan
 	sp    *assign.Space
 	inner *core.Session
 }
@@ -113,7 +113,7 @@ func NewSession(ctx context.Context, db *DB, q *Query, memberIDs []string, opts 
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	sp, cfg, err := compile(db, q, &o)
+	pl, sp, cfg, err := compile(db, q, &o)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +121,7 @@ func NewSession(ctx context.Context, db *DB, q *Query, memberIDs []string, opts 
 	return &Session{
 		ctx:   ctx,
 		db:    db,
-		q:     q,
+		all:   pl.All,
 		sp:    sp,
 		inner: core.NewSession(cfg, memberIDs),
 	}, nil
@@ -192,5 +192,5 @@ func (s *Session) Done() bool { return s.inner.Done() }
 // partial) result.
 func (s *Session) Close() *Result {
 	res := s.inner.Close()
-	return convertResult(s.db, s.q, s.sp, res)
+	return convertResult(s.db, s.all, s.sp, res)
 }
