@@ -13,9 +13,9 @@ BENCH_STAMP := $(shell date +%Y%m%d_%H%M%S)
 # floored slightly to absorb timing-dependent recovery paths.
 COVER_MIN ?= 80.0
 
-.PHONY: check fmt vet build api api-update test race fuzz cover bench plan-golden plan-golden-update
+.PHONY: check fmt vet build api api-update test race fuzz cover bench bench-smoke bench-compare plan-golden plan-golden-update
 
-check: fmt vet build api plan-golden race fuzz cover
+check: fmt vet build api plan-golden race fuzz cover bench-smoke bench-compare
 
 # Fail when the root package's exported surface no longer matches the
 # committed api.txt golden; `make api-update` regenerates it after a
@@ -75,7 +75,19 @@ cover:
 # harness), plus a timestamped BENCH_*.json perf-trajectory artifact from
 # the quick experiments.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/vocab ./internal/assign
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/vocab ./internal/assign ./internal/core
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
-	$(GO) run ./cmd/oassis-bench -exp summary,bounds -out BENCH_$(BENCH_STAMP).json
+	$(GO) run ./cmd/oassis-bench -exp summary,bounds -parallel 1 -out BENCH_$(BENCH_STAMP).json
 	@echo "wrote BENCH_$(BENCH_STAMP).json"
+
+# One-iteration pass over every benchmark: catches bench-only compile rot
+# and hot-path panics on each PR without paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/vocab ./internal/assign ./internal/core .
+
+# The perf-trajectory gate: rerun the experiments recorded in the committed
+# baseline artifact and fail on >15% wall-clock regression or any result
+# drift. Refresh the baseline (same flags!) only with a reviewed perf change:
+#   go run ./cmd/oassis-bench -exp summary,bounds -parallel 1 -out BENCH_baseline.json
+bench-compare:
+	$(GO) run ./cmd/oassis-bench -parallel 1 -compare BENCH_baseline.json

@@ -15,6 +15,9 @@
 //
 // -out FILE writes the JSON report stream to FILE (implying -json), the
 // mechanism behind `make bench`'s BENCH_*.json perf-trajectory artifacts.
+// -compare FILE reruns the experiments recorded in such an artifact and
+// fails on timing regressions (>15% plus fixed slack) or result drift —
+// the `make bench-compare` gate against the committed BENCH_baseline.json.
 // -metrics FILE additionally dumps the engine-metrics registry covering
 // all experiments (Prometheus text format) after the run.
 package main
@@ -47,6 +50,129 @@ type jsonReport struct {
 	Parallel int        `json:"parallel"`
 }
 
+// job names one runnable experiment.
+type job struct {
+	id  string
+	run func() (*experiments.Report, error)
+}
+
+// Regression gate of -compare: a fresh run may take at most
+// base·(1+compareSlackRel) + compareSlackAbs seconds. The relative part is
+// the trajectory policy (15%); the absolute part absorbs scheduler noise on
+// sub-second experiments, which would otherwise make the gate flaky.
+const (
+	compareSlackRel = 0.15
+	compareSlackAbs = 0.25
+)
+
+// volatileRows lists experiments whose report rows contain measured
+// wall-clock values and therefore legitimately differ between runs; their
+// timings are still gated, but their rows are not diffed.
+var volatileRows = map[string]bool{"latency": true}
+
+// reportToJob maps the Report.ID recorded in a baseline artifact back to
+// the -exp flag id, where the two differ.
+var reportToJob = map[string]string{
+	"crowd-summary":        "summary",
+	"complexity-bounds":    "bounds",
+	"itemset-capture":      "capture",
+	"assoc-miner":          "assoc",
+	"sweep-dag-shape":      "sweeps",
+	"sweep-msp-dist":       "sweep-dist",
+	"sweep-multiplicities": "sweep-mult",
+}
+
+// runCompare reruns every experiment recorded in the baseline file and
+// diffs timing and rows. It returns the process exit code: 0 when all
+// experiments are within the gate, 1 on regression or drift, 2 on misuse.
+// Run it with the same -scale/-full/-parallel flags the baseline was
+// recorded with, or the timing comparison is meaningless.
+func runCompare(path string, jobs []job) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oassis-bench: -compare: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	byID := map[string]job{}
+	for _, j := range jobs {
+		byID[j.id] = j
+	}
+	dec := json.NewDecoder(f)
+	fails, n := 0, 0
+	for {
+		var base jsonReport
+		if err := dec.Decode(&base); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "oassis-bench: -compare: %s: %v\n", path, err)
+			return 2
+		}
+		jobID := base.ID
+		if alias, ok := reportToJob[jobID]; ok {
+			jobID = alias
+		}
+		j, ok := byID[jobID]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "oassis-bench: -compare: unknown experiment %q in %s\n", base.ID, path)
+			return 2
+		}
+		start := time.Now()
+		r, err := j.run()
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oassis-bench: -compare: %s: %v\n", base.ID, err)
+			return 2
+		}
+		limit := base.Seconds*(1+compareSlackRel) + compareSlackAbs
+		status := "ok"
+		switch {
+		case elapsed > limit:
+			status = fmt.Sprintf("REGRESSED (limit %.3fs)", limit)
+			fails++
+		case !volatileRows[base.ID] && !sameRows(base, r):
+			status = "RESULT DRIFT"
+			fails++
+		}
+		fmt.Printf("%-16s base %8.3fs  fresh %8.3fs  %s\n", base.ID, base.Seconds, elapsed, status)
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintf(os.Stderr, "oassis-bench: -compare: %s holds no experiment records\n", path)
+		return 2
+	}
+	if fails > 0 {
+		fmt.Fprintf(os.Stderr, "oassis-bench: -compare: %d of %d experiments failed the gate\n", fails, n)
+		return 1
+	}
+	fmt.Printf("all %d experiments within %.0f%% of %s\n", n, compareSlackRel*100, path)
+	return 0
+}
+
+// sameRows reports whether a fresh report reproduces the baseline's header
+// and rows exactly (the zero-result-drift gate).
+func sameRows(base jsonReport, r *experiments.Report) bool {
+	if len(base.Header) != len(r.Header) || len(base.Rows) != len(r.Rows) {
+		return false
+	}
+	for i := range base.Header {
+		if base.Header[i] != r.Header[i] {
+			return false
+		}
+	}
+	for i := range base.Rows {
+		if len(base.Rows[i]) != len(r.Rows[i]) {
+			return false
+		}
+		for k := range base.Rows[i] {
+			if base.Rows[i][k] != r.Rows[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "comma-separated experiment ids (all, fig4a..fig4f, fig5, sweeps, summary, bounds, capture, assoc)")
@@ -56,6 +182,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON document per report, with wall-clock duration")
 		outFile  = flag.String("out", "", "write the -json report stream to FILE instead of stdout (implies -json)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for experiment grid cells (1 = sequential; output is identical at any setting)")
+		compare  = flag.String("compare", "", "rerun the experiments recorded in FILE (JSON Lines from -out) and fail on timing regression or result drift; -exp is ignored")
 		metricsF = flag.String("metrics", "", "write the engine-metrics registry (Prometheus text format) covering all experiments to FILE after the run")
 	)
 	flag.Parse()
@@ -82,10 +209,6 @@ func main() {
 	fig4fCfg := experiments.DefaultFig4f(*scale)
 	fig4fCfg.Parallelism = *parallel
 
-	type job struct {
-		id  string
-		run func() (*experiments.Report, error)
-	}
 	jobs := []job{
 		{"fig4a", func() (*experiments.Report, error) {
 			return experiments.Fig4Domain("fig4a", synth.Travel, sc)
@@ -132,6 +255,10 @@ func main() {
 		{"assoc", func() (*experiments.Report, error) {
 			return experiments.AssocMiner(30, 500, 11)
 		}},
+	}
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, jobs))
 	}
 
 	var jsonDst io.Writer = os.Stdout

@@ -101,7 +101,14 @@ func (a Assignment) computeKey() string {
 		n += len(vs)*4 + 1
 	}
 	n += len(a.More) * 12
-	buf := make([]byte, 0, n)
+	return string(a.appendKey(make([]byte, 0, n)))
+}
+
+// appendKey appends the canonical key bytes of a to buf and returns the
+// extended buffer. Successor generation serializes thousands of candidates
+// per expansion; appending into a reusable scratch buffer lets rejected
+// candidates cost zero heap allocations.
+func (a Assignment) appendKey(buf []byte) []byte {
 	put := func(t vocab.Term) {
 		buf = append(buf, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
 	}
@@ -117,7 +124,7 @@ func (a Assignment) computeKey() string {
 		put(f.R)
 		put(f.O)
 	}
-	return string(buf)
+	return buf
 }
 
 // Equal reports whether a and b are the same canonical assignment.

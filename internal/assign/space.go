@@ -33,9 +33,14 @@ type Meta struct {
 	S, R, O Comp
 }
 
-// Space is the arena in which the mining lattice lives: the mining
+// Space is the per-session view of the mining lattice: the mining
 // variables, the SATISFYING meta-fact-set, the valid base assignments
 // computed from the WHERE clause, and the candidate pool for MORE facts.
+// The frozen lattice tables (exploration domains, cover lists) live in a
+// read-only Tables value that concurrent sessions share; everything
+// mutable on the Space — the 𝒜-membership memo, the successor arenas and
+// scratch buffers — is private to the single goroutine driving the
+// session.
 type Space struct {
 	Voc  *vocab.Vocabulary
 	Vars []VarSpec
@@ -49,11 +54,31 @@ type Space struct {
 	// variable), deduplicated, from WHERE evaluation.
 	ValidBase [][]vocab.Term
 
-	validKeys  map[string]struct{}       // keys of ValidBase rows
-	valsAt     []map[vocab.Term]struct{} // per-var value sets in ValidBase
-	coversMemo map[string]bool           // memo for coveredByValidBox
-	coverVals  []map[vocab.Term][]vocab.Term
-	domains    []map[vocab.Term]struct{} // lazy per-var exploration domains
+	tab       *Tables              // frozen lattice tables, shared read-only
+	validKeys map[string]struct{}  // keys of ValidBase rows
+	nodes     map[string]*nodeInfo // per-node memo: interned key + 𝒜 membership
+
+	// Per-session scratch and arenas for successor generation (see
+	// arena.go for the lifetime rules). Never touched on the shared
+	// read path.
+	arena    termArena
+	hdrs     hdrArena
+	keyBuf   []byte         // candidate-key scratch
+	baseBuf  []byte         // base-tuple-key scratch
+	hdrBuf   [][]vocab.Term // candidate header scratch
+	valBuf   []vocab.Term   // candidate value-row scratch
+	addBuf   []vocab.Term   // minimalAddable output scratch
+	tupleBuf []vocab.Term   // boxContained tuple scratch
+}
+
+// nodeInfo is the per-session memo record of one lattice node: the canonical
+// key string, interned so every re-derivation of the node shares one
+// allocation, and the memoized result of the box-cover test. A single map
+// probe on the serialized key bytes answers both questions the emit pipeline
+// asks.
+type nodeInfo struct {
+	key     string
+	covered bool
 }
 
 // baseKey builds the key of a multiplicity-1 tuple.
@@ -180,46 +205,58 @@ func NewSpace(v *vocab.Vocabulary, q *oassisql.Query, bindings []map[string]voca
 	}
 	sort.Strings(keys)
 	sp.validKeys = make(map[string]struct{}, len(keys))
-	sp.valsAt = make([]map[vocab.Term]struct{}, len(sp.Vars))
-	for i := range sp.valsAt {
-		sp.valsAt[i] = make(map[vocab.Term]struct{})
-	}
 	for _, k := range keys {
-		tuple := rows[k]
-		sp.ValidBase = append(sp.ValidBase, tuple)
+		sp.ValidBase = append(sp.ValidBase, rows[k])
 		sp.validKeys[k] = struct{}{}
-		for i, t := range tuple {
-			sp.valsAt[i][t] = struct{}{}
-		}
 	}
-	sp.coversMemo = make(map[string]bool)
+	sp.tab = NewTables(v, sp.Vars, sp.ValidBase)
+	sp.initSession()
 	return sp, nil
 }
 
 // FromParts rebuilds a Space from previously compiled parts (see
 // internal/plan): the variable specs, resolved meta-facts, MORE flag and
-// the valid base rows in their canonical (sorted-key) order. The memo
-// structures are rebuilt fresh so the returned Space is private to its
-// session even when the parts are shared, and the fill mirrors NewSpace
-// exactly so planned execution is bit-identical to direct construction.
+// the valid base rows in their canonical (sorted-key) order. The lattice
+// tables are recomputed; callers that compiled the parts once (a plan)
+// should use FromShared with the plan's Tables instead.
 func FromParts(v *vocab.Vocabulary, vars []VarSpec, sat []Meta, more bool,
 	validBase [][]vocab.Term) *Space {
 
+	return FromShared(v, vars, sat, more, validBase, nil)
+}
+
+// FromShared rebuilds a Space from previously compiled parts together with
+// the precomputed read-only lattice tables (nil recomputes them). The
+// immutable parts and tables are shared; the mutable memo structures,
+// scratch buffers and arenas are built fresh, so the returned Space is
+// private to its session, and the fill mirrors NewSpace exactly so planned
+// execution is bit-identical to direct construction.
+func FromShared(v *vocab.Vocabulary, vars []VarSpec, sat []Meta, more bool,
+	validBase [][]vocab.Term, tab *Tables) *Space {
+
 	sp := &Space{Voc: v, Vars: vars, Sat: sat, More: more}
 	sp.validKeys = make(map[string]struct{}, len(validBase))
-	sp.valsAt = make([]map[vocab.Term]struct{}, len(sp.Vars))
-	for i := range sp.valsAt {
-		sp.valsAt[i] = make(map[vocab.Term]struct{})
-	}
 	for _, tuple := range validBase {
 		sp.ValidBase = append(sp.ValidBase, tuple)
 		sp.validKeys[baseKey(tuple)] = struct{}{}
-		for i, t := range tuple {
-			sp.valsAt[i][t] = struct{}{}
-		}
 	}
-	sp.coversMemo = make(map[string]bool)
+	if tab == nil {
+		tab = NewTables(v, sp.Vars, sp.ValidBase)
+	}
+	sp.tab = tab
+	sp.initSession()
 	return sp
+}
+
+// Tables returns the space's frozen lattice tables, for sharing with
+// sibling sessions of the same plan.
+func (sp *Space) Tables() *Tables { return sp.tab }
+
+// initSession allocates the per-session mutable state.
+func (sp *Space) initSession() {
+	sp.nodes = make(map[string]*nodeInfo)
+	sp.tupleBuf = make([]vocab.Term, len(sp.Vars))
+	sp.hdrBuf = make([][]vocab.Term, 0, len(sp.Vars))
 }
 
 // expandUnbound fills kind-wide domains for unbound variables.
@@ -242,9 +279,16 @@ func expandUnbound(v *vocab.Vocabulary, tuple []vocab.Term, unbound []int, kinds
 }
 
 // IsValidBase reports whether the multiplicity-1 tuple is a valid base
-// assignment.
+// assignment. The probe builds the tuple key in a scratch buffer; the
+// compiler's map-access-by-converted-bytes fast path keeps it
+// allocation-free.
 func (sp *Space) IsValidBase(vals []vocab.Term) bool {
-	_, ok := sp.validKeys[baseKey(vals)]
+	buf := sp.baseBuf[:0]
+	for _, v := range vals {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	sp.baseBuf = buf
+	_, ok := sp.validKeys[string(buf)]
 	return ok
 }
 
@@ -270,6 +314,28 @@ func (sp *Space) IsValid(a Assignment) bool {
 // line 1): a is a (not necessarily proper) generalization of some valid
 // assignment, subject to the anchor caps and the multiplicity upper bounds.
 func (sp *Space) InA(a Assignment) bool {
+	if !sp.structuralInA(a) {
+		return false
+	}
+	return sp.nodeOf(a, a.Key()).covered
+}
+
+// nodeOf returns (computing on first visit) a's session memo record; key
+// must be a's canonical key.
+func (sp *Space) nodeOf(a Assignment, key string) *nodeInfo {
+	if info, ok := sp.nodes[key]; ok {
+		return info
+	}
+	info := &nodeInfo{key: key, covered: sp.coveredByValidBox(a)}
+	sp.nodes[key] = info
+	return info
+}
+
+// structuralInA is the cheap, key-free part of the 𝒜-membership test:
+// multiplicity bounds, anchor caps and the MORE gate. The emit pipeline runs
+// it before materializing a candidate's key so structurally impossible
+// candidates cost zero allocations.
+func (sp *Space) structuralInA(a Assignment) bool {
 	for i, vs := range sp.Vars {
 		// The traversal keeps multiplicity bounds on both sides: the paper's
 		// Figure 3 lattice never drops below one value per mandatory
@@ -283,41 +349,21 @@ func (sp *Space) InA(a Assignment) bool {
 			}
 		}
 	}
-	if len(a.More) > 0 && !sp.More {
-		return false
-	}
-	key := a.Key()
-	if cached, ok := sp.coversMemo[key]; ok {
-		return cached
-	}
-	ok := sp.coveredByValidBox(a)
-	sp.coversMemo[key] = ok
-	return ok
+	return len(a.More) == 0 || sp.More
 }
 
 // respectsAnchors reports whether value t of variable i is at or below every
-// anchor of i (or, with no anchors, has the right kind).
+// anchor of i (or, with no anchors, has the right kind) — a precomputed bit
+// probe; out-of-range terms (None, Any) are rejected by the range guard.
 func (sp *Space) respectsAnchors(i int, t vocab.Term) bool {
-	vs := sp.Vars[i]
-	if t == vocab.Any {
-		return false
-	}
-	if sp.Voc.KindOf(t) != vs.Kind {
-		return false
-	}
-	for _, a := range vs.Anchors {
-		if !sp.Voc.Leq(a, t) {
-			return false
-		}
-	}
-	return true
+	return sp.tab.anchorOK(i, t)
 }
 
 // boxContained checks whether every combination of one value per (nonempty)
 // variable of a is a valid base assignment. Variables with empty value sets
 // use projection semantics: the combination must extend to some valid row.
 func (sp *Space) boxContained(a Assignment) bool {
-	tuple := make([]vocab.Term, len(sp.Vars))
+	tuple := sp.tupleBuf
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(sp.Vars) {
@@ -406,29 +452,10 @@ func (sp *Space) coveredByValidBox(a Assignment) bool {
 	return pick(0, 0)
 }
 
-// coversOf returns (memoized) the valid values of variable i that are at or
+// coversOf returns the precomputed valid values of variable i that are at or
 // below v, i.e. the candidate covers of v in a valid assignment.
 func (sp *Space) coversOf(i int, v vocab.Term) []vocab.Term {
-	if sp.coverVals == nil {
-		sp.coverVals = make([]map[vocab.Term][]vocab.Term, len(sp.Vars))
-	}
-	m := sp.coverVals[i]
-	if m == nil {
-		m = make(map[vocab.Term][]vocab.Term)
-		sp.coverVals[i] = m
-	}
-	if cs, ok := m[v]; ok {
-		return cs
-	}
-	var cs []vocab.Term
-	for t := range sp.valsAt[i] {
-		if sp.Voc.Leq(v, t) {
-			cs = append(cs, t)
-		}
-	}
-	sort.Slice(cs, func(x, y int) bool { return cs[x] < cs[y] })
-	m[v] = cs
-	return cs
+	return sp.tab.coversOf(i, v)
 }
 
 // VarIndex returns the index of the named mining variable, or -1.

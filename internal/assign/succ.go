@@ -1,67 +1,27 @@
 package assign
 
 import (
-	"sort"
+	"slices"
+	"strings"
 
 	"oassis/internal/fact"
 	"oassis/internal/vocab"
 )
 
-// domain returns (computing lazily) the exploration domain of variable i:
-// the anchor-respecting upward closure of the variable's valid values. Every
-// value that can appear at i in any node of 𝒜 belongs to this set.
-func (sp *Space) domain(i int) map[vocab.Term]struct{} {
-	if sp.domains == nil {
-		sp.domains = make([]map[vocab.Term]struct{}, len(sp.Vars))
-	}
-	if d := sp.domains[i]; d != nil {
-		return d
-	}
-	d := make(map[vocab.Term]struct{})
-	var up func(t vocab.Term)
-	up = func(t vocab.Term) {
-		if _, ok := d[t]; ok {
-			return
-		}
-		if !sp.respectsAnchors(i, t) {
-			return
-		}
-		d[t] = struct{}{}
-		for _, p := range sp.Voc.Parents(t) {
-			up(p)
-		}
-	}
-	for t := range sp.valsAt[i] {
-		up(t)
-	}
-	sp.domains[i] = d
-	return d
-}
+// Lattice moves. Successor and predecessor generation dominate the engine's
+// per-answer CPU cost, so this file is written for raw speed: candidates are
+// assembled in reusable scratch buffers (hdrBuf/valBuf/keyBuf), deduplicated
+// with a single no-allocation map probe on their serialized key, and only
+// the accepted ones are copied into the Space's bump arenas (see arena.go).
+// Unchanged value rows are shared structurally with the parent assignment —
+// rows are immutable once published, so a successor differs from its parent
+// by exactly one arena-allocated row. The emit order and canonical forms are
+// byte-identical to the original clone-based generator, which the
+// equivalence and golden tests pin down.
 
 // DomainSize reports the exploration-domain size of variable i (used by the
 // experiment harness when reporting lattice dimensions).
-func (sp *Space) DomainSize(i int) int { return len(sp.domain(i)) }
-
-// minimalValues returns the most general domain values of variable i: the
-// domain elements none of whose immediate parents are in the domain.
-func (sp *Space) minimalValues(i int) []vocab.Term {
-	d := sp.domain(i)
-	var out []vocab.Term
-	for t := range d {
-		minimal := true
-		for _, p := range sp.Voc.Parents(t) {
-			if _, ok := d[p]; ok {
-				minimal = false
-				break
-			}
-		}
-		if minimal {
-			out = append(out, t)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
-}
+func (sp *Space) DomainSize(i int) int { return len(sp.tab.domains[i]) }
 
 // Minimal returns the minimal (most general) elements of 𝒜: for each
 // mandatory variable, value sets of the multiplicity's lower-bound size
@@ -78,7 +38,7 @@ func (sp *Space) Minimal() []Assignment {
 			continue
 		}
 		if vs.Mult.Min == 1 {
-			for _, t := range sp.minimalValues(i) {
+			for _, t := range sp.tab.minVals[i] {
 				choices[i] = append(choices[i], []vocab.Term{t})
 			}
 		} else {
@@ -122,12 +82,7 @@ func (sp *Space) Minimal() []Assignment {
 // absorption or yield a strict predecessor). Enumeration is O(|domain|^k)
 // and capped; the {k,…} multiplicity extension is intended for small k.
 func (sp *Space) minimalAntichains(i, k int) [][]vocab.Term {
-	d := sp.domain(i)
-	vals := make([]vocab.Term, 0, len(d))
-	for t := range d {
-		vals = append(vals, t)
-	}
-	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	vals := sp.tab.domains[i]
 
 	const cap = 1 << 16
 	var out [][]vocab.Term
@@ -167,10 +122,9 @@ func (sp *Space) minimalAntichains(i, k int) [][]vocab.Term {
 // isMinimalAntichain reports whether no value of the antichain can be
 // generalized one in-domain Hasse step while keeping the set an antichain.
 func (sp *Space) isMinimalAntichain(i int, set []vocab.Term) bool {
-	d := sp.domain(i)
 	for vi, v := range set {
 		for _, p := range sp.Voc.Parents(v) {
-			if _, ok := d[p]; !ok {
+			if !sp.tab.inDomain(i, p) {
 				continue
 			}
 			comparable := false
@@ -194,36 +148,30 @@ func (sp *Space) isMinimalAntichain(i int, set []vocab.Term) bool {
 // extend/specialize the MORE fact-set from the candidate pool. Results are
 // deduplicated and sorted by key.
 func (sp *Space) Successors(a Assignment) []Assignment {
-	seen := map[string]struct{}{aKeyOf(a): {}}
-	var out []Assignment
-	emit := func(b Assignment) {
-		b = b.sealed()
-		k := b.Key()
-		if _, dup := seen[k]; dup {
-			return
-		}
-		seen[k] = struct{}{}
-		if sp.InA(b) && sp.Lt(a, b) {
-			out = append(out, b)
-		}
-	}
+	return sp.AppendSuccessors(nil, a)
+}
 
+// AppendSuccessors appends the immediate successors of a to dst and returns
+// the extended slice, so batched callers can collect the successors of many
+// nodes into one buffer. The appended region is deduplicated and sorted by
+// key; accepted assignments live in the Space's arenas and share unchanged
+// rows with a.
+func (sp *Space) AppendSuccessors(dst []Assignment, a Assignment) []Assignment {
+	start := len(dst)
 	for i := range sp.Vars {
 		vals := a.Vals[i]
-		d := sp.domain(i)
 		// Specialize one value one step.
 		for vi, v := range vals {
 			for _, c := range sp.Voc.Children(v) {
-				if _, ok := d[c]; !ok {
+				if !sp.tab.inDomain(i, c) {
 					continue
 				}
 				if !compatible(sp.Voc, vals, vi, c) {
 					continue
 				}
-				nv := replaceAt(vals, vi, c)
-				b := a.Clone()
-				b.Vals[i] = nv
-				emit(b)
+				row := replaceAtBuf(sp.valBuf[:0], vals, vi, c)
+				sp.valBuf = row
+				dst = sp.emitRow(dst, a, i, row)
 			}
 		}
 		// Add one minimal compatible value.
@@ -232,20 +180,95 @@ func (sp *Space) Successors(a Assignment) []Assignment {
 			continue
 		}
 		for _, t := range sp.minimalAddable(i, vals) {
-			b := a.Clone()
-			b.Vals[i] = insertSorted(b.Vals[i], t)
-			emit(b)
+			row := insertSortedBuf(append(sp.valBuf[:0], vals...), t)
+			sp.valBuf = row
+			dst = sp.emitRow(dst, a, i, row)
 		}
 	}
 
 	if sp.More && len(sp.MoreCandidates) > 0 {
-		sp.moreSuccessors(a, emit)
+		dst = sp.moreSuccessors(dst, a)
 	}
-	sort.Slice(out, func(x, y int) bool { return out[x].Key() < out[y].Key() })
-	return out
+	return finishMoves(dst, start)
 }
 
-func aKeyOf(a Assignment) string { return a.Key() }
+// emitRow runs the emit pipeline for the candidate obtained from a by
+// replacing variable i's value row with row (a canonical sorted antichain in
+// scratch storage).
+func (sp *Space) emitRow(dst []Assignment, a Assignment, i int, row []vocab.Term) []Assignment {
+	hdr := append(sp.hdrBuf[:0], a.Vals...)
+	sp.hdrBuf = hdr
+	hdr[i] = row
+	return sp.emitCand(dst, a, Assignment{Vals: hdr, More: a.More}, i)
+}
+
+// emitCand is the shared emit pipeline: serialize the candidate's key into
+// scratch, test 𝒜-membership (structural part first, then a single
+// no-allocation map probe into the per-node memo) and order against a, and
+// on acceptance intern the candidate (changed names the single value row
+// that differs from a, or -1 for a pure MORE move). Together with the
+// post-sort compaction in finishMoves it emits exactly the set the original
+// seal → dedup → InA → Lt clone-based pipeline emitted: duplicate
+// derivations of one node are collapsed after sorting instead of probed per
+// candidate, and the strictness half of Lt reduces to the key comparison
+// against a.
+func (sp *Space) emitCand(dst []Assignment, a, cand Assignment, changed int) []Assignment {
+	kb := cand.appendKey(sp.keyBuf[:0])
+	sp.keyBuf = kb
+	if string(kb) == a.Key() || !sp.structuralInA(cand) {
+		return dst
+	}
+	// No explicit Leq order check against a: every Hasse move covers the
+	// parent by construction — unchanged values cover themselves, a
+	// specialized value covers the value it replaced (c ∈ Children(v) ⟹
+	// v ≤ c, and dually p ∈ Parents(v) ⟹ p ≤ v for predecessors), added
+	// values and MORE extensions only grow the covered set, and fact.Reduce
+	// keeps most-specific representatives. Lt's strictness half is the key
+	// comparison above. The old pipeline evaluated Lt anyway; on these
+	// candidates it could only fail on equality, so the emitted set is
+	// unchanged.
+	info, visited := sp.nodes[string(kb)]
+	if visited && !info.covered {
+		return dst
+	}
+	if !visited {
+		// First visit: materialize the key, one allocation per distinct
+		// node per session — re-derivations from other parents share it.
+		info = sp.nodeOf(cand, string(kb))
+		if !info.covered {
+			return dst
+		}
+	}
+	cand.key = info.key
+	if changed < 0 {
+		// Pure MORE move: the value rows are a's own, shared wholesale.
+		cand.Vals = a.Vals
+		return append(dst, cand)
+	}
+	hdr := sp.hdrs.alloc(len(a.Vals))
+	copy(hdr, a.Vals)
+	hdr[changed] = sp.arena.clone(cand.Vals[changed])
+	cand.Vals = hdr
+	return append(dst, cand)
+}
+
+// finishMoves puts the emitted region dst[start:] into canonical form:
+// sorted by key with duplicate derivations of the same node collapsed
+// (duplicates are adjacent after sorting and bit-identical by canonicality,
+// so keeping the first matches the old probe-per-candidate dedup exactly).
+func finishMoves(dst []Assignment, start int) []Assignment {
+	out := dst[start:]
+	slices.SortFunc(out, func(x, y Assignment) int { return strings.Compare(x.key, y.key) })
+	w := start
+	for i := range out {
+		if i > 0 && out[i].key == out[i-1].key {
+			continue
+		}
+		dst[w] = out[i]
+		w++
+	}
+	return dst[:w]
+}
 
 // compatible reports whether c is incomparable with every value of vals
 // other than index skip (keeping the set an antichain without absorption).
@@ -261,32 +284,40 @@ func compatible(v *vocab.Vocabulary, vals []vocab.Term, skip int, c vocab.Term) 
 	return true
 }
 
-func replaceAt(vals []vocab.Term, i int, c vocab.Term) []vocab.Term {
-	out := make([]vocab.Term, 0, len(vals))
-	out = append(out, vals[:i]...)
-	out = append(out, vals[i+1:]...)
-	return insertSorted(out, c)
+// replaceAtBuf appends vals-without-index-i to buf and sorted-inserts c.
+func replaceAtBuf(buf, vals []vocab.Term, i int, c vocab.Term) []vocab.Term {
+	buf = append(buf, vals[:i]...)
+	buf = append(buf, vals[i+1:]...)
+	return insertSortedBuf(buf, c)
 }
 
-func insertSorted(vals []vocab.Term, t vocab.Term) []vocab.Term {
-	out := append(append([]vocab.Term(nil), vals...), t)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+// insertSortedBuf inserts t into the sorted slice buf in place (growing it by
+// one). The lattice moves only insert values distinct from every element, so
+// ties cannot occur.
+func insertSortedBuf(buf []vocab.Term, t vocab.Term) []vocab.Term {
+	pos := len(buf)
+	for j, v := range buf {
+		if t < v {
+			pos = j
+			break
+		}
+	}
+	buf = append(buf, 0)
+	copy(buf[pos+1:], buf[pos:])
+	buf[pos] = t
+	return buf
 }
 
 // minimalAddable returns the most general domain values of variable i that
 // are incomparable with all current values: candidates t ∈ domain(i) such
-// that no immediate parent of t is itself addable.
+// that no immediate parent of t is itself addable. The result lives in
+// per-session scratch, valid until the next call.
 func (sp *Space) minimalAddable(i int, vals []vocab.Term) []vocab.Term {
-	d := sp.domain(i)
 	addable := func(t vocab.Term) bool {
-		if _, ok := d[t]; !ok {
-			return false
-		}
-		return compatible(sp.Voc, vals, -1, t)
+		return sp.tab.inDomain(i, t) && compatible(sp.Voc, vals, -1, t)
 	}
-	var out []vocab.Term
-	for t := range d {
+	out := sp.addBuf[:0]
+	for _, t := range sp.tab.domains[i] { // sorted ascending
 		if !addable(t) {
 			continue
 		}
@@ -301,14 +332,14 @@ func (sp *Space) minimalAddable(i int, vals []vocab.Term) []vocab.Term {
 			out = append(out, t)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	sp.addBuf = out
 	return out
 }
 
 // moreSuccessors emits MORE-fact extensions of a: adding a minimal pool
 // candidate, or replacing an existing MORE fact by a pool candidate that
 // specializes it with nothing from the pool strictly between.
-func (sp *Space) moreSuccessors(a Assignment, emit func(Assignment)) {
+func (sp *Space) moreSuccessors(dst []Assignment, a Assignment) []Assignment {
 	pool := sp.MoreCandidates
 	covered := func(f fact.Fact) bool {
 		for _, g := range a.More {
@@ -331,9 +362,11 @@ func (sp *Space) moreSuccessors(a Assignment, emit func(Assignment)) {
 			}
 		}
 		if minimal {
-			b := a.Clone()
-			b.More = fact.Reduce(sp.Voc, append(b.More, f))
-			emit(b)
+			nm := make(fact.Set, 0, len(a.More)+1)
+			nm = append(nm, a.More...)
+			nm = append(nm, f)
+			dst = sp.emitCand(dst, a,
+				Assignment{Vals: a.Vals, More: fact.Reduce(sp.Voc, nm)}, -1)
 		}
 	}
 	// Specialize an existing MORE fact one pool step.
@@ -352,14 +385,15 @@ func (sp *Space) moreSuccessors(a Assignment, emit func(Assignment)) {
 			if !direct {
 				continue
 			}
-			b := a.Clone()
-			nm := append(fact.Set{}, b.More[:mi]...)
-			nm = append(nm, b.More[mi+1:]...)
+			nm := make(fact.Set, 0, len(a.More))
+			nm = append(nm, a.More[:mi]...)
+			nm = append(nm, a.More[mi+1:]...)
 			nm = append(nm, f)
-			b.More = fact.Reduce(sp.Voc, nm)
-			emit(b)
+			dst = sp.emitCand(dst, a,
+				Assignment{Vals: a.Vals, More: fact.Reduce(sp.Voc, nm)}, -1)
 		}
 	}
+	return dst
 }
 
 // Predecessors generates the immediate predecessors of a within 𝒜:
@@ -367,67 +401,48 @@ func (sp *Space) moreSuccessors(a Assignment, emit func(Assignment)) {
 // value where the multiplicity lower bound allows, or drop/generalize a MORE
 // fact. Results are deduplicated and sorted by key.
 func (sp *Space) Predecessors(a Assignment) []Assignment {
-	seen := map[string]struct{}{a.Key(): {}}
-	var out []Assignment
-	emit := func(b Assignment) {
-		b = b.sealed()
-		k := b.Key()
-		if _, dup := seen[k]; dup {
-			return
-		}
-		seen[k] = struct{}{}
-		if sp.InA(b) && sp.Lt(b, a) {
-			out = append(out, b)
-		}
-	}
+	var dst []Assignment
 	for i := range sp.Vars {
 		vals := a.Vals[i]
-		d := sp.domain(i)
 		for vi, v := range vals {
 			for _, p := range sp.Voc.Parents(v) {
-				if _, ok := d[p]; !ok {
+				if !sp.tab.inDomain(i, p) {
 					continue
 				}
-				nv := make([]vocab.Term, 0, len(vals))
-				nv = append(nv, vals[:vi]...)
+				nv := append(sp.valBuf[:0], vals[:vi]...)
 				nv = append(nv, vals[vi+1:]...)
 				nv = append(nv, p)
-				b := a.Clone()
-				b.Vals[i] = sp.Voc.ReduceAntichain(nv)
-				emit(b)
+				sp.valBuf = nv
+				dst = sp.emitRow(dst, a, i, sp.Voc.ReduceAntichain(nv))
 			}
 		}
 		if len(vals) > sp.Vars[i].Mult.Min {
 			for vi := range vals {
-				b := a.Clone()
-				nv := make([]vocab.Term, 0, len(vals)-1)
-				nv = append(nv, vals[:vi]...)
+				nv := append(sp.valBuf[:0], vals[:vi]...)
 				nv = append(nv, vals[vi+1:]...)
-				b.Vals[i] = nv
-				emit(b)
+				sp.valBuf = nv
+				dst = sp.emitRow(dst, a, i, nv)
 			}
 		}
 	}
 	for mi := range a.More {
-		b := a.Clone()
-		nm := append(fact.Set{}, b.More[:mi]...)
-		nm = append(nm, b.More[mi+1:]...)
-		b.More = nm
-		emit(b)
+		nm := make(fact.Set, 0, len(a.More)-1)
+		nm = append(nm, a.More[:mi]...)
+		nm = append(nm, a.More[mi+1:]...)
+		dst = sp.emitCand(dst, a, Assignment{Vals: a.Vals, More: nm}, -1)
 		// Generalize to a pool fact directly below.
 		for _, g := range sp.MoreCandidates {
 			if g != a.More[mi] && fact.Leq(sp.Voc, g, a.More[mi]) {
-				c := a.Clone()
-				nm2 := append(fact.Set{}, c.More[:mi]...)
-				nm2 = append(nm2, c.More[mi+1:]...)
+				nm2 := make(fact.Set, 0, len(a.More))
+				nm2 = append(nm2, a.More[:mi]...)
+				nm2 = append(nm2, a.More[mi+1:]...)
 				nm2 = append(nm2, g)
-				c.More = fact.Reduce(sp.Voc, nm2)
-				emit(c)
+				dst = sp.emitCand(dst, a,
+					Assignment{Vals: a.Vals, More: fact.Reduce(sp.Voc, nm2)}, -1)
 			}
 		}
 	}
-	sort.Slice(out, func(x, y int) bool { return out[x].Key() < out[y].Key() })
-	return out
+	return finishMoves(dst, 0)
 }
 
 // Combine implements Proposition 5.1 directly: if a and b differ on exactly

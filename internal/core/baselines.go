@@ -16,15 +16,15 @@ func RunHorizontal(cfg Config) *Result {
 	e := newEngine(cfg)
 	e.seed()
 
-	frontier := append([]string(nil), e.poolOrder...)
+	frontier := append([]uint32(nil), e.poolIDs...)
 	for len(frontier) > 0 && e.budgetLeft() {
 		// Ask every unclassified node of the current level.
 		level := make([]assign.Assignment, 0, len(frontier))
-		for _, k := range frontier {
-			level = append(level, e.pool[k])
+		for _, id := range frontier {
+			level = append(level, e.ns.node(id))
 		}
 		sort.Slice(level, func(i, j int) bool { return level[i].Key() < level[j].Key() })
-		next := map[string]assign.Assignment{}
+		next := map[uint32]struct{}{}
 		for _, node := range level {
 			if !e.budgetLeft() {
 				break
@@ -33,7 +33,7 @@ func RunHorizontal(cfg Config) *Result {
 			if e.cls.status(node) != Significant {
 				continue
 			}
-			for _, s := range e.sp.Successors(node) {
+			for _, s := range e.succsOf(e.ns.intern(node)) {
 				// Apriori candidate condition: all predecessors significant.
 				if e.cls.status(s) != Unclassified {
 					continue
@@ -46,16 +46,17 @@ func RunHorizontal(cfg Config) *Result {
 					}
 				}
 				if allSig {
-					e.addNode(s)
-					next[s.Key()] = s
+					next[e.addNode(s)] = struct{}{}
 				}
 			}
 		}
 		frontier = frontier[:0]
-		for k := range next {
-			frontier = append(frontier, k)
+		for id := range next {
+			frontier = append(frontier, id)
 		}
-		sort.Strings(frontier)
+		sort.Slice(frontier, func(i, j int) bool {
+			return e.ns.node(frontier[i]).Key() < e.ns.node(frontier[j]).Key()
+		})
 	}
 	return e.result()
 }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+)
+
+// BenchmarkDrainExpansions measures batched DAG expansion over the full
+// Figure 2 lattice: every generated node is queued and expanded to the
+// fixpoint, the way a run whose nodes all turn significant would. It
+// exercises successor generation, pool dedup and classifier registration
+// together — the per-answer bookkeeping the engine pays on the hot path.
+func BenchmarkDrainExpansions(b *testing.B) {
+	_, _, sp := buildSpace(b, figure2Full)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := newEngine(Config{Space: sp, Theta: 0.4})
+		e.seed()
+		for {
+			queued := 0
+			for _, id := range e.poolIDs {
+				if !e.expanded[id] {
+					e.toExpand = append(e.toExpand, id)
+					queued++
+				}
+			}
+			if queued == 0 {
+				break
+			}
+			e.drainExpansions()
+		}
+		if len(e.poolIDs) == 0 {
+			b.Fatal("expansion generated no nodes")
+		}
+	}
+}
+
+// BenchmarkEngineRun measures a complete sequential mining run of the
+// paper's running example against the Table 3 members — the end-to-end
+// engine cost with zero crowd latency.
+func BenchmarkEngineRun(b *testing.B) {
+	s, _, sp := buildSpace(b, figure2Full)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(Config{Space: sp, Theta: 0.4, Members: sampleMembers(s)})
+		if len(res.MSPs) == 0 {
+			b.Fatal("run mined no MSPs")
+		}
+	}
+}

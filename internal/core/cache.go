@@ -13,7 +13,13 @@ import (
 // (§6.3) — CachedMember wraps the cache as a crowd member for that purpose.
 type Cache struct {
 	answers map[string]map[string]float64 // question key -> member -> support
+	keys    map[string]string             // question key interning (one copy per key)
 	order   []CachedAnswer                // insertion order, for inspection
+
+	// memberHint sizes each per-question member map at creation: in a run
+	// every member eventually answers most questions, so allocating for the
+	// crowd size up front avoids rehash churn on the answer hot path.
+	memberHint int
 }
 
 // CachedAnswer is one recorded answer.
@@ -25,16 +31,30 @@ type CachedAnswer struct {
 }
 
 // NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{answers: make(map[string]map[string]float64)}
+func NewCache() *Cache { return NewCacheSized(0) }
+
+// NewCacheSized returns an empty cache whose per-question member maps are
+// preallocated for memberHint members (the crowd size of the run feeding it).
+func NewCacheSized(memberHint int) *Cache {
+	return &Cache{
+		answers:    make(map[string]map[string]float64),
+		keys:       make(map[string]string),
+		memberHint: memberHint,
+	}
 }
 
 // Record stores an answer; re-recording the same (question, member) pair is
-// ignored.
+// ignored. The question key is interned so the cache retains one copy of each
+// key string instead of one per recorded answer.
 func (c *Cache) Record(qKey, member string, support float64, kind QuestionKind) {
+	if k, ok := c.keys[qKey]; ok {
+		qKey = k
+	} else {
+		c.keys[qKey] = qKey
+	}
 	byMember := c.answers[qKey]
 	if byMember == nil {
-		byMember = make(map[string]float64)
+		byMember = make(map[string]float64, c.memberHint)
 		c.answers[qKey] = byMember
 	}
 	if _, dup := byMember[member]; dup {

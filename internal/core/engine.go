@@ -148,17 +148,21 @@ type engineHooks struct {
 	onTurn func(i int)
 }
 
-// engine carries the run state of the vertical multi-user algorithm.
+// engine carries the run state of the vertical multi-user algorithm. All
+// per-node state is flat, indexed by the nodeStore's dense ids, which the
+// classifier shares: one key-string map probe interns a node, everything
+// after that is slice indexing.
 type engine struct {
 	cfg    Config
 	hooks  engineHooks
 	sp     *assign.Space
 	agg    aggregate.Aggregator
+	ns     *nodeStore
 	cls    *classifier
 	policy plan.Policy
 
-	pool      map[string]assign.Assignment // generated lattice nodes
-	poolOrder []string
+	inPool  []bool   // by id: node belongs to the generated pool
+	poolIDs []uint32 // pool nodes in generation order
 
 	memberAns  map[string]map[string]float64 // member -> question key -> answer
 	pruned     map[string][]vocab.Term       // member -> pruned terms
@@ -171,10 +175,13 @@ type engine struct {
 	classifiedRows []bool // per ValidBase row, for the timeline
 	classifiedN    int
 
-	expanded map[string]struct{} // nodes whose successors were generated
-	toExpand []assign.Assignment // significant nodes awaiting expansion
+	expanded []bool   // by id: successors were generated
+	toExpand []uint32 // significant nodes awaiting expansion
 
-	instCache map[string]instEntry // node key -> instantiation + question key
+	succs [][]assign.Assignment // by id: successor memo (noSuccs when empty)
+
+	inst   []instEntry // by id: instantiation + question key memo
+	instOK []bool
 
 	answersBy map[string]int // counted answers per member (§6.2 stats page)
 	budgets   []int          // per-member remaining answers (-1 = unlimited)
@@ -188,16 +195,50 @@ type instEntry struct {
 	qKey string
 }
 
+// growNode extends the engine's flat per-node state to cover id.
+func (e *engine) growNode(id uint32) {
+	for uint32(len(e.inPool)) <= id {
+		e.inPool = append(e.inPool, false)
+		e.expanded = append(e.expanded, false)
+		e.succs = append(e.succs, nil)
+		e.inst = append(e.inst, instEntry{})
+		e.instOK = append(e.instOK, false)
+	}
+}
+
 // instantiate memoizes the node's fact-set question.
 func (e *engine) instantiate(node assign.Assignment) (fact.Set, string) {
-	k := node.Key()
-	if ent, ok := e.instCache[k]; ok {
+	id := e.ns.intern(node)
+	e.growNode(id)
+	if e.instOK[id] {
+		ent := &e.inst[id]
 		return ent.fs, ent.qKey
 	}
 	fs := e.sp.Instantiate(node)
 	ent := instEntry{fs: fs, qKey: fs.Key()}
-	e.instCache[k] = ent
+	e.inst[id] = ent
+	e.instOK[id] = true
 	return ent.fs, ent.qKey
+}
+
+// noSuccs is the memo sentinel distinguishing "no successors" from "not yet
+// generated".
+var noSuccs = []assign.Assignment{}
+
+// succsOf memoizes successor generation per node. Memoization is sound
+// because the successor relation is fixed for the whole run: the space, its
+// tables and MoreCandidates are all set before the engine starts.
+func (e *engine) succsOf(id uint32) []assign.Assignment {
+	e.growNode(id)
+	if s := e.succs[id]; s != nil {
+		return s
+	}
+	s := e.sp.Successors(e.ns.node(id))
+	if s == nil {
+		s = noSuccs
+	}
+	e.succs[id] = s
+	return s
 }
 
 // Run executes the vertical algorithm (Algorithm 1 with the multi-user
@@ -218,28 +259,27 @@ func newEngine(cfg Config) *engine {
 	if policy == nil {
 		policy = plan.PaperOrder{}
 	}
+	ns := newNodeStore()
 	e := &engine{
 		cfg:            cfg,
 		sp:             cfg.Space,
 		agg:            agg,
-		cls:            newClassifier(cfg.Space),
+		ns:             ns,
+		cls:            newClassifierOn(cfg.Space, ns),
 		policy:         policy,
-		pool:           make(map[string]assign.Assignment),
 		memberAns:      make(map[string]map[string]float64),
 		pruned:         make(map[string][]vocab.Term),
-		cache:          NewCache(),
+		cache:          NewCacheSized(len(cfg.Members)),
 		uniqueQ:        make(map[string]struct{}),
 		mspLog:         make(map[string]int),
 		classifiedRows: make([]bool, len(cfg.Space.ValidBase)),
-		expanded:       make(map[string]struct{}),
-		instCache:      make(map[string]instEntry),
 		answersBy:      make(map[string]int),
 	}
 	// Every node that turns significant — explicitly or by inference — is
 	// scheduled for lattice expansion (Algorithm 1 iterates over all of 𝒜,
 	// so successors of inferred-significant nodes must be generated too).
-	e.cls.onSignificant = func(a assign.Assignment) {
-		e.toExpand = append(e.toExpand, a)
+	e.cls.onSignificant = func(id uint32) {
+		e.toExpand = append(e.toExpand, id)
 	}
 	if cfg.SpamMaxViolations > 0 {
 		e.consistency = aggregate.NewConsistencyTracker(cfg.Space.Voc, cfg.SpamTolerance)
@@ -248,12 +288,15 @@ func newEngine(cfg Config) *engine {
 	return e
 }
 
-// drainExpansions expands every scheduled significant node; expansion can
-// schedule more (newly registered significant successors), so the queue is
-// drained to a fixpoint.
+// drainExpansions expands every scheduled significant node in one batched
+// pass: the queue is walked front to back, each node's successors come from
+// the per-node memo (generated into the Space's shared scratch and arenas on
+// first need), and each generated candidate costs a single intern probe in
+// addNode. Expansion can schedule more nodes (newly registered significant
+// successors), so the walk naturally drains the queue to a fixpoint.
 func (e *engine) drainExpansions() {
 	for i := 0; i < len(e.toExpand); i++ {
-		e.expand(e.toExpand[i])
+		e.expandID(e.toExpand[i])
 	}
 	e.toExpand = e.toExpand[:0]
 }
@@ -264,26 +307,32 @@ func (e *engine) seed() {
 	}
 }
 
-func (e *engine) addNode(a assign.Assignment) {
-	k := a.Key()
-	if _, ok := e.pool[k]; ok {
-		return
+func (e *engine) addNode(a assign.Assignment) uint32 {
+	id := e.ns.intern(a)
+	e.growNode(id)
+	if e.inPool[id] {
+		return id
 	}
-	e.pool[k] = a
-	e.poolOrder = append(e.poolOrder, k)
+	e.inPool[id] = true
+	e.poolIDs = append(e.poolIDs, id)
 	e.stats.GeneratedNodes++
 	e.cfg.Metrics.nodeGenerated()
-	e.cls.register(a) // track its status incrementally from now on
+	e.cls.registerID(id) // track its status incrementally from now on
+	return id
 }
 
 // expand generates the successors of a significant node into the pool.
 func (e *engine) expand(a assign.Assignment) {
-	k := a.Key()
-	if _, done := e.expanded[k]; done {
+	e.expandID(e.ns.intern(a))
+}
+
+func (e *engine) expandID(id uint32) {
+	e.growNode(id)
+	if e.expanded[id] {
 		return
 	}
-	e.expanded[k] = struct{}{}
-	for _, s := range e.sp.Successors(a) {
+	e.expanded[id] = true
+	for _, s := range e.succsOf(id) {
 		e.addNode(s)
 	}
 }
@@ -297,22 +346,24 @@ func (e *engine) expand(a assign.Assignment) {
 // order up to rare multi-cover DAG absorptions, which cost at most a few
 // extra questions, never correctness.
 func (e *engine) pickMinimalUnclassified() (assign.Assignment, bool) {
+	best := -1
 	bestKey := ""
 	bestSize := -1
-	for key := range e.cls.unclassified {
-		n, inPool := e.pool[key]
-		if !inPool {
+	for id := range e.cls.unclassified {
+		if int(id) >= len(e.inPool) || !e.inPool[id] {
 			continue
 		}
+		n := e.ns.node(id)
 		size := n.Size()
+		key := n.Key()
 		if bestSize < 0 || e.policy.Better(key, size, bestKey, bestSize) {
-			bestKey, bestSize = key, size
+			best, bestKey, bestSize = int(id), key, size
 		}
 	}
-	if bestSize < 0 {
+	if best < 0 {
 		return assign.Assignment{}, false
 	}
-	return e.pool[bestKey], true
+	return e.ns.node(uint32(best)), true
 }
 
 func (e *engine) budgetLeft() bool {
@@ -416,7 +467,7 @@ func (e *engine) confirmedMSPs() int {
 	n := 0
 	for _, a := range e.cls.maximalSignificant() {
 		confirmed := true
-		for _, s := range e.sp.Successors(a) {
+		for _, s := range e.succsOf(e.ns.intern(a)) {
 			if e.cls.status(s) == Unclassified {
 				confirmed = false
 				break
@@ -536,7 +587,7 @@ func (e *engine) ask(m crowd.Member, node assign.Assignment) bool {
 // unclassified, generating them into the pool.
 func (e *engine) unclassifiedSuccessors(node assign.Assignment) []assign.Assignment {
 	var out []assign.Assignment
-	for _, s := range e.sp.Successors(node) {
+	for _, s := range e.succsOf(e.ns.intern(node)) {
 		if e.cls.status(s) == Unclassified {
 			e.addNode(s)
 			out = append(out, s)

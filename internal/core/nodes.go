@@ -1,0 +1,40 @@
+package core
+
+import (
+	"oassis/internal/assign"
+)
+
+// nodeStore interns lattice nodes into dense uint32 ids. The engine and the
+// classifier index all their per-node state — pool membership, expansion
+// flags, successor memos, instantiation memos, classification — by these
+// ids in flat slices instead of string-keyed maps, so the per-answer hot
+// path pays one map probe (the intern) per node instead of one per table.
+type nodeStore struct {
+	ids   map[string]uint32 // canonical key -> id
+	nodes []assign.Assignment
+}
+
+func newNodeStore() *nodeStore {
+	return &nodeStore{ids: make(map[string]uint32)}
+}
+
+// intern returns the dense id of a, assigning the next id on first sight.
+func (ns *nodeStore) intern(a assign.Assignment) uint32 {
+	k := a.Key()
+	if id, ok := ns.ids[k]; ok {
+		return id
+	}
+	id := uint32(len(ns.nodes))
+	ns.ids[k] = id
+	ns.nodes = append(ns.nodes, a)
+	return id
+}
+
+// byKey returns the id of the node with canonical key k, if interned.
+func (ns *nodeStore) byKey(k string) (uint32, bool) {
+	id, ok := ns.ids[k]
+	return id, ok
+}
+
+// node returns the assignment with the given id.
+func (ns *nodeStore) node(id uint32) assign.Assignment { return ns.nodes[id] }

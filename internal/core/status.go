@@ -39,38 +39,56 @@ func (s Status) String() string {
 // upward closed). Nodes seen once are registered and their status is
 // maintained incrementally — each new anchor performs a single order test
 // per still-unclassified registered node — so repeated status queries over
-// the engine's node pool are O(1).
+// the engine's node pool are O(1). Per-node state is flat, indexed by the
+// shared nodeStore's dense ids; the zero value of a status slot is
+// Unclassified, matching the old map's missing-key semantics.
 type classifier struct {
 	sp    *assign.Space
+	ns    *nodeStore
 	sig   []assign.Assignment // maximal significant anchors
 	insig []assign.Assignment // minimal insignificant anchors
 
-	watched      map[string]assign.Assignment // registered nodes by key
-	status_      map[string]Status
-	unclassified map[string]struct{} // registered nodes still unclassified
+	tracked      []bool              // by id: status slot is authoritative
+	status_      []Status            // by id; zero value Unclassified
+	unclassified map[uint32]struct{} // tracked nodes still unclassified
 
-	// onSignificant, when set, is invoked once for every registered node
-	// that becomes significant (explicitly or by inference); the engine
-	// uses it to schedule lattice expansion incrementally.
-	onSignificant func(a assign.Assignment)
+	// onSignificant, when set, is invoked once for every tracked node that
+	// becomes significant (explicitly or by inference); the engine uses it
+	// to schedule lattice expansion incrementally.
+	onSignificant func(id uint32)
 }
 
 func newClassifier(sp *assign.Space) *classifier {
-	return &classifier{
-		sp:           sp,
-		watched:      make(map[string]assign.Assignment),
-		status_:      make(map[string]Status),
-		unclassified: make(map[string]struct{}),
+	return newClassifierOn(sp, newNodeStore())
+}
+
+// newClassifierOn builds a classifier sharing the caller's node store, so
+// the engine and the classifier agree on node ids.
+func newClassifierOn(sp *assign.Space, ns *nodeStore) *classifier {
+	return &classifier{sp: sp, ns: ns, unclassified: make(map[uint32]struct{})}
+}
+
+// grow extends the flat per-node state to cover id.
+func (c *classifier) grow(id uint32) {
+	for uint32(len(c.status_)) <= id {
+		c.status_ = append(c.status_, Unclassified)
+		c.tracked = append(c.tracked, false)
 	}
 }
 
 // register adds a to the watch list, computing its status against the
 // current anchors once.
 func (c *classifier) register(a assign.Assignment) Status {
-	key := a.Key()
-	if st, ok := c.status_[key]; ok {
-		return st
+	return c.registerID(c.ns.intern(a))
+}
+
+// registerID is register for an already-interned node.
+func (c *classifier) registerID(id uint32) Status {
+	c.grow(id)
+	if c.tracked[id] {
+		return c.status_[id]
 	}
+	a := c.ns.node(id)
 	st := Unclassified
 	for _, s := range c.sig {
 		if c.sp.Leq(a, s) {
@@ -86,26 +104,35 @@ func (c *classifier) register(a assign.Assignment) Status {
 			}
 		}
 	}
-	c.watched[key] = a
-	c.status_[key] = st
+	c.tracked[id] = true
+	c.status_[id] = st
 	if st == Unclassified {
-		c.unclassified[key] = struct{}{}
+		c.unclassified[id] = struct{}{}
 	} else if st == Significant && c.onSignificant != nil {
-		c.onSignificant(a)
+		c.onSignificant(id)
 	}
 	return st
 }
 
 // status returns the classification of a, registering it if new.
 func (c *classifier) status(a assign.Assignment) Status {
-	if st, ok := c.status_[a.Key()]; ok {
-		return st
+	if id, ok := c.ns.byKey(a.Key()); ok {
+		return c.statusID(id)
 	}
 	return c.register(a)
 }
 
+// statusID returns the classification of an interned node, registering it
+// if new.
+func (c *classifier) statusID(id uint32) Status {
+	if int(id) < len(c.tracked) && c.tracked[id] {
+		return c.status_[id]
+	}
+	return c.registerID(id)
+}
+
 // markSignificant records that a (and hence every predecessor of a) is
-// significant. The anchor list keeps only maximal elements, and registered
+// significant. The anchor list keeps only maximal elements, and tracked
 // unclassified nodes are re-tested against the new anchor only.
 func (c *classifier) markSignificant(a assign.Assignment) {
 	for _, s := range c.sig {
@@ -122,13 +149,13 @@ func (c *classifier) markSignificant(a assign.Assignment) {
 	}
 	c.sig = append(kept, a)
 	c.setStatus(a, Significant)
-	for key := range c.unclassified {
-		w := c.watched[key]
+	for id := range c.unclassified {
+		w := c.ns.node(id)
 		if c.sp.Leq(w, a) {
-			c.status_[key] = Significant
-			delete(c.unclassified, key)
+			c.status_[id] = Significant
+			delete(c.unclassified, id)
 			if c.onSignificant != nil {
-				c.onSignificant(w)
+				c.onSignificant(id)
 			}
 		}
 	}
@@ -151,24 +178,23 @@ func (c *classifier) markInsignificant(a assign.Assignment) {
 	}
 	c.insig = append(kept, a)
 	c.setStatus(a, Insignificant)
-	for key := range c.unclassified {
-		if c.sp.Leq(a, c.watched[key]) {
-			c.status_[key] = Insignificant
-			delete(c.unclassified, key)
+	for id := range c.unclassified {
+		if c.sp.Leq(a, c.ns.node(id)) {
+			c.status_[id] = Insignificant
+			delete(c.unclassified, id)
 		}
 	}
 }
 
 func (c *classifier) setStatus(a assign.Assignment, st Status) {
-	key := a.Key()
-	if _, ok := c.status_[key]; !ok {
-		c.watched[key] = a
-	}
-	prev := c.status_[key]
-	c.status_[key] = st
-	delete(c.unclassified, key)
+	id := c.ns.intern(a)
+	c.grow(id)
+	prev := c.status_[id]
+	c.tracked[id] = true
+	c.status_[id] = st
+	delete(c.unclassified, id)
 	if st == Significant && prev != Significant && c.onSignificant != nil {
-		c.onSignificant(a)
+		c.onSignificant(id)
 	}
 }
 

@@ -77,7 +77,7 @@ func Compile(voc *vocab.Vocabulary, onto *ontology.Ontology, q *oassisql.Query,
 		PolicyName:    PolicyPaperOrder,
 		SubstrateName: chooseSubstrate(q),
 		DomainFP:      domainFP,
-	}, voc)
+	}, voc, sp.Tables())
 }
 
 // chooseSubstrate picks the mining black box for the query. The pure
@@ -111,5 +111,5 @@ func FromSpace(queryText string, support float64, all bool, domainFP string,
 		PolicyName:    PolicyPaperOrder,
 		SubstrateName: SubstrateAssoc,
 		DomainFP:      domainFP,
-	}, sp.Voc)
+	}, sp.Voc, sp.Tables())
 }

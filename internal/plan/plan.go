@@ -54,14 +54,21 @@ type Plan struct {
 	DomainFP string
 
 	voc *vocab.Vocabulary
-	js  []byte // canonical JSON serialization
-	fp  string // sha256 over js
+	tab *assign.Tables // frozen lattice tables, shared by every session
+	js  []byte         // canonical JSON serialization
+	fp  string         // sha256 over js
 }
 
-// newPlan finalizes a Plan: it serializes the IR once and derives the
-// content address from the serialization.
-func newPlan(p *Plan, voc *vocab.Vocabulary) (*Plan, error) {
+// newPlan finalizes a Plan: it serializes the IR once, derives the content
+// address from the serialization, and precomputes the read-only lattice
+// tables every session of this plan shares (tab may be passed in when the
+// caller already computed them; nil builds them here).
+func newPlan(p *Plan, voc *vocab.Vocabulary, tab *assign.Tables) (*Plan, error) {
 	p.voc = voc
+	if tab == nil {
+		tab = assign.NewTables(voc, p.Vars, p.ValidBase)
+	}
+	p.tab = tab
 	js, err := marshal(p)
 	if err != nil {
 		return nil, err
@@ -89,12 +96,13 @@ func (p *Plan) MarshalJSON() ([]byte, error) {
 }
 
 // NewSpace builds a fresh per-session assign.Space from the compiled
-// parts. The immutable slices are shared with the plan; the mutable memo
-// structures are rebuilt, so the Space is private to its session. The
+// parts. The immutable slices and the precomputed lattice tables are shared
+// with the plan (and probed lock-free by concurrent sessions); the mutable
+// memo structures are rebuilt, so the Space is private to its session. The
 // rebuild preserves the canonical ValidBase order, which makes planned
 // execution bit-identical to compiling the query from scratch.
 func (p *Plan) NewSpace() *assign.Space {
-	return assign.FromParts(p.voc, p.Vars, p.Sat, p.More, p.ValidBase)
+	return assign.FromShared(p.voc, p.Vars, p.Sat, p.More, p.ValidBase, p.tab)
 }
 
 // Policy resolves the plan's ordering policy.
