@@ -68,7 +68,7 @@ const (
 // volatileRows lists experiments whose report rows contain measured
 // wall-clock values and therefore legitimately differ between runs; their
 // timings are still gated, but their rows are not diffed.
-var volatileRows = map[string]bool{"latency": true}
+var volatileRows = map[string]bool{"latency": true, "serving": true}
 
 // reportToJob maps the Report.ID recorded in a baseline artifact back to
 // the -exp flag id, where the two differ.
@@ -175,7 +175,7 @@ func sameRows(base jsonReport, r *experiments.Report) bool {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids (all, fig4a..fig4f, fig5, sweeps, summary, bounds, capture, assoc)")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids (all, fig4a..fig4f, fig5, sweeps, summary, bounds, serving, capture, assoc)")
 		scale    = flag.Float64("scale", 0.2, "synthetic-DAG scale factor (1 = paper's width 500)")
 		full     = flag.Bool("full", false, "use the full 248-member crowd for the domain experiments")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
@@ -248,6 +248,10 @@ func main() {
 		}},
 		{"latency", func() (*experiments.Report, error) {
 			return experiments.DispatchLatency(100*time.Millisecond, []int{1, 2, 4, 8})
+		}},
+		{"serving", func() (*experiments.Report, error) {
+			// -scale 0.2 (the default) is 10k concurrent sessions.
+			return experiments.Serving(int(*scale*50000), 4)
 		}},
 		{"capture", func() (*experiments.Report, error) {
 			return experiments.ItemsetCapture(12, 60, 0.15, 7)

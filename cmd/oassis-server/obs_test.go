@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -13,21 +14,30 @@ import (
 	"oassis/internal/oassisql"
 	"oassis/internal/obs"
 	"oassis/internal/ontology"
+	"oassis/internal/serve"
 )
 
 // newObsServer builds a test server with a metrics registry attached.
-func newObsServer(t *testing.T, debug bool) (*httptest.Server, *obs.Registry) {
+func newObsServer(t *testing.T, debug bool) (*httptest.Server, *server, *obs.Registry) {
 	t.Helper()
 	s := ontology.NewSample()
-	q := oassisql.MustParse(serverQuery)
-	reg := obs.NewRegistry()
-	srv, err := newServer(s.Voc, s.Onto, q, 2, 1, 100*time.Millisecond, nil, nil, reg)
+	met := obs.NewRegistry()
+	reg := serve.NewRegistry(serve.Config{Metrics: met})
+	t.Cleanup(func() { _ = reg.Close() })
+	tn, err := reg.AddTenant(serve.TenantConfig{
+		Name: defaultTenant, Voc: s.Voc, Onto: s.Onto,
+		Members: 2, AnswersPerQuestion: 1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, err := tn.Open(oassisql.MustParse(serverQuery)); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(reg, met, 100*time.Millisecond)
 	ts := httptest.NewServer(srv.routes(debug))
 	t.Cleanup(ts.Close)
-	return ts, reg
+	return ts, srv, met
 }
 
 // TestDebugEndpoints drives the observability routes through the mux:
@@ -43,6 +53,7 @@ func TestDebugEndpoints(t *testing.T) {
 	}{
 		{"metrics", false, "/metrics", http.StatusOK, "# TYPE oassis_http_requests_total counter"},
 		{"metrics with debug", true, "/metrics", http.StatusOK, "oassis_session_questions_inflight"},
+		{"serving metrics", false, "/metrics", http.StatusOK, `oassis_serve_sessions_live{shard="0",tenant="default"}`},
 		{"expvar", false, "/debug/vars", http.StatusOK, `"oassis"`},
 		{"pprof gated off", false, "/debug/pprof/", http.StatusNotFound, ""},
 		{"pprof index on", true, "/debug/pprof/", http.StatusOK, "Types of profiles available"},
@@ -51,7 +62,7 @@ func TestDebugEndpoints(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			ts, _ := newObsServer(t, tc.debug)
+			ts, _, _ := newObsServer(t, tc.debug)
 			resp, err := http.Get(ts.URL + tc.path)
 			if err != nil {
 				t.Fatal(err)
@@ -71,7 +82,7 @@ func TestDebugEndpoints(t *testing.T) {
 // TestExpvarSnapshot checks /debug/vars serves valid JSON whose oassis key
 // mirrors the registry snapshot.
 func TestExpvarSnapshot(t *testing.T) {
-	ts, reg := newObsServer(t, false)
+	ts, _, reg := newObsServer(t, false)
 	if _, err := http.Get(ts.URL + "/api/stats"); err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +111,7 @@ func TestExpvarSnapshot(t *testing.T) {
 func TestMetricsLiveSession(t *testing.T) {
 	s := ontology.NewSample()
 	u1, _ := crowd.SampleDBs(s)
-	ts, reg := newObsServer(t, false)
+	ts, _, reg := newObsServer(t, false)
 
 	resp, body := postJSON(t, ts.URL+"/api/join", map[string]string{"name": "alice"})
 	if resp.StatusCode != http.StatusOK {
@@ -130,6 +141,17 @@ func TestMetricsLiveSession(t *testing.T) {
 	if byKey[`oassis_longpoll_total{outcome="question"}`] == 0 {
 		t.Fatalf("longpoll outcome counter is zero: %+v", byKey)
 	}
+	// The serving tier saw the same dispatch: per-tenant poll counter and
+	// latency histogram, plus the scrapeable p99 gauge.
+	if byKey[`oassis_serve_polls_total{outcome="question",tenant="default"}`] == 0 {
+		t.Fatalf("serve poll counter is zero: %+v", byKey)
+	}
+	if byKey[`oassis_serve_dispatch_seconds_count{tenant="default"}`] == 0 {
+		t.Fatalf("serve dispatch histogram empty: %+v", byKey)
+	}
+	if byKey[`oassis_serve_sessions_opened_total{tenant="default"}`] != 1 {
+		t.Fatalf("serve opened counter: %+v", byKey)
+	}
 
 	// Answer it; the latency histogram must record the issue-to-answer gap.
 	if text, typ := answerOne(t, ts.URL, member, s, u1); typ != "concrete" || text == "" {
@@ -141,6 +163,108 @@ func TestMetricsLiveSession(t *testing.T) {
 	}
 	if snap[`oassis_http_requests_total{route="answer"}`] == 0 {
 		t.Fatalf("answer route counter is zero: %+v", snap)
+	}
+}
+
+// waitInFlight spins until the registry reports n polls in flight.
+func waitInFlight(t *testing.T, reg *serve.Registry, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.InFlight() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight never reached %d (at %d)", n, reg.InFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerShutdownOutcomeCounters exercises the two ways a parked
+// long-poll ends without a question at shutdown time: the client goes
+// away (disconnect) or the server drains (reported as done on the wire,
+// shutdown on the serving tier) — and asserts both counters tick.
+func TestServerShutdownOutcomeCounters(t *testing.T) {
+	s := ontology.NewSample()
+	met := obs.NewRegistry()
+	reg := serve.NewRegistry(serve.Config{Metrics: met})
+	t.Cleanup(func() { _ = reg.Close() })
+	tn, err := reg.AddTenant(serve.TenantConfig{
+		Name: defaultTenant, Voc: s.Voc, Onto: s.Onto, Members: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No sessions: every poll parks until woken.
+	srv := newServer(reg, met, 30*time.Second)
+	ts := httptest.NewServer(srv.routes(false))
+	t.Cleanup(ts.Close)
+	if _, err := tn.Join("ann"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.Join("bob"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disconnect: park a poll, then hang up the client.
+	ctx, cancel := context.WithCancel(context.Background())
+	disconnected := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/api/question?member=p01", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		disconnected <- err
+	}()
+	waitInFlight(t, reg, 1)
+	cancel()
+	if err := <-disconnected; err == nil {
+		t.Fatal("hung-up poll returned a response")
+	}
+	waitInFlight(t, reg, 0)
+
+	// Drain: park a poll, then shut the serving tier down. The parked
+	// waiter must wake promptly with a "done" reply, not ride out the
+	// 30-second window.
+	type pollResult struct {
+		q   questionJSON
+		err error
+	}
+	woke := make(chan pollResult, 1)
+	go func() {
+		var r pollResult
+		resp, err := http.Get(ts.URL + "/api/question?member=p00")
+		if err == nil {
+			r.err = json.NewDecoder(resp.Body).Decode(&r.q)
+			resp.Body.Close()
+		} else {
+			r.err = err
+		}
+		woke <- r
+	}()
+	waitInFlight(t, reg, 1)
+	srv.drain()
+	select {
+	case r := <-woke:
+		if r.err != nil {
+			t.Fatalf("drained poll failed: %v", r.err)
+		}
+		if r.q.Type != "done" {
+			t.Fatalf("drained poll returned %q, want done", r.q.Type)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked poll did not wake on drain")
+	}
+
+	snap := met.Snapshot()
+	for _, key := range []string{
+		`oassis_longpoll_total{outcome="disconnect"}`,
+		`oassis_longpoll_total{outcome="done"}`,
+		`oassis_serve_polls_total{outcome="disconnect",tenant="default"}`,
+		`oassis_serve_polls_total{outcome="shutdown",tenant="default"}`,
+	} {
+		if snap[key] < 1 {
+			t.Errorf("%s = %g, want >= 1", key, snap[key])
+		}
 	}
 }
 

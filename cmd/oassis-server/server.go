@@ -2,258 +2,109 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"log"
+	"math"
 	"net/http"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"oassis/internal/aggregate"
-	"oassis/internal/assign"
 	"oassis/internal/core"
 	"oassis/internal/crowd"
 	"oassis/internal/oassisql"
 	"oassis/internal/obs"
-	"oassis/internal/ontology"
-	"oassis/internal/plan"
-	"oassis/internal/store"
-	"oassis/internal/vocab"
+	"oassis/internal/serve"
 )
 
-// server is the crowdsourcing platform of §6.2: visitors join the question
-// game, answer the engine's questions about their habits (concrete and
-// specialization questions on the paper's five-level scale), collect stars,
-// and appear on the top-20 statistics page; the query owner polls for the
+// server is the HTTP layer of the crowdsourcing platform of §6.2, now
+// multi-tenant: a serve.Registry hosts many named tenants (domain +
+// roster + store dir), each running many concurrent query sessions, and
+// this layer maps routes onto it. Tenant-scoped routes live under
+// /t/{tenant}/...; the legacy single-tenant routes (/api/..., /plans)
+// alias the "default" tenant so existing clients keep working. Visitors
+// join a tenant's question game, answer questions on the paper's
+// five-level scale, collect stars, and appear on the statistics page;
+// query owners open sessions with POST .../api/query and poll for the
 // mined answers.
 type server struct {
-	voc    *vocab.Vocabulary
-	onto   *ontology.Ontology
-	domain *core.Domain // shared read-only domain with the per-domain plan cache
-	plan   *plan.Plan   // the compiled plan the session executes
-	sp     *assign.Space
-	query  *oassisql.Query
-	tpl    *crowd.Templates
-	poll   time.Duration
-	store  *store.Store // nil without -store
-	obs    *serverObs   // nil without a registry
+	reg  *serve.Registry
+	poll time.Duration
+	obs  *serverObs // nil without a registry
 
-	// sess is the step-driven engine session. It is not safe for
-	// concurrent use, so every Next/Submit happens under mu; handlers
-	// long-poll on notify (closed and replaced whenever pending changes)
-	// instead of blocking inside the session.
-	sess *core.Session
-
-	mu       sync.Mutex
-	notify   chan struct{}
-	finished bool
-	result   *core.Result
-	slots    []string          // member IDs (slots), in join order
-	nextIdx  int               // next unclaimed slot
-	names    map[string]string // slot -> display name
-	pending  map[string]*pendingQuestion
-	serial   int
-	answers  map[string]int // live leaderboard
+	mu   sync.Mutex
+	tpls map[string]*crowd.Templates // per-tenant NL templates
 }
 
-type pendingQuestion struct {
-	id int
-	q  core.Question
-}
+// defaultTenant is the tenant the legacy single-tenant routes serve.
+const defaultTenant = "default"
 
-// newServer compiles the query against the ontology and starts the engine
-// with `slots` member sessions. A non-nil store st (with its recovery
-// state rec) makes the session durable: the member roster is restored so
-// returning members keep their slots, recovered answers are replayed
-// instead of re-asked, and every new answer is persisted before the
-// engine proceeds — so a killed and restarted server resumes mid-query.
-// A non-nil registry instruments the engine session and the HTTP layer;
-// it is purely observational and never changes what the server serves.
-func newServer(voc *vocab.Vocabulary, onto *ontology.Ontology, query *oassisql.Query,
-	slots, answersPerQuestion int, poll time.Duration,
-	st *store.Store, rec *store.Recovered, reg *obs.Registry) (*server, error) {
-	dom, err := core.NewDomain(voc, onto)
-	if err != nil {
-		return nil, err
-	}
-	var planMetrics *plan.CacheMetrics
-	if reg != nil {
-		planMetrics = plan.NewCacheMetrics(reg)
-	}
-	// Compile through the per-domain plan cache: sessions over the same
-	// domain (the server restarts against the same ontology, future
-	// multi-session serving) reuse the compiled plan instead of
-	// re-analyzing the query.
-	pl, _, err := dom.Compile(query, planMetrics)
-	if err != nil {
-		return nil, err
-	}
-	sp := pl.NewSpace()
-	policy, err := pl.Policy()
-	if err != nil {
-		return nil, err
-	}
+// newServer builds the HTTP layer over a serving registry. metrics (may
+// be nil) instruments the HTTP layer; the registry carries its own
+// serving-tier instruments on the same obs registry.
+func newServer(reg *serve.Registry, metrics *obs.Registry, poll time.Duration) *server {
 	s := &server{
-		voc:     voc,
-		onto:    onto,
-		domain:  dom,
-		plan:    pl,
-		sp:      sp,
-		query:   query,
-		tpl:     crowd.NewTemplates(voc),
-		poll:    poll,
-		notify:  make(chan struct{}),
-		names:   make(map[string]string),
-		pending: make(map[string]*pendingQuestion),
-		answers: make(map[string]int),
+		reg:  reg,
+		poll: poll,
+		tpls: make(map[string]*crowd.Templates),
 	}
-	for i := 0; i < slots; i++ {
-		s.slots = append(s.slots, fmt.Sprintf("p%02d", i))
+	if metrics != nil {
+		s.obs = newServerObs(metrics)
 	}
-	cfg := core.Config{
-		Space:  sp,
-		Theta:  pl.Support,
-		Policy: policy,
-		Agg:    aggregate.NewFixedSample(answersPerQuestion),
-	}
-	if reg != nil {
-		s.obs = newServerObs(reg)
-		cfg.Metrics = core.NewMetrics(reg)
-	}
-	if st != nil {
-		// A store directory holds one query's answers: refuse to replay
-		// them into a different query, then restore the roster and the
-		// leaderboard and prime the engine with the recovered answers.
-		if rec.Session != "" && rec.Session != query.String() {
-			return nil, fmt.Errorf("store is bound to a different query; use a fresh -store directory")
-		}
-		if err := st.BindSession(query.String()); err != nil {
-			return nil, err
-		}
-		// The same query can compile to a different plan if the ontology
-		// changed between runs (domain drift); the recorded answers then
-		// belong to the old plan's assignment space, so refuse to resume.
-		if rec.Plan != "" && rec.Plan != pl.Fingerprint() {
-			return nil, fmt.Errorf("store was recorded under plan %s but the query now compiles to %s (domain drift); use a fresh -store directory",
-				rec.Plan, pl.Fingerprint())
-		}
-		if err := st.BindPlan(pl.Fingerprint()); err != nil {
-			return nil, err
-		}
-		for _, j := range rec.Joins {
-			if s.nextIdx < len(s.slots) && s.slots[s.nextIdx] == j.Member {
-				s.names[j.Member] = j.Note
-				s.nextIdx++
-			}
-		}
-		for _, a := range rec.Answers {
-			if a.Counted {
-				s.answers[a.Member]++
-			}
-		}
-		s.store = st
-		cfg.Store = st
-		if len(rec.Answers) > 0 {
-			cfg.Prime = rec.PrimeCache()
-		}
-	}
-	s.sess = core.NewSession(cfg, s.slots)
+	return s
+}
+
+// drain wakes every parked long-poller with a "done" reply; call before
+// shutting the HTTP listener down so waiters don't ride out their polls.
+func (s *server) drain() { s.reg.Drain() }
+
+// shutdown stops every session engine and flushes and closes every
+// store, after the HTTP listener has stopped.
+func (s *server) shutdown() error { return s.reg.Close() }
+
+// templates returns the tenant's NL question templates, built once.
+func (s *server) templates(t *serve.Tenant) *crowd.Templates {
 	s.mu.Lock()
-	s.refillLocked()
-	s.mu.Unlock()
-	return s, nil
+	defer s.mu.Unlock()
+	tpl, ok := s.tpls[t.Name()]
+	if !ok {
+		tpl = crowd.NewTemplates(t.Voc())
+		s.tpls[t.Name()] = tpl
+	}
+	return tpl
 }
 
-// refillLocked pulls the session's currently answerable questions into the
-// per-member pending slots, journals newly issued questions to the store,
-// and wakes long-pollers when anything changed. Caller holds s.mu.
-func (s *server) refillLocked() {
-	if s.finished {
-		return
-	}
-	if s.sess.Done() {
-		s.finished = true
-		s.result = s.sess.Result()
-		s.broadcastLocked()
-		return
-	}
-	changed := false
-	for _, q := range s.sess.Next() {
-		if s.pending[q.Member] != nil {
-			continue
-		}
-		s.serial++
-		s.pending[q.Member] = &pendingQuestion{id: s.serial, q: q}
-		changed = true
-		if s.store != nil && q.Kind == core.KindConcrete {
-			// Journal the hand-out before a client sees it: an issued
-			// record without a matching answer marks a question in flight
-			// at a crash, which the restarted server re-issues.
-			if err := s.store.AppendIssued(q.Facts.Key(), q.Member); err != nil {
-				log.Printf("oassis-server: store issued: %v", err)
-			}
-		}
-	}
-	if changed {
-		s.broadcastLocked()
-	}
-}
-
-// broadcastLocked wakes every long-polling handler. Caller holds s.mu.
-func (s *server) broadcastLocked() {
-	close(s.notify)
-	s.notify = make(chan struct{})
-}
-
-// shutdown flushes and closes the store (if any) after the HTTP listener
-// has stopped, so every answer accepted before the shutdown is durable.
-func (s *server) shutdown() error {
-	if s.store == nil {
-		return nil
-	}
-	return s.store.Close()
-}
-
-// routes builds the server mux. debug additionally mounts the pprof
-// endpoints (see mountDebug).
+// routes builds the server mux: tenant-scoped routes under /t/{tenant},
+// legacy aliases on the default tenant, and the observability endpoints
+// (pprof only with debug).
 func (s *server) routes(debug bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.obs.instrument("index", s.handleIndex))
-	mux.HandleFunc("POST /api/join", s.obs.instrument("join", s.handleJoin))
-	mux.HandleFunc("GET /api/question", s.obs.instrument("question", s.handleQuestion))
-	mux.HandleFunc("POST /api/answer", s.obs.instrument("answer", s.handleAnswer))
-	mux.HandleFunc("GET /api/results", s.obs.instrument("results", s.handleResults))
-	mux.HandleFunc("GET /api/stats", s.obs.instrument("stats", s.handleStats))
-	mux.HandleFunc("GET /plans", s.obs.instrument("plans", s.handlePlans))
+	mux.HandleFunc("GET /t/{tenant}", s.obs.instrument("index", s.handleIndex))
+	mux.HandleFunc("GET /t/{tenant}/", s.obs.instrument("index", s.handleIndex))
+	mux.HandleFunc("GET /api/tenants", s.obs.instrument("tenants", s.handleTenants))
+	for _, p := range []string{"", "/t/{tenant}"} {
+		mux.HandleFunc("POST "+p+"/api/join", s.obs.instrument("join", s.handleJoin))
+		mux.HandleFunc("GET "+p+"/api/question", s.obs.instrument("question", s.handleQuestion))
+		mux.HandleFunc("POST "+p+"/api/answer", s.obs.instrument("answer", s.handleAnswer))
+		mux.HandleFunc("POST "+p+"/api/query", s.obs.instrument("query", s.handleQuery))
+		mux.HandleFunc("GET "+p+"/api/results", s.obs.instrument("results", s.handleResults))
+		mux.HandleFunc("GET "+p+"/api/stats", s.obs.instrument("stats", s.handleStats))
+		mux.HandleFunc("GET "+p+"/plans", s.obs.instrument("plans", s.handlePlans))
+	}
 	s.mountDebug(mux, debug)
 	return mux
 }
 
-// handlePlans is the planner introspection route: the domain fingerprint
-// and every plan in the per-domain cache, serialized as the reviewable
-// IR (terms resolved to names), with the fingerprint of the plan the
-// running session executes.
-func (s *server) handlePlans(w http.ResponseWriter, r *http.Request) {
-	cached := s.domain.Plans().Plans()
-	out := struct {
-		Domain  string            `json:"domain"`
-		Session string            `json:"session_plan"`
-		Plans   []json.RawMessage `json:"plans"`
-	}{
-		Domain:  s.domain.Fingerprint(),
-		Session: s.plan.Fingerprint(),
-		Plans:   make([]json.RawMessage, 0, len(cached)),
+// tenant resolves the request's tenant: the {tenant} path value, or the
+// default tenant on the legacy routes.
+func (s *server) tenant(r *http.Request) (*serve.Tenant, error) {
+	name := r.PathValue("tenant")
+	if name == "" {
+		name = defaultTenant
 	}
-	for _, p := range cached {
-		js, err := p.MarshalJSON()
-		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-			return
-		}
-		out.Plans = append(out.Plans, js)
-	}
-	writeJSON(w, http.StatusOK, out)
+	return s.reg.Tenant(name)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -266,16 +117,50 @@ func httpError(w http.ResponseWriter, status int, format string, args ...interfa
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// serveError maps the serving tier's typed errors onto HTTP statuses:
+// overload is 429 with a Retry-After hint, the unknown-thing family is
+// 404, a stale answer is 409, and a closed registry is 503.
+func (s *server) serveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.reg.RetryAfter().Seconds()))))
+		httpError(w, http.StatusTooManyRequests, "%s", err)
+	case errors.Is(err, serve.ErrUnknownTenant),
+		errors.Is(err, serve.ErrUnknownSession),
+		errors.Is(err, serve.ErrUnknownMember):
+		httpError(w, http.StatusNotFound, "%s", err)
+	case errors.Is(err, serve.ErrNoPending):
+		httpError(w, http.StatusConflict, "%s", err)
+	case errors.Is(err, serve.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%s", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%s", err)
+	}
+}
+
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
+	if r.PathValue("tenant") == "" && r.URL.Path != "/" {
 		http.NotFound(w, r)
+		return
+	}
+	if _, err := s.tenant(r); err != nil {
+		s.serveError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, indexHTML)
 }
 
+func (s *server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"tenants": s.reg.Tenants()})
+}
+
 func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r)
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
 	var req struct {
 		Name string `json:"name"`
 	}
@@ -283,133 +168,132 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "a display name is required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.nextIdx >= len(s.slots) {
-		httpError(w, http.StatusConflict, "the crowd is full (%d members)", len(s.slots))
+	id, err := t.Join(strings.TrimSpace(req.Name))
+	if err != nil {
+		if errors.Is(err, serve.ErrClosed) {
+			s.serveError(w, err)
+			return
+		}
+		httpError(w, http.StatusConflict, "%s", err)
 		return
 	}
-	id := s.slots[s.nextIdx]
-	s.nextIdx++
-	s.names[id] = strings.TrimSpace(req.Name)
-	if s.store != nil {
-		if err := s.store.AppendJoin(id, s.names[id]); err != nil {
-			log.Printf("oassis-server: store join: %v", err)
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"member": id})
+	writeJSON(w, http.StatusOK, map[string]string{"member": id, "tenant": t.Name()})
 }
 
-// questionJSON is the wire form of a question.
+// questionJSON is the wire form of a question. Session addresses the
+// hosting session within the tenant; clients echo it back in the answer.
 type questionJSON struct {
 	Type    string   `json:"type"` // concrete | specialize | wait | done
+	Session string   `json:"session,omitempty"`
 	ID      int      `json:"id,omitempty"`
 	Text    string   `json:"text,omitempty"`
 	Choices []string `json:"choices,omitempty"`
 	Scale   []string `json:"scale,omitempty"`
 }
 
-func (s *server) memberKnown(id string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.names[id]
-	return ok
-}
-
 func (s *server) handleQuestion(w http.ResponseWriter, r *http.Request) {
-	member := r.URL.Query().Get("member")
-	if !s.memberKnown(member) {
-		httpError(w, http.StatusNotFound, "unknown member %q", member)
+	t, err := s.tenant(r)
+	if err != nil {
+		s.serveError(w, err)
 		return
 	}
+	member := r.URL.Query().Get("member")
 	start := time.Now()
-	deadline := time.NewTimer(s.poll)
-	defer deadline.Stop()
-	for {
-		s.mu.Lock()
-		s.refillLocked()
-		// A pending question (possibly from before a client reload) is
-		// resent as-is.
-		if p := s.pending[member]; p != nil {
-			resp := s.renderQuestion(p)
-			s.mu.Unlock()
-			s.obs.longpolled("question", start)
-			writeJSON(w, http.StatusOK, resp)
-			return
-		}
-		if s.finished {
-			s.mu.Unlock()
-			s.obs.longpolled("done", start)
-			writeJSON(w, http.StatusOK, questionJSON{Type: "done"})
-			return
-		}
-		notify := s.notify
-		s.mu.Unlock()
-		// Long-poll: wake on new questions, give up at the poll deadline,
-		// and drop the work when the client goes away.
-		select {
-		case <-notify:
-		case <-deadline.C:
-			s.obs.longpolled("timeout", start)
-			writeJSON(w, http.StatusOK, questionJSON{Type: "wait"})
-			return
-		case <-r.Context().Done():
+	q, out, err := t.Poll(r.Context(), member, s.poll)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client went away; there is nobody to write to.
 			s.obs.longpolled("disconnect", start)
 			return
 		}
+		s.serveError(w, err)
+		return
+	}
+	switch out {
+	case serve.OutcomeQuestion:
+		s.obs.longpolled("question", start)
+		writeJSON(w, http.StatusOK, s.renderQuestion(t, q))
+	case serve.OutcomeDone, serve.OutcomeShutdown:
+		// Shutdown deliberately reads as "done" on the wire: parked
+		// waiters wake immediately and the client stops polling instead
+		// of riding out the timeout against a dying server.
+		s.obs.longpolled("done", start)
+		writeJSON(w, http.StatusOK, questionJSON{Type: "done"})
+	default:
+		s.obs.longpolled("timeout", start)
+		writeJSON(w, http.StatusOK, questionJSON{Type: "wait"})
 	}
 }
 
-// renderQuestion builds the wire form; the caller holds s.mu.
-func (s *server) renderQuestion(p *pendingQuestion) questionJSON {
+// renderQuestion builds the wire form of a serving-tier question.
+func (s *server) renderQuestion(t *serve.Tenant, q serve.Question) questionJSON {
 	var scale []string
 	for _, a := range crowd.AnswerScale {
 		scale = append(scale, a.Label)
 	}
-	if p.q.Specialization() {
-		choices := make([]string, len(p.q.Choices))
-		for i, c := range p.q.Choices {
-			choices[i] = c.Format(s.voc)
+	if q.Kind == core.KindSpecialization {
+		choices := make([]string, len(q.Choices))
+		for i, c := range q.Choices {
+			choices[i] = c.Format(t.Voc())
 		}
 		return questionJSON{
 			Type:    "specialize",
-			ID:      p.id,
+			Session: q.Session,
+			ID:      q.ID,
 			Text:    "Can you be more specific? Pick what you do significantly often:",
 			Choices: choices,
 			Scale:   scale,
 		}
 	}
 	return questionJSON{
-		Type:  "concrete",
-		ID:    p.id,
-		Text:  s.tpl.Concrete(p.q.Facts),
-		Scale: scale,
+		Type:    "concrete",
+		Session: q.Session,
+		ID:      q.ID,
+		Text:    s.templates(t).Concrete(q.Facts),
+		Scale:   scale,
 	}
 }
 
 func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r)
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
 	var req struct {
-		Member string `json:"member"`
-		ID     int    `json:"id"`
-		Level  *int   `json:"level"`  // 0..4 on the five-level scale
-		Choice *int   `json:"choice"` // specialization pick
-		None   bool   `json:"none"`   // none of these
-		Skip   bool   `json:"skip"`   // prefer concrete questions
+		Member  string `json:"member"`
+		Session string `json:"session"`
+		ID      int    `json:"id"`
+		Level   *int   `json:"level"`  // 0..4 on the five-level scale
+		Choice  *int   `json:"choice"` // specialization pick
+		None    bool   `json:"none"`   // none of these
+		Skip    bool   `json:"skip"`   // prefer concrete questions
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad answer payload")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := s.pending[req.Member]
-	if p == nil || p.id != req.ID {
-		httpError(w, http.StatusConflict, "no pending question with id %d", req.ID)
+	// Find the pending question to learn its kind before converting the
+	// wire answer; the submit below revalidates under the shard lock.
+	var q serve.Question
+	var ok bool
+	if req.Session != "" {
+		sess, err := t.Session(req.Session)
+		if err != nil {
+			s.serveError(w, err)
+			return
+		}
+		if q, ok = sess.Pending(req.Member); ok && q.ID != req.ID {
+			ok = false
+		}
+	} else {
+		q, ok = t.Pending(req.Member, req.ID)
+	}
+	if !ok {
+		s.serveError(w, fmt.Errorf("%w %d for member %q in tenant %q",
+			serve.ErrNoPending, req.ID, req.Member, t.Name()))
 		return
 	}
-	delete(s.pending, req.Member)
-	s.answers[req.Member]++
-
 	level := func() float64 {
 		if req.Level == nil || *req.Level < 0 || *req.Level > 4 {
 			return 0
@@ -418,46 +302,110 @@ func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 	var ans core.Answer
 	switch {
-	case !p.q.Specialization():
+	case q.Kind != core.KindSpecialization:
 		ans = core.AnswerSupport(level())
 	case req.Skip:
 		ans = core.AnswerDecline()
 	case req.None:
 		ans = core.AnswerNoneOfThese()
-	case req.Choice != nil && *req.Choice >= 0 && *req.Choice < len(p.q.Choices):
+	case req.Choice != nil && *req.Choice >= 0 && *req.Choice < len(q.Choices):
 		ans = core.AnswerChoice(*req.Choice, level())
 	default:
 		ans = core.AnswerDecline()
 	}
-	// Answers to questions the run retired (the round moved on while the
-	// member was thinking) are buffered or dropped by the session; either
-	// way the member's star count already credited the effort.
-	if err := s.sess.Submit(p.q.ID, ans); err != nil {
-		log.Printf("oassis-server: submit: %v", err)
+	if err := t.Answer(q.Session, req.Member, q.ID, ans); err != nil {
+		s.serveError(w, err)
+		return
 	}
-	s.refillLocked()
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.refillLocked()
-	res := s.result
-	s.mu.Unlock()
-	if res == nil {
-		writeJSON(w, http.StatusOK, map[string]interface{}{"done": false})
+// handleQuery opens a new session for a query posted to the tenant —
+// how new query workloads are admitted without redeploying.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r)
+	if err != nil {
+		s.serveError(w, err)
 		return
+	}
+	var req struct {
+		Query string `json:"query"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Query) == "" {
+		httpError(w, http.StatusBadRequest, "a query is required")
+		return
+	}
+	q, err := oassisql.Parse(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	sess, err := t.Open(q)
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"session": sess.ID(),
+		"plan":    sess.Plan().Fingerprint(),
+		"shard":   sess.Shard(),
+	})
+}
+
+// sessionResult renders one session's result block.
+func (s *server) sessionResult(t *serve.Tenant, sess *serve.Session) map[string]interface{} {
+	res, done := sess.Result()
+	out := map[string]interface{}{
+		"session": sess.ID(),
+		"done":    done,
+	}
+	if !done {
+		return out
 	}
 	var msps []string
 	for _, m := range res.ValidMSPs {
-		msps = append(msps, s.sp.Instantiate(m).Format(s.voc))
+		msps = append(msps, sess.Space().Instantiate(m).Format(t.Voc()))
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"done":      true,
-		"msps":      msps,
-		"questions": res.Stats.TotalQuestions,
-		"unique":    res.Stats.UniqueQuestions,
-	})
+	out["msps"] = msps
+	out["questions"] = res.Stats.TotalQuestions
+	out["unique"] = res.Stats.UniqueQuestions
+	return out
+}
+
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r)
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
+	if id := r.URL.Query().Get("session"); id != "" {
+		sess, err := t.Session(id)
+		if err != nil {
+			s.serveError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.sessionResult(t, sess))
+		return
+	}
+	sessions := t.Sessions()
+	switch len(sessions) {
+	case 0:
+		writeJSON(w, http.StatusOK, map[string]interface{}{"done": false})
+	case 1:
+		// Single-session tenants keep the legacy shape.
+		writeJSON(w, http.StatusOK, s.sessionResult(t, sessions[0]))
+	default:
+		all := true
+		blocks := make([]map[string]interface{}, 0, len(sessions))
+		for _, sess := range sessions {
+			b := s.sessionResult(t, sess)
+			if b["done"] == false {
+				all = false
+			}
+			blocks = append(blocks, b)
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"done": all, "sessions": blocks})
+	}
 }
 
 // star awards the §6.2 virtual rewards.
@@ -475,25 +423,64 @@ func star(answers int) string {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r)
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
 	type row struct {
 		Name    string `json:"name"`
 		Answers int    `json:"answers"`
 		Star    string `json:"star,omitempty"`
 	}
-	s.mu.Lock()
-	var rows []row
-	for id, n := range s.answers {
-		rows = append(rows, row{Name: s.names[id], Answers: n, Star: star(n)})
+	rows := make([]row, 0, 20)
+	for _, b := range t.Leaderboard() {
+		rows = append(rows, row{Name: b.Name, Answers: b.Answers, Star: star(b.Answers)})
 	}
-	s.mu.Unlock()
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Answers != rows[j].Answers {
-			return rows[i].Answers > rows[j].Answers
-		}
-		return rows[i].Name < rows[j].Name
-	})
 	if len(rows) > 20 { // the paper's statistics page commends the top 20
 		rows = rows[:20]
 	}
 	writeJSON(w, http.StatusOK, rows)
+}
+
+// handlePlans is the planner introspection route: the tenant's domain
+// fingerprint, every plan in its per-domain cache (serialized as the
+// reviewable IR), and the plan each live session executes.
+func (s *server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r)
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
+	sessions := t.Sessions()
+	sessPlans := make(map[string]string, len(sessions))
+	for _, sess := range sessions {
+		sessPlans[sess.ID()] = sess.Plan().Fingerprint()
+	}
+	out := struct {
+		Tenant   string            `json:"tenant"`
+		Domain   string            `json:"domain"`
+		Session  string            `json:"session_plan,omitempty"`
+		Sessions map[string]string `json:"sessions"`
+		Plans    []json.RawMessage `json:"plans"`
+	}{
+		Tenant:   t.Name(),
+		Domain:   t.Domain().Fingerprint(),
+		Sessions: sessPlans,
+	}
+	// Single-session tenants keep the legacy session_plan field.
+	if len(sessions) == 1 {
+		out.Session = sessions[0].Plan().Fingerprint()
+	}
+	cached := t.Domain().Plans().Plans()
+	out.Plans = make([]json.RawMessage, 0, len(cached))
+	for _, p := range cached {
+		js, err := p.MarshalJSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%s", err)
+			return
+		}
+		out.Plans = append(out.Plans, js)
+	}
+	writeJSON(w, http.StatusOK, out)
 }

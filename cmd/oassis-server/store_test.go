@@ -3,6 +3,7 @@ package main
 import (
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"oassis/internal/crowd"
 	"oassis/internal/oassisql"
 	"oassis/internal/ontology"
+	"oassis/internal/serve"
 	"oassis/internal/store"
 )
 
@@ -30,7 +32,7 @@ func answerOne(t *testing.T, base, member string, s *ontology.Sample, db *crowd.
 		}
 		level := int(crowd.FiveLevel(db.Support(fs)) / 0.25)
 		resp, _ := postJSON(t, base+"/api/answer", map[string]interface{}{
-			"member": member, "id": q.ID, "level": level,
+			"member": member, "session": q.Session, "id": q.ID, "level": level,
 		})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("answer rejected: %d", resp.StatusCode)
@@ -42,23 +44,40 @@ func answerOne(t *testing.T, base, member string, s *ontology.Sample, db *crowd.
 	}
 }
 
-// TestServerKillAndRestartResumes kills a -store server mid-query and
+// newStoreServer stands up a single-tenant server whose default tenant is
+// durable under dir (in-memory when dir is empty) and runs serverQuery.
+// The registry is returned so the test can kill the server (Close) and
+// restart it against the same directory.
+func newStoreServer(t *testing.T, dir string) (*serve.Registry, *serve.Tenant, *httptest.Server) {
+	t.Helper()
+	s := ontology.NewSample()
+	reg := serve.NewRegistry(serve.Config{})
+	t.Cleanup(func() { _ = reg.Close() })
+	tn, err := reg.AddTenant(serve.TenantConfig{
+		Name: defaultTenant, Voc: s.Voc, Onto: s.Onto,
+		Members: 2, AnswersPerQuestion: 1, StoreDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EnsureSession resumes a recovered session of the same plan instead
+	// of forking a duplicate.
+	if _, _, err := tn.EnsureSession(oassisql.MustParse(serverQuery)); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(reg, nil, 100*time.Millisecond)
+	ts := httptest.NewServer(srv.routes(false))
+	t.Cleanup(ts.Close)
+	return reg, tn, ts
+}
+
+// TestServerKillAndRestartResumes kills a durable server mid-query and
 // restarts it against the same directory: the member keeps their slot and
 // leaderboard score, no already-answered question is re-asked, and the
 // session completes with the same MSPs as an uninterrupted run.
 func TestServerKillAndRestartResumes(t *testing.T) {
 	s := ontology.NewSample()
-	q := oassisql.MustParse(serverQuery)
 	u1, _ := crowd.SampleDBs(s)
-	newSrv := func(st *store.Store, rec *store.Recovered) (*server, *httptest.Server) {
-		srv, err := newServer(s.Voc, s.Onto, q, 2, 1, 100*time.Millisecond, st, rec, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ts := httptest.NewServer(srv.routes(false))
-		t.Cleanup(ts.Close)
-		return srv, ts
-	}
 	finish := func(ts *httptest.Server, banned map[string]bool) []string {
 		var texts []string
 		deadline := time.Now().Add(30 * time.Second)
@@ -80,7 +99,7 @@ func TestServerKillAndRestartResumes(t *testing.T) {
 	}
 
 	// Reference: uninterrupted storeless run with the same single member.
-	_, ts0 := newSrv(nil, nil)
+	_, _, ts0 := newStoreServer(t, "")
 	postJSON(t, ts0.URL+"/api/join", map[string]string{"name": "ann"})
 	refTexts := finish(ts0, nil)
 	var ref struct {
@@ -93,11 +112,7 @@ func TestServerKillAndRestartResumes(t *testing.T) {
 
 	// Phase 1: answer a prefix, then kill the server.
 	dir := t.TempDir()
-	st1, rec1, err := store.Open(dir, store.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, ts1 := newSrv(st1, rec1)
+	reg1, _, ts1 := newStoreServer(t, dir)
 	resp, body := postJSON(t, ts1.URL+"/api/join", map[string]string{"name": "ann"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("join: %v", body)
@@ -127,42 +142,52 @@ func TestServerKillAndRestartResumes(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts1.Close()
-	if err := st1.Close(); err != nil {
+	if err := reg1.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Phase 2: restart against the same directory.
-	st2, rec2, err := store.Open(dir, store.Options{})
+	// Inspect the raw session store: the prefix answers are durable and
+	// the question handed out at the kill is recovered as in flight — and
+	// no in-flight record duplicates a recovered answer.
+	sessDirs, err := filepath.Glob(filepath.Join(dir, "shard-*", "s*"))
+	if err != nil || len(sessDirs) != 1 {
+		t.Fatalf("session store dirs = %v (err %v), want exactly 1", sessDirs, err)
+	}
+	stRaw, rec, err := store.Open(sessDirs[0], store.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rec2.Answers) != stop {
-		t.Fatalf("recovered %d answers, want %d", len(rec2.Answers), stop)
+	if len(rec.Answers) != stop {
+		t.Fatalf("recovered %d answers, want %d", len(rec.Answers), stop)
 	}
-	// The question handed out at the kill is recovered as in flight — and
-	// no in-flight record duplicates a recovered answer (issued questions
-	// whose answers landed are not in flight).
 	foundInFlight := false
-	for _, r := range rec2.InFlight {
+	for _, r := range rec.InFlight {
 		if r.Member == "p00" && r.Question == killedFS.Key() {
 			foundInFlight = true
 		}
-		for _, a := range rec2.Answers {
+		for _, a := range rec.Answers {
 			if a.Question == r.Question && a.Member == r.Member {
 				t.Fatalf("in-flight question %q/%s also recovered as answered", r.Question, r.Member)
 			}
 		}
 	}
 	if !foundInFlight {
-		t.Fatalf("question in flight at the kill not recovered (in-flight: %v)", rec2.InFlight)
+		t.Fatalf("question in flight at the kill not recovered (in-flight: %v)", rec.InFlight)
 	}
-	srv2, ts2 := newSrv(st2, rec2)
-	defer srv2.shutdown()
+	if err := stRaw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: restart against the same directory.
+	reg2, tn2, ts2 := newStoreServer(t, dir)
 
 	// The roster survived: ann still owns p00, no re-join needed, and the
 	// leaderboard still credits her prefix answers.
-	if !srv2.memberKnown("p00") {
+	if !tn2.MemberKnown("p00") {
 		t.Fatal("member lost across restart")
+	}
+	if n := len(tn2.Sessions()); n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
 	}
 	var rows []struct {
 		Name    string `json:"name"`
@@ -196,18 +221,17 @@ func TestServerKillAndRestartResumes(t *testing.T) {
 			t.Fatalf("MSPs after restart = %v, want %v", res.MSPs, ref.MSPs)
 		}
 	}
+	ts2.Close()
+	if err := reg2.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	// A second restart of a finished session recovers everything and
 	// reports done immediately.
-	st3, rec3, err := store.Open(dir, store.Options{})
-	if err != nil {
-		t.Fatal(err)
+	_, tn3, ts3 := newStoreServer(t, dir)
+	if got := len(tn3.Sessions()); got != 1 {
+		t.Fatalf("finished store recovered %d sessions, want 1", got)
 	}
-	if len(rec3.Answers) != len(refTexts) {
-		t.Fatalf("finished store holds %d answers, want %d", len(rec3.Answers), len(refTexts))
-	}
-	srv3, ts3 := newSrv(st3, rec3)
-	defer srv3.shutdown()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		if time.Now().After(deadline) {
@@ -224,44 +248,34 @@ func TestServerKillAndRestartResumes(t *testing.T) {
 	}
 }
 
-// TestServerStoreQueryMismatch refuses to replay a store into a different
-// query.
-func TestServerStoreQueryMismatch(t *testing.T) {
+// TestServerStoreBadJournal refuses to recover a tenant whose session
+// store journaled an unparseable query — recovery recompiles every
+// session from its own journal, so a corrupt journal must fail loudly
+// instead of silently dropping the session.
+func TestServerStoreBadJournal(t *testing.T) {
 	s := ontology.NewSample()
 	dir := t.TempDir()
-	st, rec, err := store.Open(dir, store.Options{})
+	st, _, err := store.Open(filepath.Join(dir, "shard-0", "s0001"), store.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newServer(s.Voc, s.Onto, oassisql.MustParse(serverQuery), 1, 1,
-		time.Second, st, rec, nil); err != nil {
+	if err := st.BindSession("THIS IS NOT OASSIS-QL"); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
-	st2, rec2, err := store.Open(dir, store.Options{})
-	if err != nil {
-		t.Fatal(err)
+
+	reg := serve.NewRegistry(serve.Config{})
+	defer reg.Close()
+	_, err = reg.AddTenant(serve.TenantConfig{
+		Name: "a", Voc: s.Voc, Onto: s.Onto, StoreDir: dir,
+	})
+	if err == nil {
+		t.Fatal("corrupt journaled query accepted")
 	}
-	defer st2.Close()
-	other := oassisql.MustParse(resumeAltQuery)
-	if _, err := newServer(s.Voc, s.Onto, other, 1, 1, time.Second, st2, rec2, nil); err == nil {
-		t.Fatal("different query accepted against a bound store")
+	if !strings.Contains(err.Error(), "journaled query") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }
-
-// resumeAltQuery differs from serverQuery (higher support threshold).
-const resumeAltQuery = `
-SELECT FACT-SETS
-WHERE
-  $w subClassOf* Attraction.
-  $x instanceOf $w.
-  $x inside NYC.
-  $x hasLabel "child-friendly".
-  $y subClassOf* Activity
-SATISFYING
-  $y doAt $x
-WITH SUPPORT = 0.6
-`
 
 // TestServerStorePlanDrift refuses to replay a store whose journaled plan
 // fingerprint no longer matches what the query compiles to — the same
@@ -271,7 +285,7 @@ func TestServerStorePlanDrift(t *testing.T) {
 	s := ontology.NewSample()
 	q := oassisql.MustParse(serverQuery)
 	dir := t.TempDir()
-	st, _, err := store.Open(dir, store.Options{})
+	st, _, err := store.Open(filepath.Join(dir, "shard-0", "s0001"), store.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,15 +297,11 @@ func TestServerStorePlanDrift(t *testing.T) {
 	}
 	st.Close()
 
-	st2, rec2, err := store.Open(dir, store.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer st2.Close()
-	if rec2.Plan != "sha256:recorded-under-another-domain" {
-		t.Fatalf("recovered plan = %q", rec2.Plan)
-	}
-	_, err = newServer(s.Voc, s.Onto, q, 1, 1, time.Second, st2, rec2, nil)
+	reg := serve.NewRegistry(serve.Config{})
+	defer reg.Close()
+	_, err = reg.AddTenant(serve.TenantConfig{
+		Name: "a", Voc: s.Voc, Onto: s.Onto, StoreDir: dir,
+	})
 	if err == nil {
 		t.Fatal("drifted plan fingerprint accepted against a bound store")
 	}

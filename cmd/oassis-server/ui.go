@@ -44,12 +44,15 @@ const indexHTML = `<!doctype html>
   <ul id="results"></ul>
 </div>
 <script>
+// Tenant-scoped pages live under /t/{tenant}/; API calls stay inside the
+// same tenant. The legacy root page talks to the default tenant.
+const base = (location.pathname.match(/^\/t\/[^\/]+/) || [''])[0];
 let member = null, pending = null;
 
 async function join() {
   const name = document.getElementById('name').value.trim();
   if (!name) return;
-  const r = await fetch('/api/join', {method:'POST', body: JSON.stringify({name})});
+  const r = await fetch(base + '/api/join', {method:'POST', body: JSON.stringify({name})});
   const body = await r.json();
   if (!r.ok) { document.getElementById('join-msg').textContent = body.error; return; }
   member = body.member;
@@ -60,7 +63,7 @@ async function join() {
 
 async function loop() {
   while (member) {
-    const r = await fetch('/api/question?member=' + member);
+    const r = await fetch(base + '/api/question?member=' + member);
     const q = await r.json();
     if (q.type === 'done') { showDone(); return; }
     if (q.type === 'wait') continue;
@@ -98,8 +101,8 @@ function addBtn(box, label, fn) {
 }
 
 async function answer(a) {
-  a.member = member; a.id = pending.id;
-  await fetch('/api/answer', {method:'POST', body: JSON.stringify(a)});
+  a.member = member; a.id = pending.id; a.session = pending.session;
+  await fetch(base + '/api/answer', {method:'POST', body: JSON.stringify(a)});
   document.getElementById('question').textContent = 'thanks! next question…';
   document.getElementById('answers').innerHTML = '';
   refreshBoard();
@@ -114,7 +117,7 @@ function showDone() {
 }
 
 async function refreshBoard() {
-  const rows = await (await fetch('/api/stats')).json();
+  const rows = await (await fetch(base + '/api/stats')).json();
   const t = document.getElementById('board');
   t.innerHTML = '<tr><th>member</th><th>answers</th></tr>';
   (rows || []).forEach(r => {
@@ -130,7 +133,7 @@ async function refreshBoard() {
 }
 
 async function refreshResults() {
-  const res = await (await fetch('/api/results')).json();
+  const res = await (await fetch(base + '/api/results')).json();
   if (!res.done) return;
   document.getElementById('results-card').style.display = '';
   const ul = document.getElementById('results');

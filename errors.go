@@ -6,6 +6,7 @@ import (
 
 	"oassis/internal/core"
 	"oassis/internal/oassisql"
+	"oassis/internal/serve"
 )
 
 // ErrNotFrozen is returned by Exec and NewSession when the DB has not been
@@ -24,6 +25,19 @@ var (
 	// ErrUnknownQuestion is returned by Session.Submit for a question ID
 	// the session never issued or has already consumed an answer for.
 	ErrUnknownQuestion = core.ErrUnknownQuestion
+)
+
+// Serving-tier errors, re-exported from the sharded multi-tenant tier
+// behind oassis-server so embedding applications can errors.Is against
+// the conditions the server maps to HTTP statuses (429 and 404).
+var (
+	// ErrOverloaded is returned by the serving tier when admission control
+	// sheds a long-poll — the global in-flight budget or a shard's waiter
+	// queue is exhausted. oassis-server maps it to 429 with a Retry-After.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrUnknownTenant is returned for a tenant name the serving registry
+	// does not host. oassis-server maps it to 404.
+	ErrUnknownTenant = serve.ErrUnknownTenant
 )
 
 // ErrUnknownTerm reports a triple naming a term absent from the DB's

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oassis/internal/core"
+	"oassis/internal/oassisql"
+	"oassis/internal/obs"
+	"oassis/internal/ontology"
+	"oassis/internal/serve"
+)
+
+// servingMembers is the roster size of every bench tenant: 8 members ×
+// the tenant count gives the driver goroutines.
+const servingMembers = 8
+
+// servingSupports are the four query variants each tenant serves; each
+// support threshold compiles to a distinct plan fingerprint, so every
+// tenant exercises plan sharing (sessions/4 sessions per compiled plan)
+// and all four of its shards.
+var servingSupports = []float64{0.3, 0.4, 0.5, 0.6}
+
+func servingQuery(support float64) string {
+	return fmt.Sprintf(`
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt $x
+WITH SUPPORT = %.1f
+`, support)
+}
+
+// servingAnswer answers a serving-tier question deterministically: the
+// support level is a pure hash of the asked facts, so every run (and
+// every session of the same plan) mines identical MSPs without any
+// per-member state.
+func servingAnswer(q serve.Question) core.Answer {
+	h := fnv.New32a()
+	h.Write([]byte(q.Facts.Key()))
+	level := float64(h.Sum32()%5) * 0.25
+	if q.Kind != core.KindSpecialization {
+		return core.AnswerSupport(level)
+	}
+	if len(q.Choices) > 0 && level >= 0.5 {
+		return core.AnswerChoice(0, level)
+	}
+	return core.AnswerNoneOfThese()
+}
+
+// Serving benchmarks the multi-tenant serving tier: `tenants` tenants on
+// one registry, `sessions` concurrent sessions spread round-robin across
+// them (four query variants each, so plans are shared), driven to
+// completion by 8 member goroutines per tenant. The report is one row per
+// tenant — sessions hosted, answers, polls, sheds, and the dispatch
+// p50/p99 — plus a totals row; the p99 column is read back from the
+// scrapeable oassis_serve_dispatch_p99_microseconds gauge, proving the
+// quantile is available on /metrics without server-side PromQL.
+func Serving(sessions, tenants int) (*Report, error) {
+	if tenants <= 0 {
+		tenants = 4
+	}
+	if sessions < tenants {
+		sessions = tenants
+	}
+	met := obs.NewRegistry()
+	reg := serve.NewRegistry(serve.Config{Metrics: met})
+	defer reg.Close()
+
+	sample := ontology.NewSample()
+	queries := make([]*oassisql.Query, len(servingSupports))
+	for i, s := range servingSupports {
+		q, err := oassisql.Parse(servingQuery(s))
+		if err != nil {
+			return nil, err
+		}
+		queries[i] = q
+	}
+
+	hosts := make([]*serve.Tenant, tenants)
+	for i := range hosts {
+		t, err := reg.AddTenant(serve.TenantConfig{
+			Name: fmt.Sprintf("t%d", i), Voc: sample.Voc, Onto: sample.Onto,
+			Members: servingMembers, Shards: 4, AnswersPerQuestion: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for m := 0; m < servingMembers; m++ {
+			if _, err := t.Join(fmt.Sprintf("driver-%02d", m)); err != nil {
+				return nil, err
+			}
+		}
+		hosts[i] = t
+	}
+
+	openStart := time.Now()
+	for j := 0; j < sessions; j++ {
+		if _, err := hosts[j%tenants].Open(queries[j%len(queries)]); err != nil {
+			return nil, err
+		}
+	}
+	openWall := time.Since(openStart)
+
+	// Drive every tenant's roster until its sessions have all finished.
+	answered := make([]atomic.Int64, tenants)
+	errs := make([]error, tenants*servingMembers)
+	driveStart := time.Now()
+	var wg sync.WaitGroup
+	for ti, t := range hosts {
+		for m := 0; m < servingMembers; m++ {
+			wg.Add(1)
+			go func(slot int, ti int, t *serve.Tenant, member string) {
+				defer wg.Done()
+				ctx := context.Background()
+				for {
+					q, out, err := t.Poll(ctx, member, 100*time.Millisecond)
+					if err != nil {
+						if errors.Is(err, serve.ErrOverloaded) {
+							time.Sleep(time.Millisecond)
+							continue
+						}
+						errs[slot] = err
+						return
+					}
+					switch out {
+					case serve.OutcomeQuestion:
+						err := t.Answer(q.Session, member, q.ID, servingAnswer(q))
+						if errors.Is(err, serve.ErrNoPending) {
+							// The session finished off another member's answer
+							// while this question was in flight; re-poll.
+							continue
+						}
+						if err != nil {
+							errs[slot] = err
+							return
+						}
+						answered[ti].Add(1)
+					case serve.OutcomeDone, serve.OutcomeShutdown:
+						return
+					}
+				}
+			}(ti*servingMembers+m, ti, t, fmt.Sprintf("p%02d", m))
+		}
+	}
+	wg.Wait()
+	driveWall := time.Since(driveStart)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	snap := met.Snapshot()
+	// sumLabeled totals a counter family's snapshot entries for one tenant.
+	sumLabeled := func(family, tenant string) float64 {
+		total := 0.0
+		needle := fmt.Sprintf(`tenant="%s"`, tenant)
+		for key, v := range snap {
+			if strings.HasPrefix(key, family+"{") && strings.Contains(key, needle) {
+				total += v
+			}
+		}
+		return total
+	}
+
+	r := &Report{
+		ID: "serving",
+		Title: fmt.Sprintf("multi-tenant serving tier (%d sessions, %d tenants, %d drivers)",
+			sessions, tenants, tenants*servingMembers),
+		Header: []string{"tenant", "shards", "sessions", "done", "answers",
+			"polls", "sheds", "p50 µs", "p99 µs"},
+	}
+	var totalDone, totalAnswers int
+	for i, t := range hosts {
+		name := t.Name()
+		done := 0
+		for _, s := range t.Sessions() {
+			if s.Done() {
+				done++
+			}
+		}
+		totalDone += done
+		totalAnswers += int(answered[i].Load())
+		dispatch := met.Histogram("oassis_serve_dispatch_seconds", "", obs.LatencyBuckets, obs.L("tenant", name))
+		p99Gauge, ok := snap[fmt.Sprintf(`oassis_serve_dispatch_p99_microseconds{tenant="%s"}`, name)]
+		if !ok {
+			return nil, fmt.Errorf("serving: tenant %s p99 gauge missing from the metrics snapshot", name)
+		}
+		r.Add(name, t.Shards(), len(t.Sessions()), done, answered[i].Load(),
+			int(sumLabeled("oassis_serve_polls_total", name)),
+			int(sumLabeled("oassis_serve_sheds_total", name)),
+			dispatch.Quantile(0.5)*1e6, p99Gauge)
+	}
+	if totalDone != sessions {
+		return nil, fmt.Errorf("serving: %d of %d sessions finished", totalDone, sessions)
+	}
+	r.Add("total", "", sessions, totalDone, totalAnswers, "", "", "", "")
+	r.Note("opened %d sessions in %s (%.0f/s), drove them dry in %s (%.0f answers/s)",
+		sessions, openWall.Round(time.Millisecond), float64(sessions)/openWall.Seconds(),
+		driveWall.Round(time.Millisecond), float64(totalAnswers)/driveWall.Seconds())
+	r.Note("4 query variants per tenant share compiled plans across sessions; p99 column is the")
+	r.Note("scrapeable oassis_serve_dispatch_p99_microseconds gauge, p50 from the histogram buckets")
+	return r, nil
+}

@@ -42,6 +42,28 @@ func DomainFingerprint(voc *vocab.Vocabulary, onto *ontology.Ontology) string {
 	return fmt.Sprintf("sha256:%x", h.Sum(nil))
 }
 
+// ShardIndex maps a plan fingerprint onto one of n shards (FNV-1a over
+// the fingerprint text, mod n). It is the serving tier's routing
+// function: because the fingerprint is a content address, every session
+// of the same compiled plan lands on the same shard — deterministically,
+// across restarts — and shares the plan's read-only tables there. n < 1
+// returns 0.
+func ShardIndex(fingerprint string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(fingerprint); i++ {
+		h ^= uint64(fingerprint[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
 // Compile analyzes query q over the frozen domain (voc, onto): it
 // evaluates the WHERE clause, resolves the SATISFYING meta-fact-set and
 // the valid base assignments, and picks the ordering policy and mining

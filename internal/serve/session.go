@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"fmt"
+	"log"
+
+	"oassis/internal/assign"
+	"oassis/internal/core"
+	"oassis/internal/oassisql"
+	"oassis/internal/plan"
+	"oassis/internal/store"
+)
+
+// logf reports a non-fatal serving-tier fault (journal write failures,
+// late submits); the tier keeps serving, matching the single-session
+// server's behavior.
+func logf(format string, args ...interface{}) { log.Printf(format, args...) }
+
+// Session is one hosted mining session: a core.Session plus its pending
+// per-member questions, its compiled plan, and (optionally) its WAL
+// store. Mutable state is guarded by the owning shard's mutex; the
+// exported methods take it, the *Locked methods expect it held.
+type Session struct {
+	id    string
+	t     *Tenant
+	sh    *shard
+	query *oassisql.Query
+	plan  *plan.Plan
+	sp    *assign.Space
+	inner *core.Session
+	st    *store.Store // nil for an in-memory tenant
+
+	// Guarded by sh.mu.
+	pending  map[string]*pendingQuestion
+	serial   int
+	finished bool
+	result   *core.Result
+}
+
+type pendingQuestion struct {
+	id int
+	q  core.Question
+}
+
+// ID returns the session's tenant-unique identifier.
+func (s *Session) ID() string { return s.id }
+
+// Query returns the session's parsed query.
+func (s *Session) Query() *oassisql.Query { return s.query }
+
+// Plan returns the compiled (shared, content-addressed) plan.
+func (s *Session) Plan() *plan.Plan { return s.plan }
+
+// Space returns the session's assignment space (for formatting results).
+func (s *Session) Space() *assign.Space { return s.sp }
+
+// Shard returns the index of the shard the session routed to.
+func (s *Session) Shard() int { return s.sh.idx }
+
+// Done reports whether the session has finished mining.
+func (s *Session) Done() bool {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	s.refillLocked()
+	return s.finished
+}
+
+// Result returns the mined result once the session has finished
+// (nil, false before that).
+func (s *Session) Result() (*core.Result, bool) {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	s.refillLocked()
+	if s.result == nil {
+		return nil, false
+	}
+	return s.result, true
+}
+
+// Pending returns the member's pending question in this session, if any
+// (for the session-addressed question route).
+func (s *Session) Pending(member string) (Question, bool) {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	s.refillLocked()
+	p := s.pending[member]
+	if p == nil {
+		return Question{}, false
+	}
+	return s.wireQuestion(p), true
+}
+
+// Submit answers the member's pending question with the given wire ID.
+func (s *Session) Submit(member string, wireID int, ans core.Answer) error {
+	return s.submit(member, wireID, ans)
+}
+
+func (s *Session) submit(member string, wireID int, ans core.Answer) error {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	p := s.pending[member]
+	if p == nil || p.id != wireID {
+		return fmt.Errorf("%w %d for member %q in session %s", ErrNoPending, wireID, member, s.id)
+	}
+	return s.submitLocked(member, p, ans)
+}
+
+// submitLocked consumes the pending question, credits the member, feeds
+// the engine, and refills. Caller holds sh.mu and has matched p.
+func (s *Session) submitLocked(member string, p *pendingQuestion, ans core.Answer) error {
+	delete(s.pending, member)
+	s.t.credit(member)
+	// Answers to questions the engine already retired (the round moved
+	// on) are buffered or dropped by the session; the member's credit
+	// stands either way.
+	if err := s.inner.Submit(p.q.ID, ans); err != nil {
+		logf("serve: %s/%s submit: %v", s.t.name, s.id, err)
+	}
+	s.refillLocked()
+	return nil
+}
+
+// refillLocked pulls the engine's answerable questions into the pending
+// slots, queues them on the shard's ready lists, journals the hand-outs,
+// and wakes pollers on any change. Caller holds sh.mu.
+func (s *Session) refillLocked() {
+	if s.finished {
+		return
+	}
+	if s.inner.Done() {
+		s.finished = true
+		s.result = s.inner.Result()
+		// Pending entries die with the session; ready-queue entries are
+		// invalidated by the cleared map and dropped lazily on take.
+		s.pending = make(map[string]*pendingQuestion)
+		s.sh.obs.live.Dec()
+		s.t.sessionFinished()
+		return
+	}
+	changed := false
+	for _, q := range s.inner.Next() {
+		if s.pending[q.Member] != nil {
+			continue
+		}
+		s.serial++
+		s.pending[q.Member] = &pendingQuestion{id: s.serial, q: q}
+		s.sh.ready[q.Member] = append(s.sh.ready[q.Member], s)
+		changed = true
+		if s.st != nil && q.Kind == core.KindConcrete {
+			// Journal the hand-out before a client sees it: an issued
+			// record without a matching answer marks a question in
+			// flight at a crash, re-issued on recovery.
+			if err := s.st.AppendIssued(q.Facts.Key(), q.Member); err != nil {
+				logf("serve: %s/%s store issued: %v", s.t.name, s.id, err)
+			}
+		}
+	}
+	if changed {
+		s.t.broadcast()
+	}
+}
+
+// wireQuestion builds the serving-tier view of a pending question.
+// Caller holds sh.mu.
+func (s *Session) wireQuestion(p *pendingQuestion) Question {
+	return Question{
+		Tenant:      s.t.name,
+		Session:     s.id,
+		ID:          p.id,
+		Member:      p.q.Member,
+		Kind:        p.q.Kind,
+		Facts:       p.q.Facts,
+		Choices:     p.q.Choices,
+		Terms:       p.q.Terms,
+		Speculative: p.q.Speculative,
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"oassis/internal/core"
+)
+
+// shard owns a disjoint subset of a tenant's sessions — the ones whose
+// plan fingerprints route to it — and serializes them behind one mutex
+// (core.Session is not safe for concurrent use). It also carries the
+// per-shard admission bookkeeping: the ready queues that make Poll
+// O(shards) instead of O(sessions), and the bounded parked-waiter count
+// charged for the members whose roster partition homes here.
+type shard struct {
+	idx int
+	t   *Tenant
+	obs *shardObs
+
+	waiters atomic.Int64
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	// ready queues sessions with a pending question per member. Entries
+	// are validated lazily on take: an entry whose session no longer has
+	// a pending question for the member (answered, finished, retired) is
+	// dropped in passing.
+	ready map[string][]*Session
+}
+
+// take returns the member's longest-waiting pending question on this
+// shard, if any. The question stays pending (a re-poll resends it);
+// answering it is what clears the queue entry.
+func (sh *shard) take(member string) (Question, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q := sh.ready[member]
+	for len(q) > 0 {
+		sess := q[0]
+		if p := sess.pending[member]; p != nil && !sess.finished {
+			sh.ready[member] = q
+			return sess.wireQuestion(p), true
+		}
+		q = q[1:]
+	}
+	if len(q) == 0 {
+		delete(sh.ready, member)
+	} else {
+		sh.ready[member] = q
+	}
+	return Question{}, false
+}
+
+// submitAny tries the member's wire ID against every session on the
+// shard — the legacy path for clients that don't speak session IDs.
+// handled reports whether a matching pending question was found.
+func (sh *shard) submitAny(member string, wireID int, ans core.Answer) (err error, handled bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, sess := range sh.sessions {
+		if p := sess.pending[member]; p != nil && p.id == wireID {
+			return sess.submitLocked(member, p, ans), true
+		}
+	}
+	return nil, false
+}
+
+// park registers a long-poll waiter against the shard's bounded queue;
+// false means the bound is hit and the caller must shed.
+func (sh *shard) park() bool {
+	if sh.waiters.Add(1) > int64(sh.t.reg.cfg.MaxWaitersPerShard) {
+		sh.waiters.Add(-1)
+		return false
+	}
+	sh.obs.waiters.Inc()
+	return true
+}
+
+func (sh *shard) unpark() {
+	sh.waiters.Add(-1)
+	sh.obs.waiters.Dec()
+}

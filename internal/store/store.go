@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"oassis/internal/core"
@@ -437,6 +438,32 @@ func (s *Store) Close() error {
 		return syncErr
 	}
 	return closeErr
+}
+
+// Scan lists the names of the immediate subdirectories of root that are
+// store directories (they hold a WAL file), sorted. It is how a serving
+// tier re-discovers the per-session stores under a tenant's shard
+// directory at boot; a missing root is an empty result, not an error —
+// a tenant that has never persisted anything recovers nothing.
+func Scan(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(root, e.Name(), walName)); err == nil {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // Dir returns the store's directory.
