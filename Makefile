@@ -77,20 +77,23 @@ cover:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/vocab ./internal/assign ./internal/core
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
-	$(GO) run ./cmd/oassis-bench -exp summary,bounds,serving -parallel 1 -out BENCH_$(BENCH_STAMP).json
+	$(GO) run ./cmd/oassis-bench -exp summary,bounds,serving,panels -parallel 1 -out BENCH_$(BENCH_STAMP).json
 	@echo "wrote BENCH_$(BENCH_STAMP).json"
 
 # One-iteration pass over every benchmark: catches bench-only compile rot
 # and hot-path panics on each PR without paying for stable timings. The
 # serving scenario rides along at 1% scale (500 sessions) as a smoke of
-# the multi-tenant serving tier under real concurrency.
+# the multi-tenant serving tier under real concurrency, and the panels
+# scenario as a smoke of panel batching (it hard-fails on result drift).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/vocab ./internal/assign ./internal/core .
-	$(GO) run ./cmd/oassis-bench -exp serving -scale 0.01 -parallel 1
+	$(GO) run ./cmd/oassis-bench -exp serving,panels -scale 0.01 -parallel 1
 
 # The perf-trajectory gate: rerun the experiments recorded in the committed
 # baseline artifact and fail on >15% wall-clock regression or any result
-# drift. Refresh the baseline (same flags!) only with a reviewed perf change:
-#   go run ./cmd/oassis-bench -exp summary,bounds -parallel 1 -out BENCH_baseline.json
+# drift (the panels scenario's round-trip counts are deterministic, so the
+# gate pins the batching efficiency too). Refresh the baseline (same
+# flags!) only with a reviewed perf change:
+#   go run ./cmd/oassis-bench -exp summary,bounds,panels -parallel 1 -out BENCH_baseline.json
 bench-compare:
 	$(GO) run ./cmd/oassis-bench -parallel 1 -compare BENCH_baseline.json

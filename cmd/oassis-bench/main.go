@@ -175,7 +175,7 @@ func sameRows(base jsonReport, r *experiments.Report) bool {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids (all, fig4a..fig4f, fig5, sweeps, summary, bounds, serving, capture, assoc)")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids (all, fig4a..fig4f, fig5, sweeps, summary, bounds, serving, panels, capture, assoc)")
 		scale    = flag.Float64("scale", 0.2, "synthetic-DAG scale factor (1 = paper's width 500)")
 		full     = flag.Bool("full", false, "use the full 248-member crowd for the domain experiments")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
@@ -248,6 +248,9 @@ func main() {
 		}},
 		{"latency", func() (*experiments.Report, error) {
 			return experiments.DispatchLatency(100*time.Millisecond, []int{1, 2, 4, 8})
+		}},
+		{"panels", func() (*experiments.Report, error) {
+			return experiments.Panels([]int{1, 4, 16})
 		}},
 		{"serving", func() (*experiments.Report, error) {
 			// -scale 0.2 (the default) is 10k concurrent sessions.

@@ -65,6 +65,7 @@ type tenantSpec struct {
 	K        int      `json:"k,omitempty"`        // answers per question (default 1)
 	Store    string   `json:"store,omitempty"`    // durable store directory
 	Queries  []string `json:"queries,omitempty"`  // query files to open at boot
+	Panel    int      `json:"panel,omitempty"`    // panel speculation width (0 = flag/default)
 }
 
 // loadDomain loads a vocabulary+ontology pair from a Turtle file, or the
@@ -98,6 +99,7 @@ func bootTenant(reg *serve.Registry, spec tenantSpec) error {
 		Shards:             spec.Shards,
 		StoreDir:           spec.Store,
 		AnswersPerQuestion: spec.K,
+		PanelSpeculation:   spec.Panel,
 	})
 	if err != nil {
 		return err
@@ -138,6 +140,7 @@ func main() {
 		shards      = flag.Int("shards", 4, "session shards per tenant (default tenant)")
 		k           = flag.Int("k", 5, "answers required per question")
 		storeDir    = flag.String("store", "", "durable answer-store directory: a restarted server resumes every session without re-asking answered questions")
+		panelSpec   = flag.Int("panel", 8, "panel speculation width: extra questions surfaced per member so GET /api/panel batches them (0 disables; results are identical either way)")
 		inflight    = flag.Int("max-inflight", 0, "global long-poll budget before 429s (0 = default 1024)")
 		waiters     = flag.Int("max-waiters", 0, "parked long-pollers per shard before 429s (0 = default 256)")
 		debug       = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (profiling endpoints are opt-in)")
@@ -169,6 +172,7 @@ func main() {
 			K:        *k,
 			Store:    *storeDir,
 			Queries:  []string{*queryFile},
+			Panel:    *panelSpec,
 		}}
 	}
 

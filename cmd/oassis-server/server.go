@@ -88,6 +88,8 @@ func (s *server) routes(debug bool) *http.ServeMux {
 		mux.HandleFunc("POST "+p+"/api/join", s.obs.instrument("join", s.handleJoin))
 		mux.HandleFunc("GET "+p+"/api/question", s.obs.instrument("question", s.handleQuestion))
 		mux.HandleFunc("POST "+p+"/api/answer", s.obs.instrument("answer", s.handleAnswer))
+		mux.HandleFunc("GET "+p+"/api/panel", s.obs.instrument("panel", s.handlePanel))
+		mux.HandleFunc("POST "+p+"/api/panel", s.obs.instrument("panel_answer", s.handlePanelAnswer))
 		mux.HandleFunc("POST "+p+"/api/query", s.obs.instrument("query", s.handleQuery))
 		mux.HandleFunc("GET "+p+"/api/results", s.obs.instrument("results", s.handleResults))
 		mux.HandleFunc("GET "+p+"/api/stats", s.obs.instrument("stats", s.handleStats))
@@ -252,6 +254,174 @@ func (s *server) renderQuestion(t *serve.Tenant, q serve.Question) questionJSON 
 		Text:    s.templates(t).Concrete(q.Facts),
 		Scale:   scale,
 	}
+}
+
+// priorJSON is the wire form of a prior-primed guess: the best-guess
+// frequency and the confidence grade that decides how the client renders
+// the item (high → one-tap confirmation, lower → open question with the
+// guess pre-selected).
+type priorJSON struct {
+	Frequency  float64 `json:"frequency"`
+	Confidence string  `json:"confidence"`
+	Source     string  `json:"source,omitempty"`
+}
+
+// panelItemJSON is one question inside a wire panel.
+type panelItemJSON struct {
+	ID          int        `json:"id"`
+	Type        string     `json:"type"` // concrete | specialize
+	Text        string     `json:"text"`
+	Choices     []string   `json:"choices,omitempty"`
+	Speculative bool       `json:"speculative,omitempty"`
+	Prior       *priorJSON `json:"prior,omitempty"`
+	Confirm     bool       `json:"confirm,omitempty"`
+}
+
+// panelJSON is the wire form of a member's question panel: one screen,
+// one round trip. The answer scale applies to every item.
+type panelJSON struct {
+	Type    string          `json:"type"` // panel | wait | done
+	Session string          `json:"session,omitempty"`
+	Member  string          `json:"member,omitempty"`
+	Items   []panelItemJSON `json:"items,omitempty"`
+	Scale   []string        `json:"scale,omitempty"`
+}
+
+// renderPanel builds the wire form of a served panel.
+func (s *server) renderPanel(t *serve.Tenant, p serve.Panel) panelJSON {
+	var scale []string
+	for _, a := range crowd.AnswerScale {
+		scale = append(scale, a.Label)
+	}
+	out := panelJSON{Type: "panel", Session: p.Session, Member: p.Member, Scale: scale}
+	for _, it := range p.Items {
+		item := panelItemJSON{ID: it.ID, Speculative: it.Speculative}
+		if it.Kind == core.KindSpecialization {
+			item.Type = "specialize"
+			item.Text = "Can you be more specific? Pick what you do significantly often:"
+			item.Choices = make([]string, len(it.Choices))
+			for i, c := range it.Choices {
+				item.Choices[i] = c.Format(t.Voc())
+			}
+		} else {
+			item.Type = "concrete"
+			item.Text = s.templates(t).Concrete(it.Facts)
+		}
+		if it.Prior.Confidence != crowd.ConfidenceNone {
+			item.Prior = &priorJSON{
+				Frequency:  it.Prior.Support,
+				Confidence: it.Prior.Confidence.String(),
+				Source:     it.Prior.Source,
+			}
+			item.Confirm = it.Confirm
+		}
+		out.Items = append(out.Items, item)
+	}
+	return out
+}
+
+// handlePanel is the batched long-poll route: one GET hands the member a
+// panel of up to max pending questions from one session, each primed with
+// its prior, instead of one question per round trip.
+func (s *server) handlePanel(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r)
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
+	member := r.URL.Query().Get("member")
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		if max, err = strconv.Atoi(v); err != nil || max < 0 {
+			httpError(w, http.StatusBadRequest, "max must be a non-negative integer")
+			return
+		}
+	}
+	start := time.Now()
+	p, out, err := t.PollPanel(r.Context(), member, max, s.poll)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.obs.longpolled("disconnect", start)
+			return
+		}
+		s.serveError(w, err)
+		return
+	}
+	switch out {
+	case serve.OutcomeQuestion:
+		s.obs.longpolled("question", start)
+		writeJSON(w, http.StatusOK, s.renderPanel(t, p))
+	case serve.OutcomeDone, serve.OutcomeShutdown:
+		s.obs.longpolled("done", start)
+		writeJSON(w, http.StatusOK, panelJSON{Type: "done"})
+	default:
+		s.obs.longpolled("timeout", start)
+		writeJSON(w, http.StatusOK, panelJSON{Type: "wait"})
+	}
+}
+
+// handlePanelAnswer submits a whole panel's answers in one POST. Items
+// the session already consumed are skipped, mirroring SubmitPanel.
+func (s *server) handlePanelAnswer(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r)
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
+	var req struct {
+		Member  string `json:"member"`
+		Session string `json:"session"`
+		Answers []struct {
+			ID     int  `json:"id"`
+			Level  *int `json:"level"`
+			Choice *int `json:"choice"`
+			None   bool `json:"none"`
+			Skip   bool `json:"skip"`
+		} `json:"answers"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Answers) == 0 {
+		httpError(w, http.StatusBadRequest, "a non-empty answers list is required")
+		return
+	}
+	answers := make([]serve.PanelAnswer, 0, len(req.Answers))
+	for _, a := range req.Answers {
+		// Find the pending question to learn its kind before converting
+		// the wire answer; SubmitPanel revalidates under the shard lock
+		// and skips items consumed in the meantime.
+		q, ok := t.Pending(req.Member, a.ID)
+		if !ok {
+			continue
+		}
+		level := 0.0
+		if a.Level != nil && *a.Level >= 0 && *a.Level <= 4 {
+			level = float64(*a.Level) * 0.25
+		}
+		var ans core.Answer
+		switch {
+		case q.Kind != core.KindSpecialization:
+			ans = core.AnswerSupport(level)
+		case a.Skip:
+			ans = core.AnswerDecline()
+		case a.None:
+			ans = core.AnswerNoneOfThese()
+		case a.Choice != nil && *a.Choice >= 0 && *a.Choice < len(q.Choices):
+			ans = core.AnswerChoice(*a.Choice, level)
+		default:
+			ans = core.AnswerDecline()
+		}
+		answers = append(answers, serve.PanelAnswer{ID: a.ID, Answer: ans})
+	}
+	if len(answers) == 0 {
+		s.serveError(w, fmt.Errorf("%w: no panel item matched for member %q in tenant %q",
+			serve.ErrNoPending, req.Member, t.Name()))
+		return
+	}
+	n, err := t.AnswerPanel(req.Session, req.Member, answers)
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "applied": n})
 }
 
 func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {

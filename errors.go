@@ -81,5 +81,8 @@ func (o *options) validate() error {
 	if o.parallelism < 0 {
 		return invalidOption("parallelism %d (want >= 0)", o.parallelism)
 	}
+	if o.panelSize < 0 {
+		return invalidOption("panel size %d (want >= 0)", o.panelSize)
+	}
 	return nil
 }

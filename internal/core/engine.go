@@ -80,6 +80,17 @@ type Config struct {
 	// violation (one answer-scale step, 0.25, is a good default).
 	SpamTolerance float64
 
+	// PanelSpeculation, when positive, widens the step-driven Session's
+	// speculation: beyond the current round's node question and the mirror
+	// of the blocked question, Next also surfaces up to this many of the
+	// round node's immediate successors per member — the questions the
+	// engine asks next when the member descends. Batching layers
+	// (internal/panel, the serving tier's panel route) use it to fill
+	// per-member panels, so one round trip serves a whole descent chain.
+	// Like all speculation, it affects wall clock and waste, never the
+	// mined result; Run and sequential sessions ignore it.
+	PanelSpeculation int
+
 	// Policy orders the crowd's questions: among the unclassified
 	// generated lattice nodes, the one the policy ranks best is asked
 	// about next. nil means plan.PaperOrder{}, the paper's §4

@@ -470,6 +470,38 @@ func (s *Session) speculate() {
 			s.issueSpeculative(i, mirror, mirrorFS)
 		}
 	}
+	s.speculateSuccessors()
+}
+
+// speculateSuccessors widens speculation for panel batching (see
+// Config.PanelSpeculation): it surfaces up to PanelSpeculation immediate
+// successors of the round's node — the questions descend asks next when a
+// member's answer reaches the threshold — for the blocked member and
+// every member after them in the round. A panel then carries a whole
+// descent chain's first level in one round trip; answers the engine never
+// asks for are retired by the usual machinery without touching the
+// result.
+func (s *Session) speculateSuccessors() {
+	n := s.eng.cfg.PanelSpeculation
+	if n <= 0 || s.round.gen != s.roundGen {
+		return
+	}
+	succs := s.eng.succsOf(s.eng.ns.intern(s.round.node))
+	if len(succs) > n {
+		succs = succs[:n]
+	}
+	from := s.curTurn
+	if from < 0 {
+		from = 0
+	}
+	for _, succ := range succs {
+		fs, qKey := s.eng.instantiate(succ)
+		for i := from; i < len(s.order); i++ {
+			if s.eligible(i, qKey, fs) {
+				s.issueSpeculative(i, qKey, fs)
+			}
+		}
+	}
 }
 
 // Next returns every question that can be answered right now: the one the
@@ -531,6 +563,41 @@ func (s *Session) Submit(id QuestionID, a Answer) error {
 	return nil
 }
 
+// Submission pairs a question ID with its answer for SubmitBatch.
+type Submission struct {
+	ID     QuestionID
+	Answer Answer
+}
+
+// SubmitBatch merges a whole panel of answers in one call, applying them
+// in ascending question-ID order regardless of the order given — the
+// deterministic order that makes batched submission bit-identical to
+// per-question submission: answers ahead of the engine's own position are
+// buffered by ask key exactly as individual Submits would buffer them,
+// and merged in when the engine reaches the same question. The first
+// submission error is returned after every submission was attempted.
+func (s *Session) SubmitBatch(subs []Submission) error {
+	ordered := append([]Submission(nil), subs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	var first error
+	for _, sub := range ordered {
+		if err := s.Submit(sub.ID, sub.Answer); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AggregateHint exposes the running aggregate for a concrete question's
+// fact-set: the mean of the answers collected so far and how many there
+// are. It is how prior sources derive best guesses from the crowd state
+// without reaching into the engine. Safe to call whenever the caller may
+// call Next/Submit (the engine is parked between those calls).
+func (s *Session) AggregateHint(fs fact.Set) (mean float64, answers int) {
+	key := fs.Key()
+	return s.eng.agg.Mean(key), s.eng.agg.Answers(key)
+}
+
 func payloadFor(kind QuestionKind, a Answer) payload {
 	if kind == KindConcrete {
 		return payload{support: a.Support}
@@ -579,6 +646,11 @@ func (s *Session) Leave(memberID string) {
 
 // Done reports whether the run has finished and Result is available.
 func (s *Session) Done() bool { return s.finished }
+
+// BufferedWaste reports the answers collected speculatively that are
+// still buffered without the engine ever consuming them — the waste
+// accounting dispatchers read after Close.
+func (s *Session) BufferedWaste() int { return len(s.buffered) }
 
 // Result returns the outcome, or nil while the run is still going.
 func (s *Session) Result() *Result {

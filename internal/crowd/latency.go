@@ -68,3 +68,11 @@ func (l *Latent) Irrelevant(terms []vocab.Term) (vocab.Term, bool) {
 	time.Sleep(l.nextDelay())
 	return l.M.Irrelevant(terms)
 }
+
+// AnswerPanel implements Panelist: the whole panel costs one round-trip
+// latency, not one per question — the point of panel batching. The
+// answers themselves come from the wrapped member without further delay.
+func (l *Latent) AnswerPanel(qs []PanelQuestion) []float64 {
+	time.Sleep(l.nextDelay())
+	return AnswerPanel(l.M, qs)
+}

@@ -1,0 +1,85 @@
+package crowd
+
+import "oassis/internal/fact"
+
+// Confidence grades how much a Prior's guess should be trusted, and with
+// it how the question renders: a high-confidence prior is a one-tap
+// confirmation ("you do this often, right?"), a low-confidence one falls
+// back to an open question with the guess merely pre-selected, and
+// ConfidenceNone means no guess at all.
+type Confidence int
+
+const (
+	// ConfidenceNone means the prior carries no usable guess.
+	ConfidenceNone Confidence = iota
+	// ConfidenceLow is a structural guess (ontology shape, no answers).
+	ConfidenceLow
+	// ConfidenceMedium is backed by at least one collected answer.
+	ConfidenceMedium
+	// ConfidenceHigh is backed by enough answers to render the question
+	// as a one-tap confirmation.
+	ConfidenceHigh
+)
+
+// String names the confidence level the way the wire format labels it.
+func (c Confidence) String() string {
+	switch c {
+	case ConfidenceLow:
+		return "low"
+	case ConfidenceMedium:
+		return "medium"
+	case ConfidenceHigh:
+		return "high"
+	default:
+		return "none"
+	}
+}
+
+// Prior is a best-guess answer attached to a panel question before the
+// member sees it: the guessed support, how much to trust it, and where
+// the guess came from ("aggregate" for the running crowd aggregate,
+// "ontology" for the structural fallback, or a custom source's name).
+type Prior struct {
+	// Support is the guessed frequency in [0, 1].
+	Support float64
+	// Confidence grades the guess (see Confidence).
+	Confidence Confidence
+	// Source names the origin of the guess.
+	Source string
+}
+
+// Confirmable reports whether the prior is trusted enough to render the
+// question as a one-tap confirmation instead of an open question.
+func (p Prior) Confirmable() bool { return p.Confidence >= ConfidenceHigh }
+
+// PanelQuestion is one concrete question inside a member's panel: the
+// fact-set whose frequency is asked, primed with a prior guess.
+type PanelQuestion struct {
+	Facts fact.Set
+	Prior Prior
+}
+
+// Panelist is the optional batch-answering extension of Member: a member
+// that can answer a whole panel of prior-primed concrete questions in one
+// round trip (one screen of confirmations instead of one question per
+// round trip). AnswerPanel returns one support per question, index-
+// aligned with qs.
+type Panelist interface {
+	Member
+	AnswerPanel(qs []PanelQuestion) []float64
+}
+
+// AnswerPanel obtains a member's answers to a whole panel: through the
+// member's own Panelist implementation when it has one, otherwise by
+// asking each question individually. Either way the returned slice is
+// index-aligned with qs.
+func AnswerPanel(m Member, qs []PanelQuestion) []float64 {
+	if p, ok := m.(Panelist); ok {
+		return p.AnswerPanel(qs)
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = m.Concrete(q.Facts)
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oassis/internal/core"
+	"oassis/internal/panel"
+)
+
+// panelPoint is one panel-batching measurement: the member round trips a
+// full mining run cost at one panel size, against the same domain and
+// crowd as the one-question baseline.
+type panelPoint struct {
+	// Size is the panel bound (1 = the one-question baseline).
+	Size int
+	// RoundTrips counts member round trips: answered questions for the
+	// baseline, panels for the batched runs.
+	RoundTrips int
+	// Items counts the questions those round trips carried.
+	Items int
+	// Confirmable and ConfirmRate report how the priors fared.
+	Confirmable int
+	ConfirmRate float64
+	// Wasted counts answers collected speculatively but never consumed.
+	Wasted int
+}
+
+// runPanels measures a full mining run per panel size over the latency
+// scenario's domain (12 members, 8 answers per question) and verifies the
+// mined result never moves. Size 1 is the one-question baseline: every
+// answer is its own member round trip. Larger sizes enable successor
+// speculation to fill the panels, so one round trip carries several
+// prior-primed questions. Everything runs at dispatch parallelism 1, so
+// the counts are deterministic and the bench gate can diff them.
+func runPanels(sizes []int) ([]panelPoint, error) {
+	var points []panelPoint
+	var want string
+	for i, size := range sizes {
+		cfg, err := latencyConfig(0, 12, 8)
+		if err != nil {
+			return nil, err
+		}
+		var pt panelPoint
+		var res *core.Result
+		if size <= 1 {
+			res = core.Run(cfg)
+			pt = panelPoint{Size: 1,
+				RoundTrips: res.Stats.TotalQuestions,
+				Items:      res.Stats.TotalQuestions,
+			}
+		} else {
+			cfg.PanelSpeculation = size
+			var st panel.Stats
+			res, st = panel.Run(cfg, panel.Config{Size: size}, 1)
+			pt = panelPoint{Size: size,
+				RoundTrips:  st.RoundTrips,
+				Items:       st.Items,
+				Confirmable: st.Confirmable,
+				ConfirmRate: st.ConfirmRate(),
+				Wasted:      st.Wasted,
+			}
+		}
+		got := latencySummary(res)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			return nil, fmt.Errorf("panel size %d changed the result:\n got %s\nwant %s", size, got, want)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Panels regenerates the panel-batching scenario: the same crowd-mining
+// run one question at a time and panel-first at increasing panel sizes,
+// reporting member round trips (the cost panels optimize), round trips
+// per member, items per trip, and how the priors fared. The mined MSPs
+// and statistics are identical at every size — batching buys round
+// trips, never a different answer.
+func Panels(sizes []int) (*Report, error) {
+	points, err := runPanels(sizes)
+	if err != nil {
+		return nil, err
+	}
+	const members = 12
+	r := &Report{
+		ID:    "panels",
+		Title: "panel batching: member round trips vs one-question dispatch",
+		Header: []string{"panel size", "round trips", "trips/member", "items",
+			"items/trip", "confirmable", "confirm rate", "wasted"},
+	}
+	base := points[0].RoundTrips
+	for _, pt := range points {
+		r.Add(pt.Size, pt.RoundTrips,
+			fmt.Sprintf("%.1f", float64(pt.RoundTrips)/members),
+			pt.Items, fmt.Sprintf("%.1f", float64(pt.Items)/float64(pt.RoundTrips)),
+			pt.Confirmable, fmt.Sprintf("%.2f", pt.ConfirmRate), pt.Wasted)
+	}
+	if last := points[len(points)-1]; last.RoundTrips > 0 {
+		r.Note("round-trip reduction at size %d: %.1fx over one-question dispatch",
+			last.Size, float64(base)/float64(last.RoundTrips))
+	}
+	r.Note("latency scenario's domain, 12 members, 8 answers per question;")
+	r.Note("results are bit-identical at every panel size")
+	return r, nil
+}

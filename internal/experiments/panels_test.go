@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestPanelsRoundTripReduction is the acceptance floor under the bench's
+// headline number: panel batching at size 16 must cost at least 3x fewer
+// member round trips than one-question dispatch while mining the
+// identical result (runPanels fails the run outright if any size's MSPs
+// or statistics move).
+func TestPanelsRoundTripReduction(t *testing.T) {
+	points, err := runPanels([]int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, batched := points[0], points[len(points)-1]
+	if batched.RoundTrips*3 > base.RoundTrips {
+		t.Fatalf("panel size 16 cost %d round trips, want <= 1/3 of baseline %d",
+			batched.RoundTrips, base.RoundTrips)
+	}
+	for _, pt := range points[1:] {
+		if pt.Items < pt.RoundTrips {
+			t.Errorf("size %d: %d items over %d round trips; panels lost questions",
+				pt.Size, pt.Items, pt.RoundTrips)
+		}
+		if pt.Confirmable == 0 {
+			t.Errorf("size %d: no item was ever confirmable; aggregate priors never matured", pt.Size)
+		}
+	}
+}

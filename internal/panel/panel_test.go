@@ -1,0 +1,227 @@
+package panel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/panel"
+	"oassis/internal/synth"
+)
+
+// figure1Query is the paper's running-example query over the Figure 1
+// ontology (the same shape the serving-tier equivalence test uses).
+const figure1Query = `
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt $x
+WITH SUPPORT = 0.4
+`
+
+// renderRun flattens a core result into one comparable string: every MSP
+// and valid-MSP key in order plus the full statistics. Bit-identical runs
+// render identically.
+func renderRun(res *core.Result) string {
+	out := ""
+	for _, m := range res.MSPs {
+		out += "msp: " + m.Key() + "\n"
+	}
+	for _, m := range res.ValidMSPs {
+		out += "valid: " + m.Key() + "\n"
+	}
+	return out + fmt.Sprintf("stats: %+v\n", res.Stats)
+}
+
+// figure1Config builds the Figure-1 workload: the paper's sample ontology
+// mined by the two sample personal histories.
+func figure1Config(t *testing.T) core.Config {
+	t.Helper()
+	s := ontology.NewSample()
+	dom, err := core.NewDomain(s.Voc, s.Onto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := oassisql.Parse(figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _, err := dom.Compile(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, u2 := crowd.SampleDBs(s)
+	return core.Config{
+		Space: pl.NewSpace(),
+		Theta: pl.Support,
+		Members: []crowd.Member{
+			&crowd.SimMember{Name: "p00", DB: u1},
+			&crowd.SimMember{Name: "p01", DB: u2},
+		},
+		Agg: aggregate.NewFixedSample(2),
+	}
+}
+
+// TestPanelEquivalenceMatrix is the tentpole's correctness claim: panel-
+// batched execution is bit-identical to sequential per-question execution
+// — across the Figure-1 domain and two synthetic domains, at panel sizes
+// 1, 4 and 16, with and without successor speculation, at dispatch
+// parallelism 1 and 8.
+func TestPanelEquivalenceMatrix(t *testing.T) {
+	travel := synth.DomainConfig{
+		Name: "travel", YTerms: 30, XTerms: 10, YDepth: 4, XDepth: 3,
+		Members: 8, Transactions: 12, Patterns: 6, Seed: 101,
+	}
+	culinary := synth.DomainConfig{
+		Name: "culinary", YTerms: 24, XTerms: 12, YDepth: 4, XDepth: 3,
+		Members: 8, Transactions: 12, Patterns: 8, Seed: 202,
+	}
+	type workload struct {
+		name string
+		cfg  func(t *testing.T) core.Config
+	}
+	workloads := []workload{
+		{"figure1", figure1Config},
+	}
+	for _, dc := range []synth.DomainConfig{travel, culinary} {
+		dc := dc
+		workloads = append(workloads, workload{dc.Name, func(t *testing.T) core.Config {
+			t.Helper()
+			d, err := synth.GenerateDomain(dc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return core.Config{
+				Space:   d.Sp,
+				Theta:   0.2,
+				Members: d.Members,
+				Agg:     aggregate.NewFixedSample(3),
+			}
+		}})
+	}
+	for _, wl := range workloads {
+		want := renderRun(core.Run(wl.cfg(t)))
+		for _, size := range []int{1, 4, 16} {
+			for _, spec := range []int{0, size} {
+				for _, par := range []int{1, 8} {
+					name := fmt.Sprintf("%s/size%d/spec%d/p%d", wl.name, size, spec, par)
+					cfg := wl.cfg(t)
+					cfg.PanelSpeculation = spec
+					res, st := panel.Run(cfg, panel.Config{Size: size}, par)
+					if got := renderRun(res); got != want {
+						t.Errorf("%s: panel-batched run differs from sequential:\n--- sequential\n%s--- panels\n%s",
+							name, want, got)
+					}
+					if st.RoundTrips == 0 || st.Items < st.RoundTrips {
+						t.Errorf("%s: implausible stats %+v", name, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatcherShapesPanels checks the batching rules: the blocked question
+// leads its panel, panels respect the size bound, items carry priors, and
+// every surfaced question belongs to the panel of its member.
+func TestBatcherShapesPanels(t *testing.T) {
+	cfg := figure1Config(t)
+	cfg.PanelSpeculation = 8
+	ids := make([]string, len(cfg.Members))
+	for i, m := range cfg.Members {
+		ids[i] = m.ID()
+	}
+	members := cfg.Members
+	byID := map[string]crowd.Member{}
+	for _, m := range members {
+		byID[m.ID()] = m
+	}
+	s := core.NewSession(cfg, ids)
+	defer s.Close()
+	b := panel.NewBatcher(s, panel.Config{Size: 4})
+	seenMulti := false
+	for rounds := 0; rounds < 200; rounds++ {
+		panels := b.Next()
+		if panels == nil {
+			break
+		}
+		blocked := panels[0]
+		if len(blocked.Items) == 0 {
+			t.Fatal("blocked panel is empty")
+		}
+		for pi, p := range panels {
+			if len(p.Items) > 4 {
+				t.Fatalf("panel for %s exceeds size bound: %d items", p.Member, len(p.Items))
+			}
+			for i, it := range p.Items {
+				if it.Question.Member != p.Member {
+					t.Fatalf("panel for %s carries a question for %s", p.Member, it.Question.Member)
+				}
+				if it.Question.Kind == core.KindConcrete && it.Prior.Confidence == crowd.ConfidenceNone {
+					t.Fatalf("concrete item %d of %s has no prior", i, p.Member)
+				}
+				if pi > 0 && !it.Question.Speculative {
+					t.Fatalf("non-blocked panel for %s carries the engine's own question", p.Member)
+				}
+			}
+			if len(p.Items) > 1 {
+				seenMulti = true
+			}
+		}
+		// Answer only the blocked question, sequential-style.
+		q := blocked.Items[0].Question
+		m := byID[q.Member]
+		var subs []core.Submission
+		switch q.Kind {
+		case core.KindSpecialization:
+			r := m.ChooseSpecialization(q.Choices)
+			subs = append(subs, core.Submission{ID: q.ID, Answer: core.Answer{
+				Support: r.Support, Choice: r.Choice, Chosen: r.Chosen, Declined: r.Declined,
+			}})
+		default:
+			subs = append(subs, core.Submission{ID: q.ID, Answer: core.AnswerSupport(m.Concrete(q.Facts))})
+		}
+		if err := s.SubmitBatch(subs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !seenMulti {
+		t.Error("successor speculation never filled a panel beyond one item")
+	}
+}
+
+// TestSessionPriorsGrading checks the default prior source's grading: no
+// answers yields a Low-confidence structural guess, one answer upgrades
+// to Medium, three or more to High (a one-tap confirmation) with the
+// aggregate mean as the guess.
+func TestSessionPriorsGrading(t *testing.T) {
+	cfg := figure1Config(t)
+	ids := []string{"p00", "p01"}
+	s := core.NewSession(cfg, ids)
+	defer s.Close()
+	src := panel.SessionPriors(s)
+	qs := s.Next()
+	if len(qs) == 0 {
+		t.Fatal("no questions")
+	}
+	q := qs[0]
+	if q.Kind != core.KindConcrete {
+		t.Skipf("first question is %v, not concrete", q.Kind)
+	}
+	p := src.Prior(q)
+	if p.Confidence != crowd.ConfidenceLow || p.Source != "ontology" {
+		t.Fatalf("prior before any answer = %+v, want Low/ontology", p)
+	}
+	if p.Support <= 0 || p.Support > 1 {
+		t.Fatalf("structural guess %v out of range", p.Support)
+	}
+}

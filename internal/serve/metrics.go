@@ -12,11 +12,13 @@ var pollOutcomes = []string{"question", "timeout", "done", "shutdown", "shed", "
 
 // tenantObs holds the per-tenant serving instruments.
 type tenantObs struct {
-	dispatch *obs.Histogram // question-dispatch latency (poll start → question out)
-	p99      *obs.Gauge     // live p99 estimate of dispatch, refreshed per dispatch
-	polls    map[string]*obs.Counter
-	opened   *obs.Counter
-	retired  *obs.Counter
+	dispatch   *obs.Histogram // question-dispatch latency (poll start → question out)
+	p99        *obs.Gauge     // live p99 estimate of dispatch, refreshed per dispatch
+	polls      map[string]*obs.Counter
+	opened     *obs.Counter
+	retired    *obs.Counter
+	panels     *obs.Counter
+	panelItems *obs.Counter
 }
 
 func newTenantObs(r *obs.Registry, tenant string) *tenantObs {
@@ -30,6 +32,10 @@ func newTenantObs(r *obs.Registry, tenant string) *tenantObs {
 		polls:   make(map[string]*obs.Counter, len(pollOutcomes)),
 		opened:  r.Counter("oassis_serve_sessions_opened_total", "sessions attached (new or recovered)", obs.L("tenant", tenant)),
 		retired: r.Counter("oassis_serve_sessions_retired_total", "sessions retired from serving", obs.L("tenant", tenant)),
+		panels: r.Counter("oassis_serve_panels_total",
+			"panels dispatched to members", obs.L("tenant", tenant)),
+		panelItems: r.Counter("oassis_serve_panel_items_total",
+			"questions dispatched inside panels", obs.L("tenant", tenant)),
 	}
 	for _, out := range pollOutcomes {
 		o.polls[out] = r.Counter("oassis_serve_polls_total",
@@ -51,6 +57,14 @@ func (o *tenantObs) dispatched(start time.Time) {
 	o.poll("question")
 	o.dispatch.Observe(time.Since(start).Seconds())
 	o.p99.Set(int64(o.dispatch.Quantile(0.99) * 1e6))
+}
+
+// dispatchedPanel records a panel hand-out: one dispatch latency sample
+// (a panel is one round trip) plus the panel and item counters.
+func (o *tenantObs) dispatchedPanel(start time.Time, items int) {
+	o.dispatched(start)
+	o.panels.Inc()
+	o.panelItems.Add(items)
 }
 
 // shardObs holds the per-shard serving instruments.

@@ -65,9 +65,10 @@ var (
 
 // Config parameterizes a Registry.
 type Config struct {
-	// MaxInFlight is the global admission budget: the number of Poll
-	// calls allowed in flight at once across every tenant. 0 means the
-	// default (1024); further polls are shed with ErrOverloaded.
+	// MaxInFlight is the global admission budget, counted in question
+	// items: a Poll charges one, a PollPanel charges its item capacity.
+	// 0 means the default (1024); further polls are shed with
+	// ErrOverloaded.
 	MaxInFlight int
 
 	// MaxWaitersPerShard bounds the parked long-poll waiters charged to
@@ -245,14 +246,17 @@ func (r *Registry) Close() error {
 	return first
 }
 
-// acquire claims one slot of the global in-flight budget; false means
-// the registry is saturated and the caller must shed.
-func (r *Registry) acquire() bool {
-	if r.inflight.Add(1) > int64(r.cfg.MaxInFlight) {
-		r.inflight.Add(-1)
+// acquire claims n items of the global in-flight budget; false means the
+// registry is saturated and the caller must shed. The unit is a panel
+// item, not a request: a single-question poll charges 1, a k-item panel
+// poll charges k, so batched clients compete for the same budget as the
+// equivalent single-question traffic instead of around it.
+func (r *Registry) acquire(n int) bool {
+	if r.inflight.Add(int64(n)) > int64(r.cfg.MaxInFlight) {
+		r.inflight.Add(-int64(n))
 		return false
 	}
 	return true
 }
 
-func (r *Registry) release() { r.inflight.Add(-1) }
+func (r *Registry) release(n int) { r.inflight.Add(-int64(n)) }

@@ -3,13 +3,21 @@ package serve
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"oassis/internal/assign"
 	"oassis/internal/core"
 	"oassis/internal/oassisql"
+	"oassis/internal/panel"
 	"oassis/internal/plan"
 	"oassis/internal/store"
 )
+
+// maxPendingPerMember bounds each member's pending list per session —
+// the pool panels are cut from. The engine's blocked question always
+// fits; speculative questions beyond the bound simply wait for the next
+// refill.
+const maxPendingPerMember = 16
 
 // logf reports a non-fatal serving-tier fault (journal write failures,
 // late submits); the tier keeps serving, matching the single-session
@@ -30,8 +38,10 @@ type Session struct {
 	inner *core.Session
 	st    *store.Store // nil for an in-memory tenant
 
+	priors panel.PriorSource
+
 	// Guarded by sh.mu.
-	pending  map[string]*pendingQuestion
+	pending  map[string][]*pendingQuestion // per member, issue order
 	serial   int
 	finished bool
 	result   *core.Result
@@ -77,17 +87,45 @@ func (s *Session) Result() (*core.Result, bool) {
 	return s.result, true
 }
 
+// primaryLocked picks the member's single-question view of their pending
+// list: the engine's own (non-speculative) question when one is pending,
+// else the longest-waiting speculative one. Caller holds sh.mu.
+func (s *Session) primaryLocked(member string) *pendingQuestion {
+	list := s.pending[member]
+	if len(list) == 0 {
+		return nil
+	}
+	for _, p := range list {
+		if !p.q.Speculative {
+			return p
+		}
+	}
+	return list[0]
+}
+
 // Pending returns the member's pending question in this session, if any
 // (for the session-addressed question route).
 func (s *Session) Pending(member string) (Question, bool) {
 	s.sh.mu.Lock()
 	defer s.sh.mu.Unlock()
 	s.refillLocked()
-	p := s.pending[member]
+	p := s.primaryLocked(member)
 	if p == nil {
 		return Question{}, false
 	}
 	return s.wireQuestion(p), true
+}
+
+// PendingPanel returns the member's pending questions in this session as
+// a panel of up to max items (for the session-addressed panel route).
+func (s *Session) PendingPanel(member string, max int) (Panel, bool) {
+	if max <= 0 {
+		max = panel.DefaultSize
+	}
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	s.refillLocked()
+	return s.wirePanelLocked(member, max)
 }
 
 // Submit answers the member's pending question with the given wire ID.
@@ -98,17 +136,35 @@ func (s *Session) Submit(member string, wireID int, ans core.Answer) error {
 func (s *Session) submit(member string, wireID int, ans core.Answer) error {
 	s.sh.mu.Lock()
 	defer s.sh.mu.Unlock()
-	p := s.pending[member]
-	if p == nil || p.id != wireID {
-		return fmt.Errorf("%w %d for member %q in session %s", ErrNoPending, wireID, member, s.id)
+	for _, p := range s.pending[member] {
+		if p.id == wireID {
+			return s.submitLocked(member, p, ans)
+		}
 	}
-	return s.submitLocked(member, p, ans)
+	return fmt.Errorf("%w %d for member %q in session %s", ErrNoPending, wireID, member, s.id)
+}
+
+// removePendingLocked drops one entry from the member's pending list.
+// Caller holds sh.mu.
+func (s *Session) removePendingLocked(member string, p *pendingQuestion) {
+	list := s.pending[member]
+	for i, e := range list {
+		if e == p {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(s.pending, member)
+	} else {
+		s.pending[member] = list
+	}
 }
 
 // submitLocked consumes the pending question, credits the member, feeds
 // the engine, and refills. Caller holds sh.mu and has matched p.
 func (s *Session) submitLocked(member string, p *pendingQuestion, ans core.Answer) error {
-	delete(s.pending, member)
+	s.removePendingLocked(member, p)
 	s.t.credit(member)
 	// Answers to questions the engine already retired (the round moved
 	// on) are buffered or dropped by the session; the member's credit
@@ -118,6 +174,47 @@ func (s *Session) submitLocked(member string, p *pendingQuestion, ans core.Answe
 	}
 	s.refillLocked()
 	return nil
+}
+
+// PanelAnswer answers one panel item by its wire ID.
+type PanelAnswer struct {
+	ID     int
+	Answer core.Answer
+}
+
+// SubmitPanel answers several of the member's pending questions at once:
+// every matched item is consumed and credited, and the whole batch feeds
+// the engine through one deterministic SubmitBatch — one lock
+// acquisition, one refill, one waiter broadcast for the entire panel.
+// Unmatched wire IDs (already answered, session moved on) are skipped;
+// a panel matching nothing is ErrNoPending. Returns the applied count.
+func (s *Session) SubmitPanel(member string, answers []PanelAnswer) (int, error) {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	var subs []core.Submission
+	for _, a := range answers {
+		var p *pendingQuestion
+		for _, e := range s.pending[member] {
+			if e.id == a.ID {
+				p = e
+				break
+			}
+		}
+		if p == nil {
+			continue
+		}
+		s.removePendingLocked(member, p)
+		s.t.credit(member)
+		subs = append(subs, core.Submission{ID: p.q.ID, Answer: a.Answer})
+	}
+	if len(subs) == 0 {
+		return 0, fmt.Errorf("%w: no panel item matched for member %q in session %s", ErrNoPending, member, s.id)
+	}
+	if err := s.inner.SubmitBatch(subs); err != nil {
+		logf("serve: %s/%s panel submit: %v", s.t.name, s.id, err)
+	}
+	s.refillLocked()
+	return len(subs), nil
 }
 
 // refillLocked pulls the engine's answerable questions into the pending
@@ -132,19 +229,33 @@ func (s *Session) refillLocked() {
 		s.result = s.inner.Result()
 		// Pending entries die with the session; ready-queue entries are
 		// invalidated by the cleared map and dropped lazily on take.
-		s.pending = make(map[string]*pendingQuestion)
+		s.pending = make(map[string][]*pendingQuestion)
 		s.sh.obs.live.Dec()
 		s.t.sessionFinished()
 		return
 	}
 	changed := false
 	for _, q := range s.inner.Next() {
-		if s.pending[q.Member] != nil {
+		list := s.pending[q.Member]
+		if len(list) >= maxPendingPerMember {
+			continue
+		}
+		dup := false
+		for _, e := range list {
+			if e.q.ID == q.ID {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
 		s.serial++
-		s.pending[q.Member] = &pendingQuestion{id: s.serial, q: q}
-		s.sh.ready[q.Member] = append(s.sh.ready[q.Member], s)
+		p := &pendingQuestion{id: s.serial, q: q}
+		if len(list) == 0 {
+			s.sh.ready[q.Member] = append(s.sh.ready[q.Member], s)
+		}
+		s.pending[q.Member] = append(list, p)
 		changed = true
 		if s.st != nil && q.Kind == core.KindConcrete {
 			// Journal the hand-out before a client sees it: an issued
@@ -174,4 +285,39 @@ func (s *Session) wireQuestion(p *pendingQuestion) Question {
 		Terms:       p.q.Terms,
 		Speculative: p.q.Speculative,
 	}
+}
+
+// wirePanelLocked cuts the member's panel from their pending list: up to
+// max items, the engine's own (non-speculative) questions first, then
+// speculative ones in issue order, each carrying its prior. The items
+// stay pending (a re-poll resends the panel); answering them is what
+// consumes the list. Caller holds sh.mu.
+func (s *Session) wirePanelLocked(member string, max int) (Panel, bool) {
+	list := s.pending[member]
+	if len(list) == 0 || s.finished {
+		return Panel{}, false
+	}
+	items := append([]*pendingQuestion(nil), list...)
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].q.Speculative != items[j].q.Speculative {
+			return !items[i].q.Speculative
+		}
+		return items[i].id < items[j].id
+	})
+	if len(items) > max {
+		items = items[:max]
+	}
+	p := Panel{Tenant: s.t.name, Session: s.id, Member: member}
+	for _, e := range items {
+		// Priors are computed at cut time, not surfacing time: answers
+		// from other members collected since the question was issued
+		// upgrade the guess a re-poll sees.
+		pr := s.priors.Prior(e.q)
+		p.Items = append(p.Items, PanelItem{
+			Question: s.wireQuestion(e),
+			Prior:    pr,
+			Confirm:  pr.Confirmable(),
+		})
+	}
+	return p, true
 }

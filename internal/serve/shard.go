@@ -38,7 +38,7 @@ func (sh *shard) take(member string) (Question, bool) {
 	q := sh.ready[member]
 	for len(q) > 0 {
 		sess := q[0]
-		if p := sess.pending[member]; p != nil && !sess.finished {
+		if p := sess.primaryLocked(member); p != nil && !sess.finished {
 			sh.ready[member] = q
 			return sess.wireQuestion(p), true
 		}
@@ -52,6 +52,29 @@ func (sh *shard) take(member string) (Question, bool) {
 	return Question{}, false
 }
 
+// takePanel returns the member's longest-waiting panel on this shard —
+// up to max pending items cut from one session — if any. Like take, the
+// items stay pending until answered.
+func (sh *shard) takePanel(member string, max int) (Panel, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q := sh.ready[member]
+	for len(q) > 0 {
+		sess := q[0]
+		if p, ok := sess.wirePanelLocked(member, max); ok {
+			sh.ready[member] = q
+			return p, true
+		}
+		q = q[1:]
+	}
+	if len(q) == 0 {
+		delete(sh.ready, member)
+	} else {
+		sh.ready[member] = q
+	}
+	return Panel{}, false
+}
+
 // submitAny tries the member's wire ID against every session on the
 // shard — the legacy path for clients that don't speak session IDs.
 // handled reports whether a matching pending question was found.
@@ -59,11 +82,38 @@ func (sh *shard) submitAny(member string, wireID int, ans core.Answer) (err erro
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, sess := range sh.sessions {
-		if p := sess.pending[member]; p != nil && p.id == wireID {
-			return sess.submitLocked(member, p, ans), true
+		for _, p := range sess.pending[member] {
+			if p.id == wireID {
+				return sess.submitLocked(member, p, ans), true
+			}
 		}
 	}
 	return nil, false
+}
+
+// submitPanelAny locates the session holding any of the panel's wire IDs
+// for the member — the path for clients that don't echo session IDs.
+// handled reports whether a session claimed the batch.
+func (sh *shard) submitPanelAny(member string, answers []PanelAnswer) (n int, err error, handled bool) {
+	sh.mu.Lock()
+	var target *Session
+scan:
+	for _, sess := range sh.sessions {
+		for _, p := range sess.pending[member] {
+			for _, a := range answers {
+				if p.id == a.ID {
+					target = sess
+					break scan
+				}
+			}
+		}
+	}
+	sh.mu.Unlock()
+	if target == nil {
+		return 0, nil, false
+	}
+	n, err = target.SubmitPanel(member, answers)
+	return n, err, true
 }
 
 // park registers a long-poll waiter against the shard's bounded queue;

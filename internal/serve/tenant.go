@@ -12,9 +12,11 @@ import (
 
 	"oassis/internal/aggregate"
 	"oassis/internal/core"
+	"oassis/internal/crowd"
 	"oassis/internal/fact"
 	"oassis/internal/oassisql"
 	"oassis/internal/ontology"
+	"oassis/internal/panel"
 	"oassis/internal/plan"
 	"oassis/internal/store"
 	"oassis/internal/vocab"
@@ -47,6 +49,13 @@ type TenantConfig struct {
 	// AnswersPerQuestion is the fixed-sample aggregation width per
 	// question (the server's -k). 0 means 1.
 	AnswersPerQuestion int
+
+	// PanelSpeculation widens each session's speculation to up to this
+	// many round-node successors per member
+	// (core.Config.PanelSpeculation), so panel polls have items to
+	// batch. 0 keeps the engine's default mirror-only speculation;
+	// mined results are identical either way.
+	PanelSpeculation int
 }
 
 // Tenant is one hosted domain with its roster, shards and sessions. All
@@ -58,6 +67,7 @@ type Tenant struct {
 	voc       *vocab.Vocabulary
 	onto      *ontology.Ontology
 	k         int
+	panelSpec int
 	storeDir  string
 	shards    []*shard
 	slots     []string       // roster member IDs, fixed at construction
@@ -119,6 +129,25 @@ type Question struct {
 	Speculative bool
 }
 
+// PanelItem is one question inside a served panel: the wire question,
+// its prior guess, and whether the client should render it as a one-tap
+// confirmation (high-confidence prior) instead of an open question.
+type PanelItem struct {
+	Question
+	Prior   crowd.Prior
+	Confirm bool
+}
+
+// Panel is a member's batch of pending questions from one session — what
+// PollPanel hands out and AnswerPanel consumes. The engine's own blocked
+// question leads; the rest are speculative, answered ahead of need.
+type Panel struct {
+	Tenant  string
+	Session string
+	Member  string
+	Items   []PanelItem
+}
+
 func newTenant(r *Registry, tc TenantConfig) (*Tenant, error) {
 	if tc.Name == "" {
 		return nil, fmt.Errorf("serve: tenant name must not be empty")
@@ -143,6 +172,7 @@ func newTenant(r *Registry, tc TenantConfig) (*Tenant, error) {
 		voc:       tc.Voc,
 		onto:      tc.Onto,
 		k:         tc.AnswersPerQuestion,
+		panelSpec: tc.PanelSpeculation,
 		storeDir:  tc.StoreDir,
 		memberIdx: make(map[string]int, tc.Members),
 		obs:       newTenantObs(r.obs, tc.Name),
@@ -382,14 +412,15 @@ func (t *Tenant) attach(id string, q *oassisql.Query, st *store.Store, rec *stor
 		query:   q,
 		plan:    pl,
 		sp:      sp,
-		pending: make(map[string]*pendingQuestion),
+		pending: make(map[string][]*pendingQuestion),
 	}
 	cfg := core.Config{
-		Space:   sp,
-		Theta:   pl.Support,
-		Policy:  policy,
-		Agg:     aggregate.NewFixedSample(t.k),
-		Metrics: t.reg.coreMet,
+		Space:            sp,
+		Theta:            pl.Support,
+		Policy:           policy,
+		Agg:              aggregate.NewFixedSample(t.k),
+		Metrics:          t.reg.coreMet,
+		PanelSpeculation: t.panelSpec,
 	}
 	if st != nil {
 		// Same binding discipline as a single-session server: a store
@@ -422,6 +453,7 @@ func (t *Tenant) attach(id string, q *oassisql.Query, st *store.Store, rec *stor
 		}
 	}
 	sess.inner = core.NewSession(cfg, t.slots)
+	sess.priors = panel.SessionPriors(sess.inner)
 
 	t.mu.Lock()
 	if t.closed {
@@ -486,7 +518,7 @@ func (t *Tenant) Retire(id string) error {
 	delete(sh.sessions, id)
 	wasFinished := sess.finished
 	sess.finished = true
-	sess.pending = make(map[string]*pendingQuestion)
+	sess.pending = make(map[string][]*pendingQuestion)
 	sh.mu.Unlock()
 	if !wasFinished {
 		sh.obs.live.Dec()
@@ -511,12 +543,12 @@ func (t *Tenant) Poll(ctx context.Context, member string, timeout time.Duration)
 		return Question{}, OutcomeTimeout, fmt.Errorf("%w %q in tenant %q", ErrUnknownMember, member, t.name)
 	}
 	home := t.shards[idx%len(t.shards)]
-	if !t.reg.acquire() {
+	if !t.reg.acquire(1) {
 		home.obs.shedGlobal.Inc()
 		t.obs.poll("shed")
 		return Question{}, OutcomeTimeout, fmt.Errorf("%w: global in-flight budget (%d) exhausted", ErrOverloaded, t.reg.cfg.MaxInFlight)
 	}
-	defer t.reg.release()
+	defer t.reg.release(1)
 	start := time.Now()
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
@@ -563,6 +595,104 @@ func (t *Tenant) Poll(ctx context.Context, member string, timeout time.Duration)
 	}
 }
 
+// PollPanel waits for a panel of questions this member can answer — up
+// to max items cut from one session's pending pool, the engine's own
+// blocked question first, every item primed with its prior. It parks and
+// wakes exactly like Poll (the same notify snapshot guards against lost
+// wakeups), but admission control charges the panel's item capacity
+// rather than one slot per request: a k-item panel competes for the same
+// global budget as k single-question polls. max <= 0 means
+// panel.DefaultSize.
+func (t *Tenant) PollPanel(ctx context.Context, member string, max int, timeout time.Duration) (Panel, Outcome, error) {
+	if max <= 0 {
+		max = panel.DefaultSize
+	}
+	if max > maxPendingPerMember {
+		max = maxPendingPerMember
+	}
+	idx, joined := t.joinedIndex(member)
+	if !joined {
+		return Panel{}, OutcomeTimeout, fmt.Errorf("%w %q in tenant %q", ErrUnknownMember, member, t.name)
+	}
+	home := t.shards[idx%len(t.shards)]
+	if !t.reg.acquire(max) {
+		home.obs.shedGlobal.Inc()
+		t.obs.poll("shed")
+		return Panel{}, OutcomeTimeout, fmt.Errorf("%w: global in-flight budget (%d) exhausted", ErrOverloaded, t.reg.cfg.MaxInFlight)
+	}
+	defer t.reg.release(max)
+	start := time.Now()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if t.reg.Draining() {
+			t.obs.poll("shutdown")
+			return Panel{}, OutcomeShutdown, nil
+		}
+		// Snapshot notify before scanning: a refill between the scan and
+		// the park then wakes us instead of being lost.
+		notify := t.notifyChan()
+		for i := range t.shards {
+			sh := t.shards[(home.idx+i)%len(t.shards)]
+			if p, ok := sh.takePanel(member, max); ok {
+				t.obs.dispatchedPanel(start, len(p.Items))
+				return p, OutcomeQuestion, nil
+			}
+		}
+		if t.allDone() {
+			t.obs.poll("done")
+			return Panel{}, OutcomeDone, nil
+		}
+		if !home.park() {
+			home.obs.shedShard.Inc()
+			t.obs.poll("shed")
+			return Panel{}, OutcomeTimeout, fmt.Errorf("%w: shard %d waiter queue (%d) full", ErrOverloaded, home.idx, t.reg.cfg.MaxWaitersPerShard)
+		}
+		select {
+		case <-notify:
+			home.unpark()
+		case <-deadline.C:
+			home.unpark()
+			t.obs.poll("timeout")
+			return Panel{}, OutcomeTimeout, nil
+		case <-ctx.Done():
+			home.unpark()
+			t.obs.poll("disconnect")
+			return Panel{}, OutcomeTimeout, ctx.Err()
+		case <-t.reg.draining:
+			home.unpark()
+			t.obs.poll("shutdown")
+			return Panel{}, OutcomeShutdown, nil
+		}
+	}
+}
+
+// AnswerPanel submits a member's answers to a panel. With a session ID
+// the batch goes straight to that session; with an empty ID the shards
+// are scanned for the session holding the panel's wire IDs. Returns how
+// many items were applied (already-consumed items are skipped).
+func (t *Tenant) AnswerPanel(sessionID, member string, answers []PanelAnswer) (int, error) {
+	if !t.MemberKnown(member) {
+		return 0, fmt.Errorf("%w %q in tenant %q", ErrUnknownMember, member, t.name)
+	}
+	if len(answers) == 0 {
+		return 0, fmt.Errorf("%w: empty panel for member %q in tenant %q", ErrNoPending, member, t.name)
+	}
+	if sessionID != "" {
+		sess, err := t.Session(sessionID)
+		if err != nil {
+			return 0, err
+		}
+		return sess.SubmitPanel(member, answers)
+	}
+	for _, sh := range t.shards {
+		if n, err, handled := sh.submitPanelAny(member, answers); handled {
+			return n, err
+		}
+	}
+	return 0, fmt.Errorf("%w: no panel item for member %q in tenant %q", ErrNoPending, member, t.name)
+}
+
 // Answer submits a member's answer. With a session ID it goes straight
 // to that session; with an empty ID (legacy single-session clients) the
 // shards are scanned for the pending (member, wire-ID) pair.
@@ -593,10 +723,12 @@ func (t *Tenant) Pending(member string, wireID int) (Question, bool) {
 	for _, sh := range t.shards {
 		sh.mu.Lock()
 		for _, sess := range sh.sessions {
-			if p := sess.pending[member]; p != nil && p.id == wireID {
-				q := sess.wireQuestion(p)
-				sh.mu.Unlock()
-				return q, true
+			for _, p := range sess.pending[member] {
+				if p.id == wireID {
+					q := sess.wireQuestion(p)
+					sh.mu.Unlock()
+					return q, true
+				}
 			}
 		}
 		sh.mu.Unlock()

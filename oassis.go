@@ -36,6 +36,7 @@ import (
 	"oassis/internal/fact"
 	"oassis/internal/oassisql"
 	"oassis/internal/ontology"
+	"oassis/internal/panel"
 	"oassis/internal/plan"
 	"oassis/internal/rdfio"
 	"oassis/internal/vocab"
@@ -278,46 +279,99 @@ type Member interface {
 	Irrelevant(terms []string) (string, bool)
 }
 
-// LegacyMember is the previous Member interface, whose Specialize returned
-// four bare values instead of a SpecializeResponse. Wrap implementations
-// with UpgradeMember to keep them working.
-//
-// Deprecated: implement Member directly; this shim lasts one release.
-type LegacyMember interface {
-	ID() string
-	HowOften(facts []Triple) float64
-	Specialize(candidates [][]Triple) (idx int, freq float64, ok, declined bool)
-	Irrelevant(terms []string) (string, bool)
+// Prior is a best-guess answer attached to a panel question before the
+// member sees it: the guessed frequency, how much to trust it, and where
+// it came from ("aggregate", "ontology", or a WithPriorSource name). A
+// high-confidence prior renders as a one-tap confirmation; lower
+// confidences fall back to an open question with the guess pre-selected.
+type Prior = crowd.Prior
+
+// Confidence grades how much a Prior's guess should be trusted.
+type Confidence = crowd.Confidence
+
+// Confidence grades, from no usable guess to one-tap confirmation.
+const (
+	ConfidenceNone   = crowd.ConfidenceNone
+	ConfidenceLow    = crowd.ConfidenceLow
+	ConfidenceMedium = crowd.ConfidenceMedium
+	ConfidenceHigh   = crowd.ConfidenceHigh
+)
+
+// PanelQuestion is one concrete question inside a member's panel: the
+// questioned pattern plus its prior guess.
+type PanelQuestion struct {
+	Facts []Triple
+	Prior Prior
 }
 
-// UpgradeMember adapts a LegacyMember to the current Member interface.
-func UpgradeMember(m LegacyMember) Member { return &legacyAdapter{m} }
+// PanelMember is the optional batch-answering extension of Member: a
+// member that can answer a whole panel of concrete questions in one round
+// trip (a confirmation screen, a single crowd-platform HIT). AnswerPanel
+// returns one frequency in [0, 1] per question, index-aligned. Members
+// that do not implement it are asked per question; AdaptMember wraps one
+// explicitly.
+type PanelMember interface {
+	Member
+	AnswerPanel(qs []PanelQuestion) []float64
+}
 
-type legacyAdapter struct{ m LegacyMember }
-
-func (a *legacyAdapter) ID() string                   { return a.m.ID() }
-func (a *legacyAdapter) HowOften(fs []Triple) float64 { return a.m.HowOften(fs) }
-
-func (a *legacyAdapter) Specialize(candidates [][]Triple) SpecializeResponse {
-	idx, freq, ok, declined := a.m.Specialize(candidates)
-	switch {
-	case declined:
-		return DeclineSpecialization()
-	case !ok:
-		return NoneOfThese()
-	default:
-		return Choose(idx, freq)
+// AdaptMember wraps a single-question Member into a PanelMember whose
+// AnswerPanel answers each item with HowOften. Use it where a PanelMember
+// is required and per-question answering is acceptable.
+func AdaptMember(m Member) PanelMember {
+	if pm, ok := m.(PanelMember); ok {
+		return pm
 	}
+	return &adaptedMember{m}
 }
 
-func (a *legacyAdapter) Irrelevant(terms []string) (string, bool) {
-	return a.m.Irrelevant(terms)
+type adaptedMember struct{ Member }
+
+func (a *adaptedMember) AnswerPanel(qs []PanelQuestion) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = a.HowOften(q.Facts)
+	}
+	return out
+}
+
+// PriorSource supplies the prior guess attached to each panel question
+// (see WithPriorSource). Implementations must be deterministic for a
+// given question; they are consulted while the engine is parked.
+type PriorSource interface {
+	Prior(q SessionQuestion) Prior
 }
 
 // memberAdapter bridges the facade Member to the internal crowd.Member.
 type memberAdapter struct {
 	db *DB
 	m  Member
+}
+
+// newMemberAdapter bridges a facade member to the internal crowd.Member,
+// preserving the optional panel capability: a PanelMember comes back as a
+// crowd.Panelist, so the batching layer hands it whole panels.
+func newMemberAdapter(db *DB, m Member) crowd.Member {
+	a := memberAdapter{db: db, m: m}
+	if pm, ok := m.(PanelMember); ok {
+		return &panelistAdapter{memberAdapter: a, pm: pm}
+	}
+	return &a
+}
+
+// panelistAdapter additionally implements crowd.Panelist for facade
+// members that batch-answer.
+type panelistAdapter struct {
+	memberAdapter
+	pm PanelMember
+}
+
+func (a *panelistAdapter) AnswerPanel(qs []crowd.PanelQuestion) []float64 {
+	out := make([]PanelQuestion, len(qs))
+	for i, q := range qs {
+		out[i] = PanelQuestion{Facts: a.db.triples(q.Facts), Prior: q.Prior}
+	}
+	return a.pm.AnswerPanel(out)
 }
 
 func (a *memberAdapter) ID() string { return a.m.ID() }
@@ -519,6 +573,8 @@ type options struct {
 	topK                int
 	spamMaxViolations   int
 	parallelism         int
+	panelSize           int
+	priorSource         PriorSource
 	noPlanCache         bool
 	store               *Store
 	metrics             *Metrics
@@ -584,6 +640,32 @@ func WithoutPlanCache() Option { return func(o *options) { o.noPlanCache = true 
 // changes. Default 1 (sequential).
 func WithParallelism(p int) Option { return func(o *options) { o.parallelism = p } }
 
+// WithPanelSize switches execution to panel-first batching: up to n
+// currently answerable questions are grouped into one prior-primed panel
+// per member and answered in one round trip (PanelMember implementations
+// get the whole panel at once). Mined results are bit-identical to the
+// one-question default; only the number of member round trips changes.
+// Composes with WithParallelism, which then bounds panels in flight.
+// Default 0 (one question per round trip).
+func WithPanelSize(n int) Option { return func(o *options) { o.panelSize = n } }
+
+// WithPriorSource replaces the default prior source (the running
+// aggregate, then the ontology's shape) used to prime panel questions.
+// Priors only change how questions render — confirmation versus open —
+// never the mined result. Meaningful with WithPanelSize or NewSession.
+func WithPriorSource(src PriorSource) Option { return func(o *options) { o.priorSource = src } }
+
+// priorSourceAdapter lifts a facade PriorSource to the internal batching
+// layer's interface.
+type priorSourceAdapter struct {
+	db  *DB
+	src PriorSource
+}
+
+func (a priorSourceAdapter) Prior(q core.Question) crowd.Prior {
+	return a.src.Prior(convertQuestion(a.db, q))
+}
+
 // compilePlan resolves the query into a plan, through the DB's shared
 // plan cache unless WithoutPlanCache was given.
 func compilePlan(db *DB, q *Query, o *options) (*plan.Plan, error) {
@@ -632,6 +714,7 @@ func planConfig(db *DB, pl *plan.Plan, o *options) (*assign.Space, core.Config, 
 		MaxMSPs:               o.topK,
 		SpamMaxViolations:     o.spamMaxViolations,
 		SpamTolerance:         0.25,
+		PanelSpeculation:      o.panelSize,
 		Rng:                   rand.New(rand.NewSource(o.seed)),
 	}
 	if o.store != nil {
@@ -829,13 +912,21 @@ func execCompiled(ctx context.Context, db *DB, pl *plan.Plan, members []Member, 
 	byID := make(map[string]crowd.Member, len(members))
 	ids := make([]string, len(members))
 	for i, m := range members {
-		cms[i] = &memberAdapter{db: db, m: m}
+		cms[i] = newMemberAdapter(db, m)
 		ids[i] = m.ID()
 		byID[m.ID()] = cms[i]
 	}
 	cfg.Members = cms
 	var res *core.Result
-	if o.parallelism > 1 {
+	if o.panelSize > 0 {
+		// Panel-first: batch the answerable questions into prior-primed
+		// per-member panels; parallelism bounds panels in flight.
+		pcfg := panel.Config{Size: o.panelSize}
+		if o.priorSource != nil {
+			pcfg.Source = priorSourceAdapter{db: db, src: o.priorSource}
+		}
+		res, _ = panel.Run(cfg, pcfg, o.parallelism)
+	} else if o.parallelism > 1 {
 		res, _ = core.RunConcurrent(cfg, o.parallelism, o.seed)
 	} else {
 		// The sequential path is a thin loop over the step-driven session:

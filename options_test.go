@@ -149,10 +149,8 @@ func TestSpamFilterOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A member whose answers invert monotonicity: generalities never,
-	// specifics always. It still implements the pre-SpecializeResponse
-	// 4-tuple interface, exercising the UpgradeMember shim.
-	spam := UpgradeMember(&invertedMember{})
-	members := append([]Member{spam}, table3Members(t, db)...)
+	// specifics always.
+	members := append([]Member{&invertedMember{}}, table3Members(t, db)...)
 	res, err := Exec(db, q, members,
 		WithAnswersPerQuestion(3),
 		WithSpamFilter(2),
@@ -173,8 +171,8 @@ func (m *invertedMember) HowOften(facts []Triple) float64 {
 	}
 	return 0
 }
-func (m *invertedMember) Specialize([][]Triple) (int, float64, bool, bool) {
-	return 0, 0, false, true
+func (m *invertedMember) Specialize([][]Triple) SpecializeResponse {
+	return DeclineSpecialization()
 }
 func (m *invertedMember) Irrelevant([]string) (string, bool) { return "", false }
 

@@ -5,6 +5,7 @@ import (
 
 	"oassis/internal/assign"
 	"oassis/internal/core"
+	"oassis/internal/panel"
 )
 
 // QuestionID identifies one issued session question.
@@ -92,11 +93,12 @@ func RespondNoClick() Response { return Response{} }
 // ctx is canceled, Next returns no more questions and Close returns the
 // partial result.
 type Session struct {
-	ctx   context.Context
-	db    *DB
-	all   bool // SELECT ... ALL of the compiled plan
-	sp    *assign.Space
-	inner *core.Session
+	ctx     context.Context
+	db      *DB
+	all     bool // SELECT ... ALL of the compiled plan
+	sp      *assign.Space
+	inner   *core.Session
+	batcher *panel.Batcher
 }
 
 // NewSession compiles the query and starts a step-driven run over the
@@ -118,12 +120,18 @@ func NewSession(ctx context.Context, db *DB, q *Query, memberIDs []string, opts 
 		return nil, err
 	}
 	cfg.Canceled = func() bool { return ctx.Err() != nil }
+	inner := core.NewSession(cfg, memberIDs)
+	pcfg := panel.Config{Size: o.panelSize}
+	if o.priorSource != nil {
+		pcfg.Source = priorSourceAdapter{db: db, src: o.priorSource}
+	}
 	return &Session{
-		ctx:   ctx,
-		db:    db,
-		all:   pl.All,
-		sp:    sp,
-		inner: core.NewSession(cfg, memberIDs),
+		ctx:     ctx,
+		db:      db,
+		all:     pl.All,
+		sp:      sp,
+		inner:   inner,
+		batcher: panel.NewBatcher(inner, pcfg),
 	}, nil
 }
 
@@ -139,31 +147,113 @@ func (s *Session) Next() []SessionQuestion {
 	qs := s.inner.Next()
 	out := make([]SessionQuestion, 0, len(qs))
 	for _, q := range qs {
-		sq := SessionQuestion{
-			ID:          QuestionID(q.ID),
-			Member:      q.Member,
-			Speculative: q.Speculative,
-		}
-		switch q.Kind {
-		case core.KindSpecialization:
-			sq.Kind = Specialization
-			sq.Choices = make([][]Triple, len(q.Choices))
-			for i, c := range q.Choices {
-				sq.Choices[i] = s.db.triples(c)
-			}
-		case core.KindPruning:
-			sq.Kind = Pruning
-			sq.Terms = make([]string, len(q.Terms))
-			for i, t := range q.Terms {
-				sq.Terms[i] = s.db.voc.Name(t)
-			}
-		default:
-			sq.Kind = Concrete
-			sq.Facts = s.db.triples(q.Facts)
-		}
-		out = append(out, sq)
+		out = append(out, convertQuestion(s.db, q))
 	}
 	return out
+}
+
+// convertQuestion maps an engine question to the facade's textual form.
+func convertQuestion(db *DB, q core.Question) SessionQuestion {
+	sq := SessionQuestion{
+		ID:          QuestionID(q.ID),
+		Member:      q.Member,
+		Speculative: q.Speculative,
+	}
+	switch q.Kind {
+	case core.KindSpecialization:
+		sq.Kind = Specialization
+		sq.Choices = make([][]Triple, len(q.Choices))
+		for i, c := range q.Choices {
+			sq.Choices[i] = db.triples(c)
+		}
+	case core.KindPruning:
+		sq.Kind = Pruning
+		sq.Terms = make([]string, len(q.Terms))
+		for i, t := range q.Terms {
+			sq.Terms[i] = db.voc.Name(t)
+		}
+	default:
+		sq.Kind = Concrete
+		sq.Facts = db.triples(q.Facts)
+	}
+	return sq
+}
+
+// PanelItem is one question inside a Panel: the question, the priority
+// that ranked it into the panel (higher is earlier; the question the run
+// is blocked on always leads), and its prior guess.
+type PanelItem struct {
+	Question SessionQuestion
+	Priority float64
+	Prior    Prior
+}
+
+// Confirm reports whether the item renders as a one-tap confirmation
+// (high-confidence prior) rather than an open question.
+func (it PanelItem) Confirm() bool { return it.Prior.Confirmable() }
+
+// Panel is one member's batch of currently answerable questions,
+// priority-ordered and primed with priors: one screen, one round trip.
+type Panel struct {
+	Member string
+	Items  []PanelItem
+}
+
+// PanelAnswer pairs a panel item's question ID with its response for
+// SubmitPanel.
+type PanelAnswer struct {
+	ID       QuestionID
+	Response Response
+}
+
+// NextPanels is the batched form of Next: the currently answerable
+// questions grouped into per-member panels of at most the WithPanelSize
+// bound (default 8), each item primed with a Prior from the session
+// aggregate, the ontology, or the WithPriorSource option. The first
+// panel holds the question the run cannot proceed without. NextPanels
+// returns nil exactly when Next would return no questions. Panels and
+// single questions can be mixed freely; results are identical either
+// way.
+func (s *Session) NextPanels() []Panel {
+	if s.ctx.Err() != nil {
+		s.inner.Close()
+		return nil
+	}
+	ps := s.batcher.Next()
+	out := make([]Panel, 0, len(ps))
+	for _, p := range ps {
+		items := make([]PanelItem, len(p.Items))
+		for i, it := range p.Items {
+			items[i] = PanelItem{
+				Question: convertQuestion(s.db, it.Question),
+				Priority: it.Priority,
+				Prior:    it.Prior,
+			}
+		}
+		out = append(out, Panel{Member: p.Member, Items: items})
+	}
+	return out
+}
+
+// SubmitPanel merges a whole panel of answers in one call, applying them
+// in deterministic (question ID) order — the result is bit-identical to
+// submitting each answer individually, in any order. Unknown IDs make it
+// report ErrUnknownQuestion after applying the valid answers; answers to
+// questions the run has moved past are dropped silently.
+func (s *Session) SubmitPanel(answers []PanelAnswer) error {
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	subs := make([]core.Submission, len(answers))
+	for i, a := range answers {
+		subs[i] = core.Submission{ID: core.QuestionID(a.ID), Answer: core.Answer{
+			Support:  a.Response.Frequency,
+			Choice:   a.Response.Choice,
+			Chosen:   a.Response.Chosen,
+			Declined: a.Response.Declined,
+		}}
+	}
+	return s.inner.SubmitBatch(subs)
 }
 
 // Submit merges the answer to a previously issued question. Errors match
