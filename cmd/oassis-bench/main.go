@@ -259,6 +259,9 @@ func main() {
 		{"capture", func() (*experiments.Report, error) {
 			return experiments.ItemsetCapture(12, 60, 0.15, 7)
 		}},
+		{"stopping", func() (*experiments.Report, error) {
+			return experiments.Stopping([]int{8, 10, 12})
+		}},
 		{"assoc", func() (*experiments.Report, error) {
 			return experiments.AssocMiner(30, 500, 11)
 		}},

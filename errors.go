@@ -3,7 +3,9 @@ package oassis
 import (
 	"errors"
 	"fmt"
+	"strings"
 
+	"oassis/internal/aggregate"
 	"oassis/internal/core"
 	"oassis/internal/oassisql"
 	"oassis/internal/serve"
@@ -77,6 +79,12 @@ func (o *options) validate() error {
 	}
 	if o.spamMaxViolations < 0 {
 		return invalidOption("spam filter violations %d (want >= 0)", o.spamMaxViolations)
+	}
+	if o.stopPolicy != "" {
+		if _, err := aggregate.StopByName(o.stopPolicy); err != nil {
+			return invalidOption("stop policy %q (want one of %s)",
+				o.stopPolicy, strings.Join(aggregate.StopNames(), ", "))
+		}
 	}
 	if o.parallelism < 0 {
 		return invalidOption("parallelism %d (want >= 0)", o.parallelism)

@@ -1,0 +1,71 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSpeciesObserve measures the streaming frequency-of-frequencies
+// update on the discovery hot path (one observation per descent chain).
+func BenchmarkSpeciesObserve(b *testing.B) {
+	s := NewSpeciesStop(2, 1) // target > 1: never latches
+	keys := make([]string, 256)
+	members := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("p%03d", i)
+	}
+	for i := range members {
+		members[i] = fmt.Sprintf("m%02d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObserveDiscovery(keys[i%len(keys)], members[(i/7)%len(members)])
+	}
+}
+
+// BenchmarkSpeciesEstimate measures the O(1) Chao92 estimate the engine
+// polls between questions.
+func BenchmarkSpeciesEstimate(b *testing.B) {
+	s := NewSpeciesStop(2, 1)
+	for i := 0; i < 4096; i++ {
+		s.ObserveDiscovery(fmt.Sprintf("p%03d", i%300), fmt.Sprintf("m%02d", i%40))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Estimate()
+	}
+}
+
+// BenchmarkAccuracyObserve measures consensus grading on the answer
+// recording path.
+func BenchmarkAccuracyObserve(b *testing.B) {
+	a := NewAccuracyWeightedStop(0, 0, 0)
+	keys := make([]string, 128)
+	members := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("q%03d", i)
+	}
+	for i := range members {
+		members[i] = fmt.Sprintf("m%02d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ObserveAnswer(keys[i%len(keys)], members[i%len(members)], float64(i%5)/4)
+	}
+}
+
+// BenchmarkWeightedVerdict measures the sorted weighted-mean verdict over
+// a full K-member sample.
+func BenchmarkWeightedVerdict(b *testing.B) {
+	w := NewAccuracyWeightedStop(0, 0, 0)
+	agg := NewWeighted(5, w)
+	for m := 0; m < 5; m++ {
+		mid := fmt.Sprintf("m%02d", m)
+		agg.Record("q", mid, float64(m%2))
+		w.ObserveAnswer("q", mid, float64(m%2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = agg.Verdict("q", 0.5)
+	}
+}

@@ -1,0 +1,348 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampler draws species indices from a known abundance distribution, so
+// the estimator can be checked against analytic ground truth: after n
+// draws the true completeness is (distinct species seen)/S, a quantity
+// the simulation knows exactly and the estimator must recover from the
+// stream alone.
+type sampler struct {
+	cum []float64 // cumulative probabilities over S species
+	rng *rand.Rand
+}
+
+// newSampler builds a sampler over S species with abundance p_k ∝
+// 1/(k+1)^skew (skew 0 is uniform; larger skews are Zipf-ier).
+func newSampler(S int, skew float64, seed int64) *sampler {
+	weights := make([]float64, S)
+	total := 0.0
+	for k := 0; k < S; k++ {
+		weights[k] = 1 / math.Pow(float64(k+1), skew)
+		total += weights[k]
+	}
+	cum := make([]float64, S)
+	acc := 0.0
+	for k := 0; k < S; k++ {
+		acc += weights[k] / total
+		cum[k] = acc
+	}
+	return &sampler{cum: cum, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *sampler) draw() int {
+	u := s.rng.Float64()
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TestSpeciesStopConvergence is the estimator's statistical gate: streams
+// drawn from known uniform and Zipf species distributions, with seeded
+// RNG, must drive the completeness estimate to within tolerance of the
+// analytic ground truth (observed distinct / true population). Each draw
+// uses a fresh member ID, so the per-member dedup never interferes with
+// the abundance counts.
+func TestSpeciesStopConvergence(t *testing.T) {
+	cases := []struct {
+		name    string
+		S       int     // true species count
+		skew    float64 // 0 = uniform
+		n       int     // sample size
+		seed    int64
+		tol     float64
+		wantMin float64 // sanity floor on the true completeness itself
+	}{
+		{"uniform/small-pop/saturated", 50, 0, 600, 1, 0.05, 0.95},
+		{"uniform/mid-pop/partial", 200, 0, 400, 2, 0.08, 0.70},
+		{"uniform/large-pop/sparse", 400, 0, 500, 3, 0.10, 0.50},
+		{"zipf1.0/mid-pop", 100, 1.0, 1200, 4, 0.12, 0.60},
+		{"zipf1.0/large-pop", 250, 1.0, 2500, 5, 0.12, 0.50},
+		{"zipf1.5/heavy-skew", 150, 1.5, 2000, 6, 0.15, 0.30},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			smp := newSampler(tc.S, tc.skew, tc.seed)
+			stop := NewSpeciesStop(2, 1) // target > 1: never stops, pure estimation
+			seen := make(map[int]bool)
+			for i := 0; i < tc.n; i++ {
+				k := smp.draw()
+				seen[k] = true
+				stop.ObserveDiscovery(fmt.Sprintf("sp%04d", k), fmt.Sprintf("m%06d", i))
+			}
+			truth := float64(len(seen)) / float64(tc.S)
+			if truth < tc.wantMin {
+				t.Fatalf("simulation drifted: true completeness %.3f below the case's %.2f floor", truth, tc.wantMin)
+			}
+			est := stop.Estimate()
+			if est < 0 || est > 1 {
+				t.Fatalf("estimate %v outside [0,1]", est)
+			}
+			if diff := math.Abs(est - truth); diff > tc.tol {
+				t.Errorf("estimate %.3f vs true completeness %.3f: off by %.3f (tolerance %.3f, observed %d/%d species)",
+					est, truth, diff, tc.tol, len(seen), tc.S)
+			}
+		})
+	}
+}
+
+// TestSpeciesStopEstimateTracksSampling: as the sample grows over a fixed
+// population, the estimate must approach 1 along with the true coverage —
+// the convergence half of the property, checked at checkpoints.
+func TestSpeciesStopEstimateTracksSampling(t *testing.T) {
+	const S = 80
+	smp := newSampler(S, 0.8, 7)
+	stop := NewSpeciesStop(2, 1)
+	seen := make(map[int]bool)
+	checkpoints := map[int]bool{200: true, 800: true, 3200: true}
+	for i := 1; i <= 3200; i++ {
+		k := smp.draw()
+		seen[k] = true
+		stop.ObserveDiscovery(fmt.Sprintf("sp%03d", k), fmt.Sprintf("m%05d", i))
+		if checkpoints[i] {
+			truth := float64(len(seen)) / S
+			if diff := math.Abs(stop.Estimate() - truth); diff > 0.15 {
+				t.Errorf("after %d draws: estimate %.3f vs truth %.3f (off %.3f)",
+					i, stop.Estimate(), truth, diff)
+			}
+		}
+	}
+	if est := stop.Estimate(); est < 0.9 {
+		t.Errorf("saturated sample still estimates %.3f completeness", est)
+	}
+}
+
+// TestSpeciesStopLatch: ShouldStop latches — once the target is crossed,
+// a later flood of fresh singletons (which drags the estimate down) must
+// not revive the run.
+func TestSpeciesStopLatch(t *testing.T) {
+	stop := NewSpeciesStop(0.8, 10)
+	// Saturate a tiny population: 4 species seen by 10 members each.
+	for m := 0; m < 10; m++ {
+		for k := 0; k < 4; k++ {
+			stop.ObserveDiscovery(fmt.Sprintf("sp%d", k), fmt.Sprintf("m%d", m))
+		}
+	}
+	if !stop.ShouldStop() {
+		t.Fatalf("saturated stream did not stop: estimate %.3f, n=%d", stop.Estimate(), 40)
+	}
+	for i := 0; i < 100; i++ {
+		stop.ObserveDiscovery(fmt.Sprintf("fresh%d", i), fmt.Sprintf("f%d", i))
+		if !stop.ShouldStop() {
+			t.Fatalf("stop revived after %d fresh singletons (estimate %.3f)", i+1, stop.Estimate())
+		}
+	}
+}
+
+// TestSpeciesStopDedup: repeated sightings of a species by the same
+// member are one observation — chatty members cannot inflate coverage.
+func TestSpeciesStopDedup(t *testing.T) {
+	stop := NewSpeciesStop(0.99, 1)
+	for i := 0; i < 50; i++ {
+		stop.ObserveDiscovery("spA", "m1")
+	}
+	if got := stop.Observed(); got != 1 {
+		t.Errorf("Observed() = %d after one member's repeats, want 1", got)
+	}
+	if stop.ShouldStop() {
+		t.Error("a single singleton observation must not satisfy any target")
+	}
+	stop.ObserveDiscovery("spA", "m2")
+	stop.ObserveDiscovery("spA", "m3")
+	if got, want := stop.EstimatedRichness(), 1.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("richness %v for one thrice-seen species, want ~1", got)
+	}
+}
+
+// TestSpeciesStopEmpty: the untouched estimator reports 0 completeness
+// and never stops.
+func TestSpeciesStopEmpty(t *testing.T) {
+	stop := NewSpeciesStop(0, 0)
+	if stop.Estimate() != 0 {
+		t.Errorf("empty estimate = %v, want 0", stop.Estimate())
+	}
+	if stop.ShouldStop() {
+		t.Error("empty estimator stopped")
+	}
+	if stop.Target != 0.9 || stop.MinObservations != 25 {
+		t.Errorf("defaults = (%v, %d), want (0.9, 25)", stop.Target, stop.MinObservations)
+	}
+}
+
+// TestStopByName covers the registry: every name resolves to a policy of
+// that name, the empty name is the threshold default, unknown names err.
+func TestStopByName(t *testing.T) {
+	for _, name := range append(StopNames(), "") {
+		p, err := StopByName(name)
+		if err != nil {
+			t.Fatalf("StopByName(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = StopThreshold
+		}
+		if p.Name() != want {
+			t.Errorf("StopByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := StopByName("nope"); err == nil {
+		t.Error("unknown stop policy accepted")
+	}
+	if len(StopNames()) != 3 {
+		t.Errorf("StopNames() = %v, want 3 names", StopNames())
+	}
+}
+
+// TestThresholdStopInert: the extracted default observes everything and
+// does nothing.
+func TestThresholdStopInert(t *testing.T) {
+	var s ThresholdStop
+	s.ObserveAnswer("q", "m", 0.5)
+	s.ObserveDiscovery("p", "m")
+	if s.ShouldStop() || s.Estimate() != 0 || s.Name() != StopThreshold {
+		t.Errorf("ThresholdStop not inert: stop=%v est=%v name=%q", s.ShouldStop(), s.Estimate(), s.Name())
+	}
+}
+
+// feedConsensus records one question answered by honest members at
+// honest, then by the graded member at sup — the minimal stream that
+// grades the member once against an established consensus.
+func feedConsensus(a *AccuracyWeightedStop, q string, honest float64, member string, sup float64) {
+	a.ObserveAnswer(q, "h1", honest)
+	a.ObserveAnswer(q, "h2", honest)
+	a.ObserveAnswer(q, member, sup)
+}
+
+// TestAccuracyFlagsDisagreement: a member consistently far from the
+// consensus is flagged once MinAnswers trials accumulate; members inside
+// the tolerance are not.
+func TestAccuracyFlagsDisagreement(t *testing.T) {
+	a := NewAccuracyWeightedStop(0.4, 4, 0.25)
+	for i := 0; i < 6; i++ {
+		q := fmt.Sprintf("q%d", i)
+		feedConsensus(a, q, 0.75, "spam", 0.0) // always disagrees by 0.75
+	}
+	if !a.Flagged("spam") {
+		t.Errorf("disagreeing member not flagged: rate %.3f", a.Rate("spam"))
+	}
+	if a.Weight("spam") != 0 {
+		t.Errorf("flagged member weight = %v, want 0", a.Weight("spam"))
+	}
+	// h1 answered first on every question (no consensus yet), so h2 is the
+	// graded honest member: always within tolerance.
+	if a.Flagged("h2") {
+		t.Errorf("agreeing member flagged: rate %.3f", a.Rate("h2"))
+	}
+	if w := a.Weight("h2"); w <= 0.5 {
+		t.Errorf("agreeing member weight = %v, want > 0.5", w)
+	}
+	if got := a.FlaggedMembers(); len(got) != 1 || got[0] != "spam" {
+		t.Errorf("FlaggedMembers() = %v, want [spam]", got)
+	}
+	if est := a.Estimate(); est <= 0 || est > 1 {
+		t.Errorf("estimate %v outside (0,1]", est)
+	}
+}
+
+// TestAccuracyNeedsMinAnswers: no flag before MinAnswers consensus
+// comparisons, however bad the answers.
+func TestAccuracyNeedsMinAnswers(t *testing.T) {
+	a := NewAccuracyWeightedStop(0.4, 8, 0.25)
+	for i := 0; i < 7; i++ {
+		feedConsensus(a, fmt.Sprintf("q%d", i), 1.0, "spam", 0.0)
+	}
+	if a.Flagged("spam") {
+		t.Error("flagged after 7 trials with MinAnswers=8")
+	}
+	feedConsensus(a, "q8", 1.0, "spam", 0.0)
+	if !a.Flagged("spam") {
+		t.Errorf("not flagged after 8 trials: rate %.3f", a.Rate("spam"))
+	}
+}
+
+// TestAccuracyUngradedDefaults: unseen members carry the uninformed 0.5
+// prior and the policy never ends the run.
+func TestAccuracyUngradedDefaults(t *testing.T) {
+	a := NewAccuracyWeightedStop(0, 0, 0)
+	if a.Floor != 0.4 || a.MinAnswers != 8 || a.Tolerance != 0.25 {
+		t.Errorf("defaults = (%v, %d, %v)", a.Floor, a.MinAnswers, a.Tolerance)
+	}
+	if a.Weight("nobody") != 0.5 || a.Rate("nobody") != 0.5 || a.Flagged("nobody") {
+		t.Error("ungraded member not at the 0.5 prior")
+	}
+	if a.Estimate() != 1 {
+		t.Errorf("ungraded crowd estimate = %v, want 1", a.Estimate())
+	}
+	if a.ShouldStop() {
+		t.Error("accuracy policy must never stop the run")
+	}
+}
+
+// fixedWeights is a test MemberWeighter with explicit weights and flags.
+type fixedWeights struct {
+	w       map[string]float64
+	flagged map[string]bool
+}
+
+func (f fixedWeights) Weight(m string) float64 { return f.w[m] }
+func (f fixedWeights) Flagged(m string) bool   { return f.flagged[m] }
+
+// TestWeightedAggregator: verdicts wait for K answers, weight the mean,
+// drop flagged members, and fall back to the plain mean when the whole
+// sample is flagged.
+func TestWeightedAggregator(t *testing.T) {
+	w := fixedWeights{
+		w:       map[string]float64{"good": 0.9, "meh": 0.3, "bad": 0.8},
+		flagged: map[string]bool{"bad": true},
+	}
+	a := NewWeighted(3, w)
+	if a.Record("q", "good", 1.0) != true || a.Record("q", "good", 0.5) != false {
+		t.Fatal("Record dedup broken")
+	}
+	if v := a.Verdict("q", 0.5); v != Undecided {
+		t.Fatalf("verdict with 1/3 answers = %v", v)
+	}
+	a.Record("q", "meh", 0.0)
+	a.Record("q", "bad", 0.0)
+	// Weighted mean ignores bad: (0.9·1 + 0.3·0)/1.2 = 0.75; plain mean
+	// would be 0.33 — the weighting flips the verdict at θ=0.5.
+	if v := a.Verdict("q", 0.5); v != Significant {
+		t.Errorf("weighted verdict = %v, want significant (mean %v)", v, a.Mean("q"))
+	}
+	if m := a.Mean("q"); math.Abs(m-0.75) > 1e-9 {
+		t.Errorf("weighted mean = %v, want 0.75", m)
+	}
+	if a.Answers("q") != 3 {
+		t.Errorf("answers = %d, want 3", a.Answers("q"))
+	}
+	// All-flagged sample: plain-mean fallback.
+	all := fixedWeights{w: map[string]float64{}, flagged: map[string]bool{"x": true, "y": true}}
+	b := NewWeighted(2, all)
+	b.Record("q", "x", 1.0)
+	b.Record("q", "y", 0.0)
+	if m := b.Mean("q"); math.Abs(m-0.5) > 1e-9 {
+		t.Errorf("all-flagged fallback mean = %v, want 0.5", m)
+	}
+	// Nil weighter degenerates to FixedSample's mean.
+	c := NewWeighted(1, nil)
+	c.Record("q", "x", 0.6)
+	if m := c.Mean("q"); math.Abs(m-0.6) > 1e-9 {
+		t.Errorf("nil-weighter mean = %v, want 0.6", m)
+	}
+	if a.Answers("missing") != 0 || a.Mean("missing") != 0 || a.Verdict("missing", 0.5) != Undecided {
+		t.Error("empty-key accessors broken")
+	}
+}

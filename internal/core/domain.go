@@ -52,3 +52,18 @@ func (d *Domain) Compile(q *oassisql.Query, m *plan.CacheMetrics) (*plan.Plan, b
 		return plan.Compile(d.Voc, d.Onto, q, d.fp)
 	})
 }
+
+// CompileStop returns the stop-policy variant of the compiled plan for q
+// over this domain: the base plan compiles (or hits) as usual, then the
+// variant derives through the same cache. The empty stop name is the
+// planner's default, making CompileStop("") equivalent to Compile.
+func (d *Domain) CompileStop(q *oassisql.Query, stop string, m *plan.CacheMetrics) (*plan.Plan, bool, error) {
+	pl, hit, err := d.Compile(q, m)
+	if err != nil {
+		return nil, false, err
+	}
+	if stop == "" || stop == pl.StopName {
+		return pl, hit, nil
+	}
+	return d.plans.GetOrDerive(pl, stop, m)
+}

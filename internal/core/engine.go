@@ -69,6 +69,16 @@ type Config struct {
 	// Incremental evaluation returns the first-discovered answers early.
 	MaxMSPs int
 
+	// Stop, when non-nil, is the streaming stop-condition estimator the
+	// run consults between questions (see aggregate.StopPolicy): it
+	// observes every recorded answer and every member's maximal affirmed
+	// pattern, may end the run once its estimate crosses its target
+	// (SpeciesStop), and may grade members online (AccuracyWeightedStop,
+	// whose spammer flags exclude members like the consistency filter
+	// does). nil — and the inert aggregate.ThresholdStop{} — reproduce
+	// the paper's ask-until-settled behavior bit-identically.
+	Stop aggregate.StopPolicy
+
 	// SpamMaxViolations, when positive, enables the §4.2 crowd-member
 	// selection: a member whose answers violate support monotonicity (a
 	// more specific fact-set reported more frequent than a more general
@@ -199,6 +209,9 @@ type engine struct {
 
 	consistency *aggregate.ConsistencyTracker // §4.2 spammer filter (optional)
 	banned      map[string]bool               // members excluded as inconsistent
+
+	stop  aggregate.StopPolicy     // optional stop-condition estimator
+	stopW aggregate.MemberWeighter // stop's member-grading view, if any
 }
 
 type instEntry struct {
@@ -296,6 +309,15 @@ func newEngine(cfg Config) *engine {
 		e.consistency = aggregate.NewConsistencyTracker(cfg.Space.Voc, cfg.SpamTolerance)
 		e.banned = make(map[string]bool)
 	}
+	if cfg.Stop != nil {
+		e.stop = cfg.Stop
+		if w, ok := cfg.Stop.(aggregate.MemberWeighter); ok {
+			e.stopW = w
+			if e.banned == nil {
+				e.banned = make(map[string]bool)
+			}
+		}
+	}
 	return e
 }
 
@@ -381,6 +403,10 @@ func (e *engine) budgetLeft() bool {
 	if e.canceled() {
 		return false
 	}
+	if e.stop != nil && e.stop.ShouldStop() {
+		e.stats.StoppedEarly = true
+		return false
+	}
 	return e.cfg.MaxQuestions == 0 || e.stats.TotalQuestions < e.cfg.MaxQuestions
 }
 
@@ -440,6 +466,7 @@ func (e *engine) recordAnswer(node assign.Assignment, qKey string, member string
 		e.cache.Record(qKey, member, sup, kind)
 		e.sinkAnswer(qKey, member, sup, kind, counted)
 		e.agg.Record(qKey, member, sup)
+		e.observeStopAnswer(qKey, member, sup)
 		if counted {
 			e.uniqueQ[qKey] = struct{}{}
 			e.countAnswer(kind)
@@ -458,6 +485,33 @@ func (e *engine) recordAnswer(node assign.Assignment, qKey string, member string
 		}
 	}
 	e.applyVerdict(node, qKey)
+}
+
+// observeStopAnswer feeds a recorded answer to the stop policy and applies
+// any fresh spammer flag: a flagged member joins the banned set, so
+// memberActive and session eligibility exclude them exactly like the
+// consistency filter's bans.
+func (e *engine) observeStopAnswer(qKey, member string, sup float64) {
+	if e.stop == nil {
+		return
+	}
+	e.stop.ObserveAnswer(qKey, member, sup)
+	e.cfg.Metrics.stopEstimate(e.stop.Name(), e.stop.Estimate())
+	if e.stopW != nil && !e.banned[member] && e.stopW.Flagged(member) {
+		e.banned[member] = true
+		e.stats.SpamFlagged++
+		e.cfg.Metrics.spamFlagged(e.stop.Name())
+	}
+}
+
+// observeStopDiscovery feeds the end of a member's descent chain — their
+// maximal affirmed pattern — to the stop policy's species stream.
+func (e *engine) observeStopDiscovery(node assign.Assignment, member string) {
+	if e.stop == nil {
+		return
+	}
+	e.stop.ObserveDiscovery(node.Key(), member)
+	e.cfg.Metrics.stopEstimate(e.stop.Name(), e.stop.Estimate())
 }
 
 // leaver is implemented by members that can end their participation
@@ -662,6 +716,7 @@ func (e *engine) descend(m crowd.Member, node assign.Assignment, budget *int) {
 		}
 	}
 	e.recordChainMax(node)
+	e.observeStopDiscovery(node, m.ID())
 }
 
 // decBudget decrements a member's per-question budget if bounded.
@@ -802,9 +857,60 @@ func (e *engine) forceClassify(node assign.Assignment) {
 	}
 }
 
+// settleFrontier force-classifies, in policy order and without asking a
+// single further question, every unclassified pool node that already
+// holds recorded answers: an early stop keeps the evidence it paid for
+// instead of discarding partially-sampled nodes. Nodes with no answers at
+// all stay unclassified — there is no evidence to settle them with.
+func (e *engine) settleFrontier() {
+	for {
+		e.drainExpansions()
+		best := -1
+		bestKey := ""
+		bestSize := -1
+		for id := range e.cls.unclassified {
+			if int(id) >= len(e.inPool) || !e.inPool[id] {
+				continue
+			}
+			n := e.ns.node(id)
+			_, qKey := e.instantiate(n)
+			if e.agg.Answers(qKey) == 0 {
+				continue
+			}
+			size := n.Size()
+			key := n.Key()
+			if bestSize < 0 || e.policy.Better(key, size, bestKey, bestSize) {
+				best, bestKey, bestSize = int(id), key, size
+			}
+		}
+		if best < 0 {
+			return
+		}
+		e.stats.StopSettled++
+		e.forceClassify(e.ns.node(uint32(best)))
+	}
+}
+
 // result finalizes the run.
 func (e *engine) result() *Result {
 	e.stats.UniqueQuestions = len(e.uniqueQ)
+	if e.stop != nil {
+		e.stats.StopEstimate = e.stop.Estimate()
+		if e.stats.StoppedEarly {
+			e.settleFrontier()
+			// Pool nodes still unclassified after settling never received
+			// an answer: each would have cost at least one more crowd
+			// answer, so the count is a lower bound on the questions saved.
+			saved := 0
+			for id := range e.cls.unclassified {
+				if int(id) < len(e.inPool) && e.inPool[id] {
+					saved++
+				}
+			}
+			e.stats.StopUnclassified = saved
+			e.cfg.Metrics.stopSaved(e.stop.Name(), saved)
+		}
+	}
 	msps := e.cls.maximalSignificant()
 	sort.Slice(msps, func(i, j int) bool { return msps[i].Key() < msps[j].Key() })
 	var valid []assign.Assignment

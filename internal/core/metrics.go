@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"oassis/internal/aggregate"
 	"oassis/internal/obs"
 )
 
@@ -31,6 +32,10 @@ type Metrics struct {
 
 	dispatchLaunched *obs.Counter
 	dispatchWasted   *obs.Counter
+
+	stopEstimates map[string]*obs.Gauge   // by stop-policy name, basis points
+	stopSaveds    map[string]*obs.Counter // questions saved by early stops
+	spamFlaggeds  map[string]*obs.Counter // members flagged below the floor
 }
 
 // kindLabels maps QuestionKind to the exposition label value. Speculation
@@ -73,7 +78,27 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		"questions launched by the concurrent dispatcher, including speculation")
 	m.dispatchWasted = r.Counter("oassis_dispatch_wasted_total",
 		"dispatcher answers collected but never consumed by the engine")
+	m.stopEstimates = make(map[string]*obs.Gauge, len(stopPolicyLabels))
+	m.stopSaveds = make(map[string]*obs.Counter, len(stopPolicyLabels))
+	m.spamFlaggeds = make(map[string]*obs.Counter, len(stopPolicyLabels))
+	for _, name := range stopPolicyLabels {
+		m.stopEstimates[name] = r.Gauge("oassis_engine_stop_estimate_bp",
+			"stop policy estimate (completeness or mean accuracy) in basis points of 1",
+			obs.L("policy", name))
+		m.stopSaveds[name] = r.Counter("oassis_engine_stop_saved_questions_total",
+			"pool nodes left unclassified by early stops (lower bound on answers saved)",
+			obs.L("policy", name))
+		m.spamFlaggeds[name] = r.Counter("oassis_engine_stop_spam_flagged_total",
+			"members flagged below a stop policy's spammer floor",
+			obs.L("policy", name))
+	}
 	return m
+}
+
+// stopPolicyLabels are the per-policy label values of the stop-policy
+// instruments, one series per registry name.
+var stopPolicyLabels = [...]string{
+	aggregate.StopThreshold, aggregate.StopSpecies, aggregate.StopAccuracy,
 }
 
 // kindIdx clamps a QuestionKind into the per-kind instrument arrays.
@@ -171,6 +196,33 @@ func (m *Metrics) wasted(n int) {
 		return
 	}
 	m.dispatchWasted.Add(n)
+}
+
+func (m *Metrics) stopEstimate(policy string, est float64) {
+	if m == nil {
+		return
+	}
+	if g := m.stopEstimates[policy]; g != nil {
+		g.Set(int64(est * 10000))
+	}
+}
+
+func (m *Metrics) stopSaved(policy string, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	if c := m.stopSaveds[policy]; c != nil {
+		c.Add(n)
+	}
+}
+
+func (m *Metrics) spamFlagged(policy string) {
+	if m == nil {
+		return
+	}
+	if c := m.spamFlaggeds[policy]; c != nil {
+		c.Inc()
+	}
 }
 
 // strID renders a QuestionID for span attributes.

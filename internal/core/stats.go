@@ -63,6 +63,32 @@ type Stats struct {
 	// (§4.2 crowd-member selection).
 	BannedMembers int
 
+	// SpamFlagged counts members flagged by an accuracy-weighted stop
+	// policy's spammer floor (Config.Stop); like consistency bans, a
+	// flagged member stops receiving questions, and the weighted
+	// aggregator drops their answers.
+	SpamFlagged int
+
+	// StoppedEarly reports that the stop policy ended the run before
+	// every generated node was classified (the species estimator's
+	// coverage target was reached).
+	StoppedEarly bool
+
+	// StopEstimate is the stop policy's final estimate in [0, 1]:
+	// answer-set completeness for the species estimator, mean member
+	// accuracy for the accuracy policy, 0 otherwise.
+	StopEstimate float64
+
+	// StopSettled counts pool nodes an early stop force-classified from
+	// the answers already in hand (the frontier settlement pass) instead
+	// of asking further questions.
+	StopSettled int
+
+	// StopUnclassified counts pool nodes an early stop left
+	// unclassified — nodes that never received an answer, a lower bound
+	// on the crowd answers saved.
+	StopUnclassified int
+
 	// StoreErrors counts failed appends to Config.Store; the run keeps
 	// going (answers are too expensive to discard over a disk error), but
 	// a non-zero count means the store is missing records.

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestStoppingSavesQuestions pins the stopping experiment's headline: on
+// the open-world grid the species estimator asks fewer questions than
+// run-to-exhaustion on every domain, and on at least one domain it does so
+// at full quality (exact recall and precision 1.0).
+func TestStoppingSavesQuestions(t *testing.T) {
+	grid := []int{8, 10, 12}
+	r, err := Stopping(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(grid) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(grid))
+	}
+	equalQuality := false
+	for _, p := range grid {
+		c, err := runStoppingCell(p, 0.75, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.QSpecies >= c.QFull {
+			t.Errorf("patterns=%d: species asked %d questions, exhaustion %d — no savings",
+				p, c.QSpecies, c.QFull)
+		}
+		if !c.Sound {
+			t.Errorf("patterns=%d: early-stop MSPs outside the exhaustive answer set (precision %.2f)",
+				p, c.Precision)
+		}
+		if c.Recall == 1 && c.Precision == 1 {
+			equalQuality = true
+		}
+	}
+	if !equalQuality {
+		t.Error("no grid cell reached equal quality (recall and precision 1.0)")
+	}
+}

@@ -1,0 +1,80 @@
+package panel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/core"
+	"oassis/internal/panel"
+	"oassis/internal/synth"
+)
+
+// TestThresholdStopEquivalenceMatrix is the stop-policy PR's correctness
+// claim: attaching the default ThresholdStop is bit-identical to attaching
+// no policy at all — over the same matrix the panel equivalence test pins
+// (Figure-1 plus the travel and culinary synthetic domains, sequential and
+// concurrent dispatch at parallelism 1 and 8, panel batching on and off).
+func TestThresholdStopEquivalenceMatrix(t *testing.T) {
+	travel := synth.DomainConfig{
+		Name: "travel", YTerms: 30, XTerms: 10, YDepth: 4, XDepth: 3,
+		Members: 8, Transactions: 12, Patterns: 6, Seed: 101,
+	}
+	culinary := synth.DomainConfig{
+		Name: "culinary", YTerms: 24, XTerms: 12, YDepth: 4, XDepth: 3,
+		Members: 8, Transactions: 12, Patterns: 8, Seed: 202,
+	}
+	type workload struct {
+		name string
+		cfg  func(t *testing.T) core.Config
+	}
+	workloads := []workload{
+		{"figure1", figure1Config},
+	}
+	for _, dc := range []synth.DomainConfig{travel, culinary} {
+		dc := dc
+		workloads = append(workloads, workload{dc.Name, func(t *testing.T) core.Config {
+			t.Helper()
+			d, err := synth.GenerateDomain(dc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return core.Config{
+				Space:   d.Sp,
+				Theta:   0.2,
+				Members: d.Members,
+				Agg:     aggregate.NewFixedSample(3),
+			}
+		}})
+	}
+	withStop := func(cfg core.Config) core.Config {
+		cfg.Stop = aggregate.ThresholdStop{}
+		return cfg
+	}
+	for _, wl := range workloads {
+		// Sequential engine, no policy attached: the pre-PR behavior.
+		want := renderRun(core.Run(wl.cfg(t)))
+
+		if got := renderRun(core.Run(withStop(wl.cfg(t)))); got != want {
+			t.Errorf("%s/sequential: ThresholdStop drifted from no-policy:\n--- none\n%s--- threshold\n%s",
+				wl.name, want, got)
+		}
+		for _, par := range []int{1, 8} {
+			res, _ := core.RunConcurrent(withStop(wl.cfg(t)), par, 42)
+			if got := renderRun(res); got != want {
+				t.Errorf("%s/concurrent/p%d: ThresholdStop drifted from no-policy:\n--- none\n%s--- threshold\n%s",
+					wl.name, par, want, got)
+			}
+		}
+		for _, size := range []int{1, 4} {
+			for _, par := range []int{1, 8} {
+				name := fmt.Sprintf("%s/panels/size%d/p%d", wl.name, size, par)
+				res, _ := panel.Run(withStop(wl.cfg(t)), panel.Config{Size: size}, par)
+				if got := renderRun(res); got != want {
+					t.Errorf("%s: ThresholdStop drifted from no-policy:\n--- none\n%s--- threshold\n%s",
+						name, want, got)
+				}
+			}
+		}
+	}
+}

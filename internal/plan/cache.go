@@ -22,6 +22,10 @@ type Cache struct {
 type cacheKey struct {
 	query  string
 	domain string
+	// stop is the stop-policy dimension of derived plan variants; the
+	// empty string is the planner's as-compiled default, so existing
+	// (query, domain) lookups are untouched by derivations.
+	stop string
 }
 
 // NewCache returns an empty plan cache.
@@ -33,7 +37,7 @@ func NewCache() *Cache {
 func (c *Cache) Get(queryText, domainFP string) (*Plan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.m[cacheKey{queryText, domainFP}]
+	p, ok := c.m[cacheKey{query: queryText, domain: domainFP}]
 	return p, ok
 }
 
@@ -46,7 +50,7 @@ func (c *Cache) Get(queryText, domainFP string) (*Plan, bool) {
 func (c *Cache) GetOrCompile(queryText, domainFP string, m *CacheMetrics,
 	compile func() (*Plan, error)) (*Plan, bool, error) {
 
-	k := cacheKey{queryText, domainFP}
+	k := cacheKey{query: queryText, domain: domainFP}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p, ok := c.m[k]; ok {
@@ -55,6 +59,33 @@ func (c *Cache) GetOrCompile(queryText, domainFP string, m *CacheMetrics,
 	}
 	start := time.Now()
 	p, err := compile()
+	if err != nil {
+		return nil, false, err
+	}
+	m.miss(time.Since(start))
+	c.m[k] = p
+	return p, false, nil
+}
+
+// GetOrDerive returns the cached stop-policy variant of base, deriving
+// and caching it on first use (Plan.WithStop shares the base plan's
+// precompiled tables, so a derivation is a re-serialization, not a
+// recompilation). Asking for base's own stop policy — or the empty
+// default — returns base as a hit. Like GetOrCompile, concurrent
+// sessions racing on a cold variant derive once.
+func (c *Cache) GetOrDerive(base *Plan, stop string, m *CacheMetrics) (*Plan, bool, error) {
+	if stop == "" || stop == base.StopName {
+		return base, true, nil
+	}
+	k := cacheKey{query: base.QueryText, domain: base.DomainFP, stop: stop}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.m[k]; ok {
+		m.hit()
+		return p, true, nil
+	}
+	start := time.Now()
+	p, err := base.WithStop(stop)
 	if err != nil {
 		return nil, false, err
 	}
@@ -82,7 +113,10 @@ func (c *Cache) Plans() []*Plan {
 		if keys[i].query != keys[j].query {
 			return keys[i].query < keys[j].query
 		}
-		return keys[i].domain < keys[j].domain
+		if keys[i].domain != keys[j].domain {
+			return keys[i].domain < keys[j].domain
+		}
+		return keys[i].stop < keys[j].stop
 	})
 	out := make([]*Plan, len(keys))
 	for i, k := range keys {

@@ -98,6 +98,7 @@ func Compile(voc *vocab.Vocabulary, onto *ontology.Ontology, q *oassisql.Query,
 		ValidBase:     sp.ValidBase,
 		PolicyName:    PolicyPaperOrder,
 		SubstrateName: chooseSubstrate(q),
+		StopName:      StopDefault,
 		DomainFP:      domainFP,
 	}, voc, sp.Tables())
 }
@@ -132,6 +133,7 @@ func FromSpace(queryText string, support float64, all bool, domainFP string,
 		ValidBase:     sp.ValidBase,
 		PolicyName:    PolicyPaperOrder,
 		SubstrateName: SubstrateAssoc,
+		StopName:      StopDefault,
 		DomainFP:      domainFP,
 	}, sp.Voc, sp.Tables())
 }

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"oassis/internal/aggregate"
 	"oassis/internal/assign"
 	"oassis/internal/vocab"
 )
@@ -49,6 +50,12 @@ type Plan struct {
 	// SubstrateName names the mining Substrate chosen by the planner
 	// (see SubstrateByName).
 	SubstrateName string
+	// StopName names the streaming stop-condition policy the plan runs
+	// with (see aggregate.StopByName). It is part of the serialized IR
+	// and hence the fingerprint: a stop-policy variant is a distinct
+	// plan, so plan caches and the WAL's drift detection keep runs with
+	// different stopping rules apart.
+	StopName string
 	// DomainFP is the fingerprint of the domain (vocabulary + ontology)
 	// the plan was compiled against, the second half of the cache key.
 	DomainFP string
@@ -111,6 +118,36 @@ func (p *Plan) Policy() (Policy, error) { return PolicyByName(p.PolicyName) }
 // Substrate resolves the plan's mining substrate.
 func (p *Plan) Substrate() (Substrate, error) { return SubstrateByName(p.SubstrateName) }
 
+// NewStop instantiates the plan's stop policy with default parameters.
+// Policies carry per-run streaming state, so every session gets a fresh
+// instance.
+func (p *Plan) NewStop() (aggregate.StopPolicy, error) {
+	return aggregate.StopByName(p.StopName)
+}
+
+// WithStop derives the stop-policy variant of p: the same query over the
+// same domain with the same precompiled tables, differing only in
+// StopName — and therefore in serialization and fingerprint. Deriving
+// the plan's own stop name returns p itself.
+func (p *Plan) WithStop(name string) (*Plan, error) {
+	if name == "" {
+		name = StopDefault
+	}
+	if _, err := aggregate.StopByName(name); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	if name == p.StopName {
+		return p, nil
+	}
+	q := *p
+	q.StopName = name
+	return newPlan(&q, p.voc, p.tab)
+}
+
+// StopDefault is the planner's default stop policy: the paper's
+// ask-until-settled threshold behavior.
+const StopDefault = aggregate.StopThreshold
+
 // planJSON is the serialized shape of the IR. Field order is fixed and
 // encoding/json is deterministic over it, so the serialization doubles as
 // the input of the content address.
@@ -122,6 +159,7 @@ type planJSON struct {
 	Domain    string     `json:"domain"`
 	Policy    string     `json:"policy"`
 	Substrate string     `json:"substrate"`
+	Stop      string     `json:"stop"`
 	Vars      []varJSON  `json:"vars"`
 	Sat       []satJSON  `json:"sat"`
 	ValidBase [][]string `json:"valid_base"`
@@ -160,6 +198,7 @@ func marshal(p *Plan) ([]byte, error) {
 		Domain:    p.DomainFP,
 		Policy:    p.PolicyName,
 		Substrate: p.SubstrateName,
+		Stop:      p.StopName,
 		Vars:      []varJSON{},
 		Sat:       []satJSON{},
 		ValidBase: [][]string{},

@@ -545,6 +545,26 @@ type Stats struct {
 	// StoreErrors counts failed writes to a WithStore store; non-zero
 	// means the store is missing records (the run itself kept going).
 	StoreErrors int
+	// SpamFlagged counts members the StopAccuracy policy flagged below
+	// its spammer floor (flagged members stop receiving questions and
+	// their answers lose aggregation weight).
+	SpamFlagged int
+	// StoppedEarly reports that the stop policy ended the run before
+	// every generated pattern was classified (the StopSpecies coverage
+	// target was reached).
+	StoppedEarly bool
+	// StopEstimate is the stop policy's final estimate in [0, 1]:
+	// answer-set completeness for StopSpecies, mean member accuracy for
+	// StopAccuracy, 0 under the default threshold policy.
+	StopEstimate float64
+	// StopSettled counts patterns an early stop classified from answers
+	// already in hand (the frontier settlement pass) instead of asking
+	// further questions.
+	StopSettled int
+	// StopUnclassified counts generated patterns an early stop left
+	// unclassified (never answered) — a lower bound on the crowd answers
+	// saved.
+	StopUnclassified int
 }
 
 // Result of executing a query.
@@ -572,6 +592,7 @@ type options struct {
 	moreCandidates      []Triple
 	topK                int
 	spamMaxViolations   int
+	stopPolicy          string
 	parallelism         int
 	panelSize           int
 	priorSource         PriorSource
@@ -627,6 +648,32 @@ func WithSpamFilter(maxViolations int) Option {
 	return func(o *options) { o.spamMaxViolations = maxViolations }
 }
 
+// Stop-policy names for WithStopPolicy.
+const (
+	// StopThreshold is the default: ask until the significance
+	// thresholds settle on every generated pattern (the paper's
+	// behavior, bit-identical to not setting a policy at all).
+	StopThreshold = aggregate.StopThreshold
+	// StopSpecies stops open-world enumeration early: a streaming
+	// Chao92 species-richness estimator over the crowd's discovered
+	// patterns ends the run once estimated answer-set completeness
+	// crosses its target.
+	StopSpecies = aggregate.StopSpecies
+	// StopAccuracy grades members online against the running consensus:
+	// answers are aggregation-weighted by each member's accuracy rate,
+	// and members below the spammer floor are excluded.
+	StopAccuracy = aggregate.StopAccuracy
+)
+
+// WithStopPolicy selects the streaming stop-condition policy of the run:
+// StopThreshold (default), StopSpecies or StopAccuracy. The policy is
+// part of the compiled plan — plans with different stop policies have
+// different fingerprints, so the plan cache and a WithStore WAL keep
+// them apart. An unknown name is reported as ErrInvalidOption.
+func WithStopPolicy(name string) Option {
+	return func(o *options) { o.stopPolicy = name }
+}
+
 // WithoutPlanCache bypasses the DB's shared plan cache: the query is
 // recompiled from scratch and the result is not cached. Mined results
 // are bit-identical either way; the option exists for benchmarks and for
@@ -678,9 +725,13 @@ func compilePlan(db *DB, q *Query, o *options) (*plan.Plan, error) {
 		m = o.metrics.plan
 	}
 	if o.noPlanCache {
-		return plan.Compile(dom.Voc, dom.Onto, q.ast, dom.Fingerprint())
+		pl, err := plan.Compile(dom.Voc, dom.Onto, q.ast, dom.Fingerprint())
+		if err != nil || o.stopPolicy == "" {
+			return pl, err
+		}
+		return pl.WithStop(o.stopPolicy)
 	}
-	pl, _, err := dom.Compile(q.ast, m)
+	pl, _, err := dom.CompileStop(q.ast, o.stopPolicy, m)
 	return pl, err
 }
 
@@ -702,6 +753,10 @@ func planConfig(db *DB, pl *plan.Plan, o *options) (*assign.Space, core.Config, 
 	if err != nil {
 		return nil, cfg, err
 	}
+	stop, err := pl.NewStop()
+	if err != nil {
+		return nil, cfg, err
+	}
 	cfg = core.Config{
 		Space:                 sp,
 		Theta:                 pl.Support,
@@ -715,7 +770,14 @@ func planConfig(db *DB, pl *plan.Plan, o *options) (*assign.Space, core.Config, 
 		SpamMaxViolations:     o.spamMaxViolations,
 		SpamTolerance:         0.25,
 		PanelSpeculation:      o.panelSize,
+		Stop:                  stop,
 		Rng:                   rand.New(rand.NewSource(o.seed)),
+	}
+	if w, ok := stop.(aggregate.MemberWeighter); ok {
+		// A member-grading policy pairs with the weighted aggregator: the
+		// two share the accuracy tracker, so flags and weights take effect
+		// in the verdicts immediately.
+		cfg.Agg = aggregate.NewWeighted(o.answersPerQuestion, w)
 	}
 	if o.store != nil {
 		cfg.Store = o.store.inner
@@ -745,15 +807,20 @@ func compile(db *DB, q *Query, o *options) (*plan.Plan, *assign.Space, core.Conf
 // mirrors SELECT ... ALL.
 func convertResult(db *DB, all bool, sp *assign.Space, res *core.Result) *Result {
 	out := &Result{Stats: Stats{
-		TotalQuestions:  res.Stats.TotalQuestions,
-		UniqueQuestions: res.Stats.UniqueQuestions,
-		Concrete:        res.Stats.Concrete,
-		Specialization:  res.Stats.Specialization,
-		NoneOfThese:     res.Stats.NoneOfThese,
-		PruningClicks:   res.Stats.Pruning,
-		GeneratedNodes:  res.Stats.GeneratedNodes,
-		PrimedAnswers:   res.Stats.PrimedAnswers,
-		StoreErrors:     res.Stats.StoreErrors,
+		TotalQuestions:   res.Stats.TotalQuestions,
+		UniqueQuestions:  res.Stats.UniqueQuestions,
+		Concrete:         res.Stats.Concrete,
+		Specialization:   res.Stats.Specialization,
+		NoneOfThese:      res.Stats.NoneOfThese,
+		PruningClicks:    res.Stats.Pruning,
+		GeneratedNodes:   res.Stats.GeneratedNodes,
+		PrimedAnswers:    res.Stats.PrimedAnswers,
+		StoreErrors:      res.Stats.StoreErrors,
+		SpamFlagged:      res.Stats.SpamFlagged,
+		StoppedEarly:     res.Stats.StoppedEarly,
+		StopEstimate:     res.Stats.StopEstimate,
+		StopSettled:      res.Stats.StopSettled,
+		StopUnclassified: res.Stats.StopUnclassified,
 	}}
 	toAnswer := func(a assign.Assignment, valid bool) Answer {
 		fs := sp.Instantiate(a)
@@ -845,6 +912,10 @@ func (p *Plan) DomainFingerprint() string { return p.inner.DomainFP }
 // Query returns the canonical text of the compiled query.
 func (p *Plan) Query() string { return p.inner.QueryText }
 
+// StopPolicy returns the name of the stop policy compiled into the plan
+// (StopThreshold unless WithStopPolicy chose otherwise).
+func (p *Plan) StopPolicy() string { return p.inner.StopName }
+
 // MarshalJSON returns the plan IR with terms resolved to names.
 func (p *Plan) MarshalJSON() ([]byte, error) { return p.inner.MarshalJSON() }
 
@@ -896,7 +967,20 @@ func ExecPlanContext(ctx context.Context, db *DB, p *Plan, members []Member, opt
 		return nil, fmt.Errorf("oassis: plan was compiled against a different domain (plan %s, db %s)",
 			fp, dom.Fingerprint())
 	}
-	return execCompiled(ctx, db, p.inner, members, &o)
+	pl := p.inner
+	if o.stopPolicy != "" && o.stopPolicy != pl.StopName {
+		// WithStopPolicy on an already-compiled plan: derive the variant
+		// through the domain's cache (same tables, new fingerprint).
+		var m *plan.CacheMetrics
+		if o.metrics != nil {
+			m = o.metrics.plan
+		}
+		pl, _, err = dom.Plans().GetOrDerive(pl, o.stopPolicy, m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return execCompiled(ctx, db, pl, members, &o)
 }
 
 // execCompiled is the shared execution tail of ExecContext and
