@@ -8,9 +8,9 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCH_STAMP := $(shell date +%Y%m%d_%H%M%S)
 
-# Combined statement-coverage floor over the engine and the durable store
-# (see the cover target): 81.4% measured when the gate was introduced,
-# floored slightly to absorb timing-dependent recovery paths.
+# Combined statement-coverage floor over the engine, the planner and the
+# durable store (see the cover target): 81.4% measured when the gate was
+# introduced, floored slightly to absorb timing-dependent recovery paths.
 COVER_MIN ?= 80.0
 
 .PHONY: check fmt vet build api api-update test race fuzz cover bench bench-smoke bench-compare plan-golden plan-golden-update
@@ -63,13 +63,14 @@ fuzz:
 	$(GO) test ./internal/obs -run '^$$' -fuzz '^FuzzLabelEscaping$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/aggregate -run '^$$' -fuzz '^FuzzStopPolicy$$' -fuzztime $(FUZZTIME)
 
-# Combined core+store+aggregate statement coverage, gated at COVER_MIN so
-# engine, store or stop-policy changes that shed tests fail the build.
+# Combined core+plan+store+aggregate statement coverage, gated at
+# COVER_MIN so engine, planner (ordering policies included), store or
+# stop-policy changes that shed tests fail the build.
 cover:
 	@mkdir -p build
-	$(GO) test -coverprofile=build/cover.out -coverpkg=./internal/core,./internal/store,./internal/aggregate ./internal/core ./internal/store ./internal/aggregate
+	$(GO) test -coverprofile=build/cover.out -coverpkg=./internal/core,./internal/plan,./internal/store,./internal/aggregate ./internal/core ./internal/plan ./internal/store ./internal/aggregate
 	@total=$$($(GO) tool cover -func=build/cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
-	echo "combined core+store+aggregate coverage: $$total% (floor $(COVER_MIN)%)"; \
+	echo "combined core+plan+store+aggregate coverage: $$total% (floor $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% fell below the $(COVER_MIN)% floor"; exit 1; }
 
@@ -77,9 +78,9 @@ cover:
 # harness), plus a timestamped BENCH_*.json perf-trajectory artifact from
 # the quick experiments.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/vocab ./internal/assign ./internal/core ./internal/aggregate
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/vocab ./internal/assign ./internal/core ./internal/aggregate ./internal/plan
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
-	$(GO) run ./cmd/oassis-bench -exp summary,bounds,serving,panels,stopping -parallel 1 -out BENCH_$(BENCH_STAMP).json
+	$(GO) run ./cmd/oassis-bench -exp summary,bounds,serving,panels,stopping,orderings -parallel 1 -out BENCH_$(BENCH_STAMP).json
 	@echo "wrote BENCH_$(BENCH_STAMP).json"
 
 # One-iteration pass over every benchmark: catches bench-only compile rot
@@ -88,7 +89,7 @@ bench:
 # the multi-tenant serving tier under real concurrency, and the panels
 # scenario as a smoke of panel batching (it hard-fails on result drift).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/vocab ./internal/assign ./internal/core ./internal/aggregate .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/vocab ./internal/assign ./internal/core ./internal/aggregate ./internal/plan .
 	$(GO) run ./cmd/oassis-bench -exp serving,panels -scale 0.01 -parallel 1
 
 # The perf-trajectory gate: rerun the experiments recorded in the committed
@@ -96,6 +97,6 @@ bench-smoke:
 # drift (the panels scenario's round-trip counts are deterministic, so the
 # gate pins the batching efficiency too). Refresh the baseline (same
 # flags!) only with a reviewed perf change:
-#   go run ./cmd/oassis-bench -exp summary,bounds,panels,stopping -parallel 1 -out BENCH_baseline.json
+#   go run ./cmd/oassis-bench -exp summary,bounds,panels,stopping,orderings -parallel 1 -out BENCH_baseline.json
 bench-compare:
 	$(GO) run ./cmd/oassis-bench -parallel 1 -compare BENCH_baseline.json

@@ -66,6 +66,7 @@ type tenantSpec struct {
 	Store    string   `json:"store,omitempty"`    // durable store directory
 	Queries  []string `json:"queries,omitempty"`  // query files to open at boot
 	Panel    int      `json:"panel,omitempty"`    // panel speculation width (0 = flag/default)
+	Policy   string   `json:"policy,omitempty"`   // question-ordering policy (default paper-order)
 }
 
 // loadDomain loads a vocabulary+ontology pair from a Turtle file, or the
@@ -100,6 +101,7 @@ func bootTenant(reg *serve.Registry, spec tenantSpec) error {
 		StoreDir:           spec.Store,
 		AnswersPerQuestion: spec.K,
 		PanelSpeculation:   spec.Panel,
+		Policy:             spec.Policy,
 	})
 	if err != nil {
 		return err

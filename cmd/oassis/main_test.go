@@ -33,7 +33,7 @@ func writeFile(t *testing.T, name, content string) string {
 
 func TestRunWithSampleCrowd(t *testing.T) {
 	q := writeFile(t, "q.oql", testQuery)
-	if err := run(q, "", "", "", 2, false, true, 1); err != nil {
+	if err := run(q, "", "", "", "", 2, false, true, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -50,7 +50,7 @@ Feed a Monkey doAt Bronx Zoo
 member bob
 Biking doAt Central Park
 `)
-	if err := run(q, "", crowd, "", 2, false, false, 1); err != nil {
+	if err := run(q, "", crowd, "", "", 2, false, false, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -74,16 +74,35 @@ func TestLoadCrowdErrors(t *testing.T) {
 	}
 }
 
+// TestRunWithPolicy: the -policy flag reaches the facade — every
+// registered ordering runs the sample query to completion, and an
+// unknown name is refused before any crowd work starts.
+func TestRunWithPolicy(t *testing.T) {
+	q := writeFile(t, "q.oql", testQuery)
+	for _, policy := range []string{"paper-order", "largest-first", "chain-prune", "max-prune"} {
+		if err := run(q, "", "", "", policy, 2, false, false, 1); err != nil {
+			t.Errorf("-policy %s: %v", policy, err)
+		}
+	}
+	err := run(q, "", "", "", "nope", 2, false, false, 1)
+	if err == nil {
+		t.Fatal("-policy nope accepted")
+	}
+	if !strings.Contains(err.Error(), "invalid option") || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("-policy nope error = %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.oql"), "", "", "", 1, false, false, 1); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.oql"), "", "", "", "", 1, false, false, 1); err == nil {
 		t.Error("missing query accepted")
 	}
 	bad := writeFile(t, "bad.oql", "SELECT nonsense")
-	if err := run(bad, "", "", "", 1, false, false, 1); err == nil {
+	if err := run(bad, "", "", "", "", 1, false, false, 1); err == nil {
 		t.Error("bad query accepted")
 	}
 	q := writeFile(t, "q.oql", testQuery)
-	if err := run(q, filepath.Join(t.TempDir(), "missing.ttl"), "", "", 1, false, false, 1); err == nil {
+	if err := run(q, filepath.Join(t.TempDir(), "missing.ttl"), "", "", "", 1, false, false, 1); err == nil {
 		t.Error("missing ontology accepted")
 	}
 }
@@ -98,7 +117,7 @@ func TestRunWithOntologyFile(t *testing.T) {
 	onto := writeFile(t, "o.ttl", sb.String())
 	q := writeFile(t, "q.oql", testQuery)
 	crowd := writeFile(t, "crowd.txt", "member a\nBiking doAt Central Park\n")
-	if err := run(q, onto, crowd, "", 1, false, false, 1); err != nil {
+	if err := run(q, onto, crowd, "", "", 1, false, false, 1); err != nil {
 		t.Fatal(err)
 	}
 }

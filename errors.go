@@ -8,6 +8,7 @@ import (
 	"oassis/internal/aggregate"
 	"oassis/internal/core"
 	"oassis/internal/oassisql"
+	"oassis/internal/plan"
 	"oassis/internal/serve"
 )
 
@@ -84,6 +85,12 @@ func (o *options) validate() error {
 		if _, err := aggregate.StopByName(o.stopPolicy); err != nil {
 			return invalidOption("stop policy %q (want one of %s)",
 				o.stopPolicy, strings.Join(aggregate.StopNames(), ", "))
+		}
+	}
+	if o.policy != "" {
+		if _, err := plan.OrderingByName(o.policy); err != nil {
+			return invalidOption("ordering policy %q (want one of %s)",
+				o.policy, strings.Join(plan.OrderingNames(), ", "))
 		}
 	}
 	if o.parallelism < 0 {

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"oassis/internal/plan"
+)
+
+// TestAllocsTierOnePick gates the ordering seam's tier-one promise: under
+// a stateless comparator policy the engine's candidate scan is the
+// original allocation-free loop — interned node reads, sealed keys, a
+// pairwise Better per candidate, nothing heap-bound. The tier-two branch
+// (which legitimately builds a candidate view) must never leak into this
+// path.
+func TestAllocsTierOnePick(t *testing.T) {
+	_, _, sp := buildSpace(t, figure3Restricted)
+	for _, policy := range []plan.Policy{plan.PaperOrder{}, plan.LargestFirst{}} {
+		e := newEngine(Config{Space: sp, Theta: 0.4, Ordering: policy})
+		e.seed()
+		e.drainExpansions()
+		// Warm: the first pick seals every candidate's memoized key.
+		if _, ok := e.pickMinimalUnclassified(); !ok {
+			t.Fatalf("%s: seeded engine has no unclassified candidates", policy.Name())
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			e.pickMinimalUnclassified()
+		})
+		if allocs != 0 {
+			t.Errorf("%s: tier-one pick allocates %.1f times per call, want 0",
+				policy.Name(), allocs)
+		}
+	}
+}

@@ -67,3 +67,19 @@ func (d *Domain) CompileStop(q *oassisql.Query, stop string, m *plan.CacheMetric
 	}
 	return d.plans.GetOrDerive(pl, stop, m)
 }
+
+// CompileVariant returns the (stop, policy) variant of the compiled plan
+// for q over this domain: the base plan compiles (or hits) as usual, then
+// each non-default dimension derives through the same cache, composing.
+// Empty names are the planner's defaults, making CompileVariant("", "")
+// equivalent to Compile.
+func (d *Domain) CompileVariant(q *oassisql.Query, stop, policy string, m *plan.CacheMetrics) (*plan.Plan, bool, error) {
+	pl, hit, err := d.CompileStop(q, stop, m)
+	if err != nil {
+		return nil, false, err
+	}
+	if policy == "" || policy == pl.PolicyName {
+		return pl, hit, nil
+	}
+	return d.plans.GetOrDerivePolicy(pl, policy, m)
+}

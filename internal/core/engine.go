@@ -101,12 +101,15 @@ type Config struct {
 	// mined result; Run and sequential sessions ignore it.
 	PanelSpeculation int
 
-	// Policy orders the crowd's questions: among the unclassified
-	// generated lattice nodes, the one the policy ranks best is asked
-	// about next. nil means plan.PaperOrder{}, the paper's §4
-	// smallest-first order, which is bit-identical to the engine's
-	// original hard-coded selection.
-	Policy plan.Policy
+	// Ordering orders the crowd's questions: among the unclassified
+	// generated lattice nodes, the one the ordering ranks best is asked
+	// about next. A tier-one plan.Policy (comparator) keeps the engine's
+	// original allocation-free scan; a tier-two plan.SelectorOrdering
+	// picks through a read-only candidate view over the interned node
+	// store. nil means plan.PaperOrder{}, the paper's §4 smallest-first
+	// order, which is bit-identical to the engine's original hard-coded
+	// selection.
+	Ordering plan.Ordering
 
 	// Rng drives the specialization-ratio coin flips; nil disables
 	// specialization questions unless the ratio is 1.
@@ -174,13 +177,20 @@ type engineHooks struct {
 // classifier shares: one key-string map probe interns a node, everything
 // after that is slice indexing.
 type engine struct {
-	cfg    Config
-	hooks  engineHooks
-	sp     *assign.Space
-	agg    aggregate.Aggregator
-	ns     *nodeStore
-	cls    *classifier
-	policy plan.Policy
+	cfg   Config
+	hooks engineHooks
+	sp    *assign.Space
+	agg   aggregate.Aggregator
+	ns    *nodeStore
+	cls   *classifier
+
+	// ordering is the resolved question ordering; exactly one of policy
+	// (tier one, pairwise comparator on the allocation-free scan) and
+	// selector (tier two, stateful pick over a candidate view) is set.
+	ordering plan.Ordering
+	policy   plan.Policy
+	selector plan.Selector
+	view     candidateView // reusable tier-two view buffers
 
 	inPool  []bool   // by id: node belongs to the generated pool
 	poolIDs []uint32 // pool nodes in generation order
@@ -200,6 +210,7 @@ type engine struct {
 	toExpand []uint32 // significant nodes awaiting expansion
 
 	succs [][]assign.Assignment // by id: successor memo (noSuccs when empty)
+	preds [][]assign.Assignment // by id: predecessor memo, tier-two only
 
 	inst   []instEntry // by id: instantiation + question key memo
 	instOK []bool
@@ -225,6 +236,7 @@ func (e *engine) growNode(id uint32) {
 		e.inPool = append(e.inPool, false)
 		e.expanded = append(e.expanded, false)
 		e.succs = append(e.succs, nil)
+		e.preds = append(e.preds, nil)
 		e.inst = append(e.inst, instEntry{})
 		e.instOK = append(e.instOK, false)
 	}
@@ -265,6 +277,23 @@ func (e *engine) succsOf(id uint32) []assign.Assignment {
 	return s
 }
 
+// predsOf memoizes predecessor generation per node (sound for the same
+// reason as succsOf: the lattice is fixed for the whole run). Only the
+// tier-two candidate view walks predecessors, so tier-one runs never pay
+// for the memo.
+func (e *engine) predsOf(id uint32) []assign.Assignment {
+	e.growNode(id)
+	if p := e.preds[id]; p != nil {
+		return p
+	}
+	p := e.sp.Predecessors(e.ns.node(id))
+	if p == nil {
+		p = noSuccs
+	}
+	e.preds[id] = p
+	return p
+}
+
 // Run executes the vertical algorithm (Algorithm 1 with the multi-user
 // modifications of §4.2) and returns the mined MSPs.
 func Run(cfg Config) *Result {
@@ -279,9 +308,9 @@ func newEngine(cfg Config) *engine {
 	if agg == nil {
 		agg = aggregate.NewFixedSample(1)
 	}
-	policy := cfg.Policy
-	if policy == nil {
-		policy = plan.PaperOrder{}
+	ordering := cfg.Ordering
+	if ordering == nil {
+		ordering = plan.PaperOrder{}
 	}
 	ns := newNodeStore()
 	e := &engine{
@@ -290,7 +319,7 @@ func newEngine(cfg Config) *engine {
 		agg:            agg,
 		ns:             ns,
 		cls:            newClassifierOn(cfg.Space, ns),
-		policy:         policy,
+		ordering:       ordering,
 		memberAns:      make(map[string]map[string]float64),
 		pruned:         make(map[string][]vocab.Term),
 		cache:          NewCacheSized(len(cfg.Members)),
@@ -298,6 +327,17 @@ func newEngine(cfg Config) *engine {
 		mspLog:         make(map[string]int),
 		classifiedRows: make([]bool, len(cfg.Space.ValidBase)),
 		answersBy:      make(map[string]int),
+	}
+	// Route the ordering to its tier. The comparator check comes first:
+	// the built-in tier-one policies keep the original selection loop,
+	// proven bit-identical and allocation-free.
+	switch o := ordering.(type) {
+	case plan.Policy:
+		e.policy = o
+	case plan.SelectorOrdering:
+		e.selector = o.NewSelector()
+	default:
+		e.policy = plan.PaperOrder{}
 	}
 	// Every node that turns significant — explicitly or by inference — is
 	// scheduled for lattice expansion (Algorithm 1 iterates over all of 𝒜,
@@ -371,14 +411,19 @@ func (e *engine) expandID(id uint32) {
 }
 
 // pickMinimalUnclassified returns the unclassified generated node the
-// ordering policy ranks first, or ok=false when every generated node is
-// classified. It scans the classifier's incrementally-maintained
-// unclassified set and keeps the best pool node under the policy's
-// comparison; under the default plan.PaperOrder this is the
-// (size, key)-least node — a node of minimal size is minimal in the
-// order up to rare multi-cover DAG absorptions, which cost at most a few
-// extra questions, never correctness.
+// ordering ranks first, or ok=false when every generated node is
+// classified. Tier-two selector orderings pick through a candidate view
+// (see pickSelected); tier-one policies scan the classifier's
+// incrementally-maintained unclassified set and keep the best pool node
+// under the policy's comparison — the original allocation-free loop.
+// Under the default plan.PaperOrder this is the (size, key)-least node —
+// a node of minimal size is minimal in the order up to rare multi-cover
+// DAG absorptions, which cost at most a few extra questions, never
+// correctness.
 func (e *engine) pickMinimalUnclassified() (assign.Assignment, bool) {
+	if e.selector != nil {
+		return e.pickSelected(false)
+	}
 	best := -1
 	bestKey := ""
 	bestSize := -1
@@ -865,6 +910,15 @@ func (e *engine) forceClassify(node assign.Assignment) {
 func (e *engine) settleFrontier() {
 	for {
 		e.drainExpansions()
+		if e.selector != nil {
+			node, ok := e.pickSelected(true)
+			if !ok {
+				return
+			}
+			e.stats.StopSettled++
+			e.forceClassify(node)
+			continue
+		}
 		best := -1
 		bestKey := ""
 		bestSize := -1

@@ -11,6 +11,7 @@ import (
 	"oassis/internal/crowd"
 	"oassis/internal/fact"
 	"oassis/internal/obs"
+	"oassis/internal/plan"
 	"oassis/internal/vocab"
 )
 
@@ -597,6 +598,11 @@ func (s *Session) AggregateHint(fs fact.Set) (mean float64, answers int) {
 	key := fs.Key()
 	return s.eng.agg.Mean(key), s.eng.agg.Answers(key)
 }
+
+// Ordering returns the session's resolved question ordering (the
+// config's, or plan.PaperOrder by default). Batching layers use it to
+// score panel positions consistently with the engine's own selection.
+func (s *Session) Ordering() plan.Ordering { return s.eng.ordering }
 
 func payloadFor(kind QuestionKind, a Answer) payload {
 	if kind == KindConcrete {

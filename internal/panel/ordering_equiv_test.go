@@ -1,0 +1,84 @@
+package panel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/core"
+	"oassis/internal/panel"
+	"oassis/internal/plan"
+	"oassis/internal/synth"
+)
+
+// TestOrderingEquivalenceMatrix is the ordering seam's determinism claim:
+// for every registered ordering — tier-one comparators and tier-two
+// selectors alike — the sequential run is the reference, and concurrent
+// dispatch (parallelism 1 and 8) and panel batching (sizes 1 and 4, both
+// parallelisms) reproduce it bit-identically: same MSPs, same valid MSPs,
+// same statistics. This is the guarantee that caches, WALs and the
+// serving tier may treat an ordering variant as one deterministic plan
+// regardless of how its session is driven.
+func TestOrderingEquivalenceMatrix(t *testing.T) {
+	travel := synth.DomainConfig{
+		Name: "travel", YTerms: 30, XTerms: 10, YDepth: 4, XDepth: 3,
+		Members: 8, Transactions: 12, Patterns: 6, Seed: 101,
+	}
+	culinary := synth.DomainConfig{
+		Name: "culinary", YTerms: 24, XTerms: 12, YDepth: 4, XDepth: 3,
+		Members: 8, Transactions: 12, Patterns: 8, Seed: 202,
+	}
+	type workload struct {
+		name string
+		cfg  func(t *testing.T) core.Config
+	}
+	workloads := []workload{
+		{"figure1", figure1Config},
+	}
+	for _, dc := range []synth.DomainConfig{travel, culinary} {
+		dc := dc
+		workloads = append(workloads, workload{dc.Name, func(t *testing.T) core.Config {
+			t.Helper()
+			d, err := synth.GenerateDomain(dc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return core.Config{
+				Space:   d.Sp,
+				Theta:   0.2,
+				Members: d.Members,
+				Agg:     aggregate.NewFixedSample(3),
+			}
+		}})
+	}
+	for _, policy := range plan.OrderingNames() {
+		ord, err := plan.OrderingByName(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withOrd := func(cfg core.Config) core.Config {
+			cfg.Ordering = ord
+			return cfg
+		}
+		for _, wl := range workloads {
+			want := renderRun(core.Run(withOrd(wl.cfg(t))))
+			for _, par := range []int{1, 8} {
+				res, _ := core.RunConcurrent(withOrd(wl.cfg(t)), par, 42)
+				if got := renderRun(res); got != want {
+					t.Errorf("%s/%s/concurrent/p%d drifted from sequential:\n--- sequential\n%s--- concurrent\n%s",
+						policy, wl.name, par, want, got)
+				}
+			}
+			for _, size := range []int{1, 4} {
+				for _, par := range []int{1, 8} {
+					name := fmt.Sprintf("%s/%s/panels/size%d/p%d", policy, wl.name, size, par)
+					res, _ := panel.Run(withOrd(wl.cfg(t)), panel.Config{Size: size}, par)
+					if got := renderRun(res); got != want {
+						t.Errorf("%s drifted from sequential:\n--- sequential\n%s--- panels\n%s",
+							name, want, got)
+					}
+				}
+			}
+		}
+	}
+}

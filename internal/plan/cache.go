@@ -22,10 +22,29 @@ type Cache struct {
 type cacheKey struct {
 	query  string
 	domain string
-	// stop is the stop-policy dimension of derived plan variants; the
-	// empty string is the planner's as-compiled default, so existing
-	// (query, domain) lookups are untouched by derivations.
-	stop string
+	// stop and policy are the variant dimensions of derived plans; the
+	// empty string is the planner's as-compiled default in each, so
+	// existing (query, domain) lookups are untouched by derivations.
+	stop   string
+	policy string
+}
+
+// stopDim normalizes a plan's StopName to its cache-key dimension: the
+// planner's default collapses to the empty string, matching the key the
+// as-compiled plan was stored under.
+func stopDim(name string) string {
+	if name == StopDefault {
+		return ""
+	}
+	return name
+}
+
+// policyDim normalizes a plan's PolicyName to its cache-key dimension.
+func policyDim(name string) string {
+	if name == PolicyPaperOrder {
+		return ""
+	}
+	return name
 }
 
 // NewCache returns an empty plan cache.
@@ -77,7 +96,8 @@ func (c *Cache) GetOrDerive(base *Plan, stop string, m *CacheMetrics) (*Plan, bo
 	if stop == "" || stop == base.StopName {
 		return base, true, nil
 	}
-	k := cacheKey{query: base.QueryText, domain: base.DomainFP, stop: stop}
+	k := cacheKey{query: base.QueryText, domain: base.DomainFP,
+		stop: stop, policy: policyDim(base.PolicyName)}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p, ok := c.m[k]; ok {
@@ -86,6 +106,35 @@ func (c *Cache) GetOrDerive(base *Plan, stop string, m *CacheMetrics) (*Plan, bo
 	}
 	start := time.Now()
 	p, err := base.WithStop(stop)
+	if err != nil {
+		return nil, false, err
+	}
+	m.miss(time.Since(start))
+	c.m[k] = p
+	return p, false, nil
+}
+
+// GetOrDerivePolicy returns the cached ordering variant of base,
+// deriving and caching it on first use (Plan.WithPolicy shares the base
+// plan's precompiled tables, so a derivation is a re-serialization, not
+// a recompilation). Asking for base's own ordering — or the empty
+// default — returns base as a hit. The key keeps base's stop dimension,
+// so variants compose: the chain-prune variant of a species-stop plan
+// never collides with the chain-prune variant of the default plan.
+func (c *Cache) GetOrDerivePolicy(base *Plan, policy string, m *CacheMetrics) (*Plan, bool, error) {
+	if policy == "" || policy == base.PolicyName {
+		return base, true, nil
+	}
+	k := cacheKey{query: base.QueryText, domain: base.DomainFP,
+		stop: stopDim(base.StopName), policy: policy}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.m[k]; ok {
+		m.hit()
+		return p, true, nil
+	}
+	start := time.Now()
+	p, err := base.WithPolicy(policy)
 	if err != nil {
 		return nil, false, err
 	}
@@ -116,7 +165,10 @@ func (c *Cache) Plans() []*Plan {
 		if keys[i].domain != keys[j].domain {
 			return keys[i].domain < keys[j].domain
 		}
-		return keys[i].stop < keys[j].stop
+		if keys[i].stop != keys[j].stop {
+			return keys[i].stop < keys[j].stop
+		}
+		return keys[i].policy < keys[j].policy
 	})
 	out := make([]*Plan, len(keys))
 	for i, k := range keys {

@@ -90,16 +90,17 @@ func TestPlannedExecutionEquivalence(t *testing.T) {
 	}
 }
 
-// TestPolicyThroughEngine wires the alternative ordering policy through
-// core.Config.Policy: with a deterministic (exact, order-insensitive)
-// member, largest-first traversal must still converge on the same MSP
-// set as the paper's smallest-first order.
+// TestPolicyThroughEngine wires every registered ordering through
+// core.Config.Ordering: with deterministic (exact, order-insensitive)
+// members, each traversal — tier-one comparators and tier-two selectors
+// alike — must converge on the same MSP set as the paper's
+// smallest-first order.
 func TestPolicyThroughEngine(t *testing.T) {
 	cfg := synth.DomainConfig{
 		Name: "policy", YTerms: 16, XTerms: 8, YDepth: 3, XDepth: 2,
 		Members: 1, Transactions: 16, Patterns: 4, Seed: 7,
 	}
-	run := func(policy plan.Policy) map[string]bool {
+	run := func(ordering plan.Ordering) map[string]bool {
 		d, err := synth.GenerateDomain(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -110,10 +111,10 @@ func TestPolicyThroughEngine(t *testing.T) {
 			m.(*crowd.SimMember).Disc = crowd.Exact
 		}
 		res := core.Run(core.Config{
-			Space:   d.Sp,
-			Theta:   0.2,
-			Members: d.Members,
-			Policy:  policy,
+			Space:    d.Sp,
+			Theta:    0.2,
+			Members:  d.Members,
+			Ordering: ordering,
 		})
 		keys := make(map[string]bool, len(res.MSPs))
 		for _, m := range res.MSPs {
@@ -122,16 +123,23 @@ func TestPolicyThroughEngine(t *testing.T) {
 		return keys
 	}
 	paper := run(nil) // nil means plan.PaperOrder{}
-	largest := run(plan.LargestFirst{})
 	if len(paper) == 0 {
 		t.Fatal("paper-order run found no MSPs")
 	}
-	if len(paper) != len(largest) {
-		t.Fatalf("MSP counts differ: paper-order %d, largest-first %d", len(paper), len(largest))
-	}
-	for k := range paper {
-		if !largest[k] {
-			t.Errorf("largest-first missed MSP %s", k)
+	for _, name := range plan.OrderingNames() {
+		ord, err := plan.OrderingByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := run(ord)
+		if len(got) != len(paper) {
+			t.Fatalf("%s: MSP counts differ: paper-order %d, %s %d",
+				name, len(paper), name, len(got))
+		}
+		for k := range paper {
+			if !got[k] {
+				t.Errorf("%s missed MSP %s", name, k)
+			}
 		}
 	}
 }

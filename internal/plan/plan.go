@@ -44,8 +44,11 @@ type Plan struct {
 	// ValidBase holds the valid multiplicity-1 assignments from WHERE
 	// evaluation, in canonical (sorted key) order.
 	ValidBase [][]vocab.Term
-	// PolicyName names the question-ordering Policy chosen by the planner
-	// (see PolicyByName).
+	// PolicyName names the question-ordering Ordering the plan runs with
+	// (see OrderingByName). It is part of the serialized IR and hence the
+	// fingerprint: an ordering variant is a distinct plan, so plan caches
+	// and the WAL's drift detection keep runs with different orderings
+	// apart.
 	PolicyName string
 	// SubstrateName names the mining Substrate chosen by the planner
 	// (see SubstrateByName).
@@ -112,8 +115,9 @@ func (p *Plan) NewSpace() *assign.Space {
 	return assign.FromShared(p.voc, p.Vars, p.Sat, p.More, p.ValidBase, p.tab)
 }
 
-// Policy resolves the plan's ordering policy.
-func (p *Plan) Policy() (Policy, error) { return PolicyByName(p.PolicyName) }
+// Ordering resolves the plan's question ordering (either tier of the
+// seam: a tier-one comparator Policy or a tier-two SelectorOrdering).
+func (p *Plan) Ordering() (Ordering, error) { return OrderingByName(p.PolicyName) }
 
 // Substrate resolves the plan's mining substrate.
 func (p *Plan) Substrate() (Substrate, error) { return SubstrateByName(p.SubstrateName) }
@@ -141,6 +145,25 @@ func (p *Plan) WithStop(name string) (*Plan, error) {
 	}
 	q := *p
 	q.StopName = name
+	return newPlan(&q, p.voc, p.tab)
+}
+
+// WithPolicy derives the ordering variant of p: the same query over the
+// same domain with the same precompiled tables, differing only in
+// PolicyName — and therefore in serialization and fingerprint. Deriving
+// the plan's own ordering returns p itself.
+func (p *Plan) WithPolicy(name string) (*Plan, error) {
+	if name == "" {
+		name = PolicyPaperOrder
+	}
+	if _, err := OrderingByName(name); err != nil {
+		return nil, err
+	}
+	if name == p.PolicyName {
+		return p, nil
+	}
+	q := *p
+	q.PolicyName = name
 	return newPlan(&q, p.voc, p.tab)
 }
 

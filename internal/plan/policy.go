@@ -2,29 +2,58 @@ package plan
 
 import "fmt"
 
-// Policy is the question-ordering strategy of the execution engine: when
-// several unclassified lattice nodes are eligible, the policy decides
-// which one the crowd is asked about next. The engine scans its candidate
-// set and keeps the best node under Better, so a Policy is a strict
-// comparison, not a queue — the engine's allocation-free selection loop
-// is preserved whatever the policy.
+// Ordering is the question-ordering seam between the planner and the
+// execution engine: it decides which unclassified lattice node the crowd
+// is asked about next. The seam has two tiers, told apart by type:
 //
-// Policies must be deterministic and stateless: given the same candidate
-// pair they must always answer the same, and ties must be broken totally
-// (no two distinct keys may compare equal both ways), or runs stop being
-// reproducible across parallelism levels.
-type Policy interface {
-	// Name returns the registry name of the policy.
+//   - tier one, Policy: a stateless pairwise comparator. The engine keeps
+//     its original allocation-free scan over the unclassified set, calling
+//     Better per candidate; PaperOrder and LargestFirst live here.
+//   - tier two, SelectorOrdering: a stateful Selector that sees the whole
+//     candidate set at once through a read-only CandidateView (sizes,
+//     fringe counts among unclassified neighbors, live answer aggregates)
+//     and picks one. The structure-aware orderings (ChainPrune, MaxPrune)
+//     live here.
+//
+// Every ordering must be deterministic: the same candidate view must
+// always produce the same choice, with ties broken totally (no two
+// distinct keys may rank equal), or runs stop being reproducible across
+// parallelism levels and panel batching.
+type Ordering interface {
+	// Name returns the registry name of the ordering.
 	Name() string
+}
+
+// Policy is the tier-one ordering: a strict pairwise comparison the
+// engine folds over its candidate set, keeping the best node. A Policy
+// must be stateless — given the same candidate pair it always answers the
+// same — so the engine's allocation-free selection loop is preserved
+// whatever the policy.
+type Policy interface {
+	Ordering
 	// Better reports whether the candidate node (key aKey, lattice size
 	// aSize) should be asked before the incumbent (bKey, bSize).
 	Better(aKey string, aSize int, bKey string, bSize int) bool
 }
 
-// Registry names of the built-in policies.
+// Scorer is implemented by orderings that can grade one candidate in
+// isolation from its pattern size — the position score batching layers
+// (internal/panel) use to rank speculative questions inside a panel.
+// Higher scores rank earlier. Orderings that need the whole candidate
+// view to rank (the tier-two selectors) simply do not implement it, and
+// the batching layer falls back to the paper's smallest-first position.
+type Scorer interface {
+	// Score grades a candidate of the given pattern size; higher is
+	// earlier.
+	Score(size int) float64
+}
+
+// Registry names of the built-in orderings.
 const (
 	PolicyPaperOrder   = "paper-order"
 	PolicyLargestFirst = "largest-first"
+	PolicyChainPrune   = "chain-prune"
+	PolicyMaxPrune     = "max-prune"
 )
 
 // PaperOrder is the paper's §4 order and the default policy: ask about
@@ -34,7 +63,7 @@ const (
 // to the engine's original hard-coded selection.
 type PaperOrder struct{}
 
-// Name implements Policy.
+// Name implements Ordering.
 func (PaperOrder) Name() string { return PolicyPaperOrder }
 
 // Better implements Policy with the paper's (size, key)-least order.
@@ -42,13 +71,17 @@ func (PaperOrder) Better(aKey string, aSize int, bKey string, bSize int) bool {
 	return aSize < bSize || (aSize == bSize && aKey < bKey)
 }
 
+// Score implements Scorer: the smallest-first position score, exactly the
+// panel layer's original hard-coded 1/(1+size) priority term.
+func (PaperOrder) Score(size int) float64 { return 1.0 / float64(1+size) }
+
 // LargestFirst is the alternative top-down policy: ask about the largest
 // unclassified assignment first, descending from the most specific
 // candidates. Ties break on the lexicographically least key, so the
 // policy is still a total order and runs stay deterministic.
 type LargestFirst struct{}
 
-// Name implements Policy.
+// Name implements Ordering.
 func (LargestFirst) Name() string { return PolicyLargestFirst }
 
 // Better implements Policy with a (size, key) greatest-size order.
@@ -56,13 +89,47 @@ func (LargestFirst) Better(aKey string, aSize int, bKey string, bSize int) bool 
 	return aSize > bSize || (aSize == bSize && aKey < bKey)
 }
 
-// PolicyByName resolves a registry name to its Policy.
-func PolicyByName(name string) (Policy, error) {
+// Score implements Scorer with the mirrored position: larger patterns
+// rank earlier, asymptotically approaching 1.
+func (LargestFirst) Score(size int) float64 { return float64(size) / float64(1+size) }
+
+// OrderingByName resolves a registry name to its Ordering. The empty name
+// is the planner's default, PaperOrder. Unknown names wrap
+// ErrUnknownPolicy.
+func OrderingByName(name string) (Ordering, error) {
 	switch name {
 	case PolicyPaperOrder, "":
 		return PaperOrder{}, nil
 	case PolicyLargestFirst:
 		return LargestFirst{}, nil
+	case PolicyChainPrune:
+		return ChainPrune{}, nil
+	case PolicyMaxPrune:
+		return MaxPrune{}, nil
 	}
-	return nil, fmt.Errorf("plan: unknown policy %q", name)
+	return nil, unknownPolicy(name)
+}
+
+// OrderingNames lists the registered ordering names, sorted — the
+// vocabulary of Plan.PolicyName, WithPolicy validation and the
+// experiment sweeps.
+func OrderingNames() []string {
+	return []string{PolicyChainPrune, PolicyLargestFirst, PolicyMaxPrune, PolicyPaperOrder}
+}
+
+// PolicyByName resolves a registry name to its tier-one comparator. The
+// selector-based orderings carry no pairwise comparison, so PolicyByName
+// reports them unknown too; resolve the full registry with
+// OrderingByName.
+func PolicyByName(name string) (Policy, error) {
+	o, err := OrderingByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := o.(Policy)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (selector-based ordering; resolve with OrderingByName)",
+			ErrUnknownPolicy, name)
+	}
+	return p, nil
 }

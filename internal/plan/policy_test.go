@@ -1,0 +1,308 @@
+package plan_test
+
+import (
+	"errors"
+	"testing"
+
+	"oassis/internal/aggregate"
+	"oassis/internal/obs"
+	"oassis/internal/plan"
+)
+
+// fakeView is an in-test CandidateView: a fixed candidate table, already
+// in canonical key order as the contract requires.
+type fakeCand struct {
+	key      string
+	size     int
+	down, up int
+	answers  int
+	mean     float64
+}
+
+type fakeView struct {
+	cands []fakeCand
+	theta float64
+}
+
+func (v fakeView) Len() int                         { return len(v.cands) }
+func (v fakeView) Key(i int) string                 { return v.cands[i].key }
+func (v fakeView) Size(i int) int                   { return v.cands[i].size }
+func (v fakeView) UnclassifiedSuccessors(i int) int { return v.cands[i].up }
+func (v fakeView) UnclassifiedPredecessors(i int) int {
+	return v.cands[i].down
+}
+func (v fakeView) Answers(i int) int { return v.cands[i].answers }
+func (v fakeView) Mean(i int) float64 {
+	return v.cands[i].mean
+}
+func (v fakeView) Theta() float64 { return v.theta }
+
+func TestOrderingByName(t *testing.T) {
+	for _, name := range append(plan.OrderingNames(), "") {
+		o, err := plan.OrderingByName(name)
+		if err != nil {
+			t.Fatalf("OrderingByName(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = plan.PolicyPaperOrder
+		}
+		if o.Name() != want {
+			t.Errorf("OrderingByName(%q).Name() = %q", name, o.Name())
+		}
+	}
+}
+
+// TestErrUnknownPolicyGolden pins the exact resolution-failure messages:
+// one sentinel (errors.Is) at every layer, an actionable registry listing
+// in the text.
+func TestErrUnknownPolicyGolden(t *testing.T) {
+	_, err := plan.OrderingByName("nope")
+	if !errors.Is(err, plan.ErrUnknownPolicy) {
+		t.Fatalf("OrderingByName error %v does not wrap ErrUnknownPolicy", err)
+	}
+	const wantUnknown = `plan: unknown ordering policy "nope" (want one of chain-prune, largest-first, max-prune, paper-order)`
+	if err.Error() != wantUnknown {
+		t.Errorf("OrderingByName message:\n got %q\nwant %q", err.Error(), wantUnknown)
+	}
+
+	// PolicyByName is the tier-one resolver: selector-based names are not
+	// pairwise comparators, and the message says where to go instead.
+	_, err = plan.PolicyByName(plan.PolicyChainPrune)
+	if !errors.Is(err, plan.ErrUnknownPolicy) {
+		t.Fatalf("PolicyByName(chain-prune) error %v does not wrap ErrUnknownPolicy", err)
+	}
+	const wantTier = `plan: unknown ordering policy "chain-prune" (selector-based ordering; resolve with OrderingByName)`
+	if err.Error() != wantTier {
+		t.Errorf("PolicyByName message:\n got %q\nwant %q", err.Error(), wantTier)
+	}
+
+	// WithPolicy propagates the same sentinel.
+	v, o, q := captureDomain(t, 4)
+	pl, err := plan.Compile(v, o, q, plan.DomainFingerprint(v, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.WithPolicy("nope"); !errors.Is(err, plan.ErrUnknownPolicy) {
+		t.Errorf("WithPolicy error %v does not wrap ErrUnknownPolicy", err)
+	}
+}
+
+// TestScorer pins the panel position scores: PaperOrder's is exactly the
+// batcher's historical smallest-first term (the bit-identical default),
+// LargestFirst mirrors it, and the tier-two selectors deliberately do not
+// score in isolation.
+func TestScorer(t *testing.T) {
+	po, ok := plan.Ordering(plan.PaperOrder{}).(plan.Scorer)
+	if !ok {
+		t.Fatal("PaperOrder does not implement Scorer")
+	}
+	if got := po.Score(1); got != 0.5 {
+		t.Errorf("PaperOrder.Score(1) = %g, want 0.5", got)
+	}
+	if got := po.Score(3); got != 0.25 {
+		t.Errorf("PaperOrder.Score(3) = %g, want 0.25", got)
+	}
+	lf, ok := plan.Ordering(plan.LargestFirst{}).(plan.Scorer)
+	if !ok {
+		t.Fatal("LargestFirst does not implement Scorer")
+	}
+	if got := lf.Score(1); got != 0.5 {
+		t.Errorf("LargestFirst.Score(1) = %g, want 0.5", got)
+	}
+	if got := lf.Score(3); got != 0.75 {
+		t.Errorf("LargestFirst.Score(3) = %g, want 0.75", got)
+	}
+	if _, ok := plan.Ordering(plan.ChainPrune{}).(plan.Scorer); ok {
+		t.Error("ChainPrune implements Scorer; selectors must rank against the whole view")
+	}
+	if _, ok := plan.Ordering(plan.MaxPrune{}).(plan.Scorer); ok {
+		t.Error("MaxPrune implements Scorer; selectors must rank against the whole view")
+	}
+}
+
+func TestChainPruneSelector(t *testing.T) {
+	sel := plan.ChainPrune{}.NewSelector()
+	// Candidate b sits mid-chain: min(3, 2) = 2 beats the fringe nodes'
+	// min(0, 5) = 0 and min(4, 0) = 0.
+	v := fakeView{theta: 0.2, cands: []fakeCand{
+		{key: "a", size: 1, down: 0, up: 5},
+		{key: "b", size: 2, down: 3, up: 2},
+		{key: "c", size: 3, down: 4, up: 0},
+	}}
+	if got := sel.Select(v); got != 1 {
+		t.Errorf("Select = %d, want 1 (mid-chain bisection)", got)
+	}
+	// Equal scores fall back to the paper's (size, key)-least order.
+	tie := fakeView{theta: 0.2, cands: []fakeCand{
+		{key: "a", size: 2, down: 2, up: 2},
+		{key: "b", size: 1, down: 2, up: 2},
+	}}
+	if got := sel.Select(tie); got != 1 {
+		t.Errorf("tie Select = %d, want 1 (smaller size wins the tie)", got)
+	}
+	// Determinism: the same view always picks the same index.
+	for i := 0; i < 3; i++ {
+		if sel.Select(v) != 1 {
+			t.Fatal("ChainPrune selection drifted on a fixed view")
+		}
+	}
+}
+
+func TestMaxPruneSelector(t *testing.T) {
+	// With no answers anywhere, the prior is indifferent (0.5): the
+	// balanced expected prune 0.5·down + 0.5·up decides.
+	sel := plan.MaxPrune{}.NewSelector()
+	cold := fakeView{theta: 0.2, cands: []fakeCand{
+		{key: "a", size: 1, down: 1, up: 1},
+		{key: "b", size: 2, down: 4, up: 3},
+	}}
+	if got := sel.Select(cold); got != 1 {
+		t.Errorf("cold Select = %d, want 1 (largest balanced prune)", got)
+	}
+
+	// Adaptivity: strong significant evidence on one candidate pushes the
+	// running prior up, so an unanswered down-heavy candidate now outranks
+	// an unanswered up-heavy one of equal total fringe.
+	sel = plan.MaxPrune{}.NewSelector()
+	warm := fakeView{theta: 0.2, cands: []fakeCand{
+		{key: "a", size: 1, down: 0, up: 0, answers: 3, mean: 0.9},
+		{key: "b", size: 2, down: 6, up: 0},
+		{key: "c", size: 2, down: 0, up: 6},
+	}}
+	if got := sel.Select(warm); got != 1 {
+		t.Errorf("warm Select = %d, want 1 (high prior favors the down-set)", got)
+	}
+	// Mirror: insignificant evidence favors the up-heavy candidate.
+	sel = plan.MaxPrune{}.NewSelector()
+	low := fakeView{theta: 0.2, cands: []fakeCand{
+		{key: "a", size: 1, down: 0, up: 0, answers: 3, mean: 0.0},
+		{key: "b", size: 2, down: 6, up: 0},
+		{key: "c", size: 2, down: 0, up: 6},
+	}}
+	if got := sel.Select(low); got != 2 {
+		t.Errorf("low Select = %d, want 2 (low prior favors the up-set)", got)
+	}
+
+	// The prior persists across rounds: after the warm view, a view with
+	// no answered candidates still selects under the learned prior.
+	sel = plan.MaxPrune{}.NewSelector()
+	sel.Select(warm)
+	later := fakeView{theta: 0.2, cands: []fakeCand{
+		{key: "b", size: 2, down: 6, up: 0},
+		{key: "c", size: 2, down: 0, up: 6},
+	}}
+	if got := sel.Select(later); got != 0 {
+		t.Errorf("later Select = %d, want 0 (prior carried across rounds)", got)
+	}
+}
+
+// TestWithPolicyFingerprints: satellite check that ordering variants are
+// first-class plans — distinct fingerprints, shared frozen tables, and
+// no-op derivations returning the base pointer.
+func TestWithPolicyFingerprints(t *testing.T) {
+	v, o, q := captureDomain(t, 6)
+	base, err := plan.Compile(v, o, q, plan.DomainFingerprint(v, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := base.WithPolicy(plan.PolicyChainPrune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.PolicyName != plan.PolicyChainPrune {
+		t.Errorf("variant PolicyName = %q", cp.PolicyName)
+	}
+	if cp.Fingerprint() == base.Fingerprint() {
+		t.Error("ordering variant shares the base fingerprint; caches and WALs would mix orderings")
+	}
+	if cp.Vocabulary() != base.Vocabulary() {
+		t.Error("variant does not share the base vocabulary")
+	}
+	if ord, err := cp.Ordering(); err != nil || ord.Name() != plan.PolicyChainPrune {
+		t.Errorf("variant Ordering() = %v, %v", ord, err)
+	}
+	// Each registered ordering fingerprints distinctly from every other.
+	seen := map[string]string{base.PolicyName: base.Fingerprint()}
+	for _, name := range plan.OrderingNames() {
+		p, err := base.WithPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := seen[name]; ok && prev != p.Fingerprint() {
+			t.Errorf("%s fingerprint unstable", name)
+		}
+		for other, fp := range seen {
+			if other != name && fp == p.Fingerprint() {
+				t.Errorf("%s and %s share a fingerprint", name, other)
+			}
+		}
+		seen[name] = p.Fingerprint()
+	}
+	// No-op derivations return the base pointer itself.
+	if same, err := base.WithPolicy(""); err != nil || same != base {
+		t.Errorf("WithPolicy(\"\") = %v, %v; want base", same, err)
+	}
+	if same, err := base.WithPolicy(base.PolicyName); err != nil || same != base {
+		t.Errorf("WithPolicy(base) = %v, %v; want base", same, err)
+	}
+}
+
+// TestCachePolicyVariants: two plans differing only in ordering never
+// share a cache slot, and the dimensions compose — the ordering variant
+// of a stop variant is its own entry.
+func TestCachePolicyVariants(t *testing.T) {
+	v, o, q := captureDomain(t, 6)
+	fp := plan.DomainFingerprint(v, o)
+	c := plan.NewCache()
+	m := plan.NewCacheMetrics(obs.NewRegistry())
+	base, _, err := c.GetOrCompile(q.String(), fp, m, func() (*plan.Plan, error) {
+		return plan.Compile(v, o, q, fp)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mp, hit, err := c.GetOrDerivePolicy(base, plan.PolicyMaxPrune, m)
+	if err != nil || hit {
+		t.Fatalf("first GetOrDerivePolicy: hit=%v err=%v", hit, err)
+	}
+	if mp == base || mp.Fingerprint() == base.Fingerprint() {
+		t.Error("policy variant shares the base plan or fingerprint")
+	}
+	mp2, hit, err := c.GetOrDerivePolicy(base, plan.PolicyMaxPrune, m)
+	if err != nil || !hit || mp2 != mp {
+		t.Fatalf("second GetOrDerivePolicy: plan=%p hit=%v err=%v, want %p hit", mp2, hit, err, mp)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (base + one variant)", c.Len())
+	}
+
+	// The base's own name and the empty default are hits on base itself.
+	if p, hit, err := c.GetOrDerivePolicy(base, "", m); err != nil || !hit || p != base {
+		t.Errorf("GetOrDerivePolicy(\"\") = %v, %v, %v", p, hit, err)
+	}
+	if p, hit, err := c.GetOrDerivePolicy(base, base.PolicyName, m); err != nil || !hit || p != base {
+		t.Errorf("GetOrDerivePolicy(default) = %v, %v, %v", p, hit, err)
+	}
+
+	// Composition: the ordering variant of a stop variant occupies its own
+	// slot, distinct from the ordering variant of the default-stop plan.
+	sv, _, err := c.GetOrDerive(base, aggregate.StopSpecies, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, hit, err := c.GetOrDerivePolicy(sv, plan.PolicyMaxPrune, m)
+	if err != nil || hit {
+		t.Fatalf("stop+policy GetOrDerivePolicy: hit=%v err=%v", hit, err)
+	}
+	if both == mp || both.Fingerprint() == mp.Fingerprint() {
+		t.Error("stop+policy variant collided with the default-stop policy variant")
+	}
+	if both.StopName != aggregate.StopSpecies || both.PolicyName != plan.PolicyMaxPrune {
+		t.Errorf("composed variant = (%s, %s)", both.StopName, both.PolicyName)
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want 4 (base, policy, stop, stop+policy)", c.Len())
+	}
+}

@@ -1,0 +1,176 @@
+package plan
+
+// CandidateView is the read-only window a tier-two Selector gets over the
+// engine's current candidate set: every unclassified generated node, with
+// its lattice position (size, fringe counts among still-unclassified
+// neighbors) and its live answer aggregate. The engine materializes the
+// view over its interned node store; candidates are presented in
+// canonical key order, which is the one enumeration identical across
+// sequential, concurrent and panel execution — the determinism contract
+// rests on it.
+//
+// The fringe counts are the pruning potential of Observation 4.4:
+// significance is downward closed and insignificance upward closed, so
+// classifying a candidate significant settles its unresolved down-set
+// (UnclassifiedPredecessors) and classifying it insignificant settles its
+// unresolved up-set (UnclassifiedSuccessors) — without asking a single
+// further question about those neighbors.
+type CandidateView interface {
+	// Len returns the number of candidates.
+	Len() int
+	// Key returns candidate i's canonical node key. Keys are distinct and
+	// ascending in i.
+	Key(i int) string
+	// Size returns candidate i's lattice size (pattern specificity).
+	Size(i int) int
+	// UnclassifiedSuccessors counts candidate i's immediate successors
+	// that are still unclassified — the up-set fringe an insignificant
+	// verdict prunes.
+	UnclassifiedSuccessors(i int) int
+	// UnclassifiedPredecessors counts candidate i's immediate predecessors
+	// that are still unclassified — the down-set fringe a significant
+	// verdict settles by inference.
+	UnclassifiedPredecessors(i int) int
+	// Answers returns how many crowd answers candidate i's question has
+	// collected so far.
+	Answers(i int) int
+	// Mean returns the running mean support of candidate i's question
+	// (0 with no answers).
+	Mean(i int) float64
+	// Theta returns the run's significance threshold.
+	Theta() float64
+}
+
+// Selector is the tier-two ordering instance: it sees the whole candidate
+// set through a CandidateView and returns the index of the node to ask
+// about next. Selectors may carry per-run state (NewSelector hands every
+// run a fresh one), but must stay deterministic: the same view and state
+// must always pick the same index.
+type Selector interface {
+	// Select returns the chosen candidate index in [0, view.Len()).
+	// It is never called on an empty view.
+	Select(view CandidateView) int
+}
+
+// SelectorOrdering is the tier-two registration: an Ordering that picks
+// via a stateful Selector instead of a pairwise comparator. NewSelector
+// is called once per run, so selector state never leaks across runs.
+type SelectorOrdering interface {
+	Ordering
+	// NewSelector returns a fresh per-run selector.
+	NewSelector() Selector
+}
+
+// paperBefore is the shared tie-break of the selector orderings: between
+// equally-scored candidates, fall back to the paper's (size, key)-least
+// order, keeping every selector a total order.
+func paperBefore(v CandidateView, i, j int) bool {
+	if v.Size(i) != v.Size(j) {
+		return v.Size(i) < v.Size(j)
+	}
+	return v.Key(i) < v.Key(j)
+}
+
+// ChainPrune is the chain-partition-inspired fringe ordering (after
+// Amarilli, Amsterdamer & Milo: exploiting taxonomy structure provably
+// reduces expected question count): prefer the candidate whose
+// classification is guaranteed to settle the largest unresolved
+// neighborhood whichever way the verdict falls. A node in the middle of a
+// long unresolved chain scores min(down-fringe, up-fringe) — the prune it
+// secures even in the worst case — so the ordering bisects chains instead
+// of crawling them end to end.
+type ChainPrune struct{}
+
+// Name implements Ordering.
+func (ChainPrune) Name() string { return PolicyChainPrune }
+
+// NewSelector implements SelectorOrdering.
+func (ChainPrune) NewSelector() Selector { return chainPruneSelector{} }
+
+type chainPruneSelector struct{}
+
+// Select maximizes the guaranteed prune min(unclassified predecessors,
+// unclassified successors), breaking ties with the paper order.
+func (chainPruneSelector) Select(v CandidateView) int {
+	best, bestScore := -1, -1
+	for i := 0; i < v.Len(); i++ {
+		score := v.UnclassifiedPredecessors(i)
+		if up := v.UnclassifiedSuccessors(i); up < score {
+			score = up
+		}
+		if best < 0 || score > bestScore ||
+			(score == bestScore && paperBefore(v, i, best)) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// MaxPrune is the adaptive ordering: it re-scores every candidate from
+// the live answer distribution, weighting the two one-sided prunes of
+// Observation 4.4 by the estimated probability of each verdict. A
+// candidate whose running mean sits far above the threshold is probably
+// significant, so its value is the down-set it would settle; far below,
+// the up-set it would prune. Candidates without answers score under the
+// selector's running prior — the mean verdict probability observed on
+// answered candidates so far — which is how the ordering adapts as
+// evidence accumulates.
+type MaxPrune struct{}
+
+// Name implements Ordering.
+func (MaxPrune) Name() string { return PolicyMaxPrune }
+
+// NewSelector implements SelectorOrdering: the prior starts indifferent
+// and is carried across rounds, so early evidence keeps steering later
+// no-answer candidates.
+func (MaxPrune) NewSelector() Selector { return &maxPruneSelector{prior: 0.5} }
+
+type maxPruneSelector struct {
+	// prior is the running estimate of P(significant) for candidates
+	// without answers, updated each round from the answered candidates.
+	prior float64
+}
+
+// probSignificant maps a running mean to a verdict probability: linear in
+// the distance from the threshold, clamped away from certainty so no
+// candidate's fringe is ever fully discounted on partial evidence.
+func probSignificant(mean, theta float64) float64 {
+	p := 0.5 + (mean - theta)
+	if p < 0.05 {
+		return 0.05
+	}
+	if p > 0.95 {
+		return 0.95
+	}
+	return p
+}
+
+// Select maximizes the expected prune p·down + (1−p)·up, breaking ties
+// with the paper order.
+func (s *maxPruneSelector) Select(v CandidateView) int {
+	theta := v.Theta()
+	sum, n := 0.0, 0
+	for i := 0; i < v.Len(); i++ {
+		if v.Answers(i) > 0 {
+			sum += probSignificant(v.Mean(i), theta)
+			n++
+		}
+	}
+	if n > 0 {
+		s.prior = sum / float64(n)
+	}
+	best, bestScore := -1, 0.0
+	for i := 0; i < v.Len(); i++ {
+		p := s.prior
+		if v.Answers(i) > 0 {
+			p = probSignificant(v.Mean(i), theta)
+		}
+		score := p*float64(v.UnclassifiedPredecessors(i)) +
+			(1-p)*float64(v.UnclassifiedSuccessors(i))
+		if best < 0 || score > bestScore ||
+			(score == bestScore && paperBefore(v, i, best)) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}

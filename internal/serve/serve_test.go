@@ -119,16 +119,16 @@ func TestServeEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := pl.Policy()
+	ordering, err := pl.Ordering()
 	if err != nil {
 		t.Fatal(err)
 	}
 	sp := pl.NewSpace()
 	ref := core.NewSession(core.Config{
-		Space:  sp,
-		Theta:  pl.Support,
-		Policy: policy,
-		Agg:    aggregate.NewFixedSample(2),
+		Space:    sp,
+		Theta:    pl.Support,
+		Ordering: ordering,
+		Agg:      aggregate.NewFixedSample(2),
 	}, []string{"p00", "p01"})
 	for qs := ref.Next(); len(qs) > 0; qs = ref.Next() {
 		for _, rq := range qs {

@@ -56,6 +56,14 @@ type TenantConfig struct {
 	// batch. 0 keeps the engine's default mirror-only speculation;
 	// mined results are identical either way.
 	PanelSpeculation int
+
+	// Policy names the question-ordering policy every session of this
+	// tenant compiles its plans with (plan.OrderingByName; empty means
+	// the planner's default, paper-order). The ordering is part of the
+	// compiled plan — and so of its fingerprint — so shard routing,
+	// session matching and the WAL's drift detection all see the
+	// tenant's variant consistently.
+	Policy string
 }
 
 // Tenant is one hosted domain with its roster, shards and sessions. All
@@ -68,6 +76,7 @@ type Tenant struct {
 	onto      *ontology.Ontology
 	k         int
 	panelSpec int
+	policy    string
 	storeDir  string
 	shards    []*shard
 	slots     []string       // roster member IDs, fixed at construction
@@ -161,6 +170,14 @@ func newTenant(r *Registry, tc TenantConfig) (*Tenant, error) {
 	if tc.AnswersPerQuestion <= 0 {
 		tc.AnswersPerQuestion = 1
 	}
+	if tc.Policy != "" {
+		// Validate at boot, not first query: a fleet file naming an
+		// unknown ordering should fail the tenant, with the plan
+		// registry's canonical message.
+		if _, err := plan.OrderingByName(tc.Policy); err != nil {
+			return nil, fmt.Errorf("serve: tenant %q: %w", tc.Name, err)
+		}
+	}
 	dom, err := core.NewDomain(tc.Voc, tc.Onto)
 	if err != nil {
 		return nil, fmt.Errorf("serve: tenant %q: %w", tc.Name, err)
@@ -173,6 +190,7 @@ func newTenant(r *Registry, tc TenantConfig) (*Tenant, error) {
 		onto:      tc.Onto,
 		k:         tc.AnswersPerQuestion,
 		panelSpec: tc.PanelSpeculation,
+		policy:    tc.Policy,
 		storeDir:  tc.StoreDir,
 		memberIdx: make(map[string]int, tc.Members),
 		obs:       newTenantObs(r.obs, tc.Name),
@@ -277,6 +295,16 @@ func (t *Tenant) bumpSeq(id string) {
 	t.mu.Unlock()
 }
 
+// compile resolves q through the tenant's plan cache, applying the
+// tenant's configured ordering policy. Every compile site in the tenant
+// goes through here — shard routing (Open), session matching
+// (EnsureSession) and attachment — so all of them agree on the variant
+// plan's fingerprint, and recovery re-routes consistently.
+func (t *Tenant) compile(q *oassisql.Query) (*plan.Plan, error) {
+	pl, _, err := t.domain.CompileVariant(q, "", t.policy, t.reg.planMet)
+	return pl, err
+}
+
 // Name returns the tenant's registry key.
 func (t *Tenant) Name() string { return t.name }
 
@@ -347,7 +375,7 @@ func (t *Tenant) Open(q *oassisql.Query) (*Session, error) {
 	if t.storeDir != "" {
 		// The directory lands under the routing shard purely for
 		// operator legibility; recovery re-routes by fingerprint.
-		pl, _, err := t.domain.Compile(q, t.reg.planMet)
+		pl, err := t.compile(q)
 		if err != nil {
 			return nil, err
 		}
@@ -370,7 +398,7 @@ func (t *Tenant) Open(q *oassisql.Query) (*Session, error) {
 // session already existed — how a restarted boot query resumes instead
 // of forking a duplicate session.
 func (t *Tenant) EnsureSession(q *oassisql.Query) (*Session, bool, error) {
-	pl, _, err := t.domain.Compile(q, t.reg.planMet)
+	pl, err := t.compile(q)
 	if err != nil {
 		return nil, false, err
 	}
@@ -395,11 +423,11 @@ func (t *Tenant) EnsureSession(q *oassisql.Query) (*Session, bool, error) {
 // attach builds the hosted session around a compiled plan and registers
 // it with its routing shard. st/rec may be nil (in-memory tenant).
 func (t *Tenant) attach(id string, q *oassisql.Query, st *store.Store, rec *store.Recovered) (*Session, error) {
-	pl, _, err := t.domain.Compile(q, t.reg.planMet)
+	pl, err := t.compile(q)
 	if err != nil {
 		return nil, err
 	}
-	policy, err := pl.Policy()
+	ordering, err := pl.Ordering()
 	if err != nil {
 		return nil, err
 	}
@@ -417,7 +445,7 @@ func (t *Tenant) attach(id string, q *oassisql.Query, st *store.Store, rec *stor
 	cfg := core.Config{
 		Space:            sp,
 		Theta:            pl.Support,
-		Policy:           policy,
+		Ordering:         ordering,
 		Agg:              aggregate.NewFixedSample(t.k),
 		Metrics:          t.reg.coreMet,
 		PanelSpeculation: t.panelSpec,

@@ -593,6 +593,7 @@ type options struct {
 	topK                int
 	spamMaxViolations   int
 	stopPolicy          string
+	policy              string
 	parallelism         int
 	panelSize           int
 	priorSource         PriorSource
@@ -665,6 +666,38 @@ const (
 	StopAccuracy = aggregate.StopAccuracy
 )
 
+// Ordering-policy names for WithPolicy.
+const (
+	// PolicyPaperOrder is the default: the paper's §4 bottom-up order,
+	// smallest unclassified pattern first (bit-identical to not setting
+	// a policy at all).
+	PolicyPaperOrder = plan.PolicyPaperOrder
+	// PolicyLargestFirst asks about the largest unclassified pattern
+	// first, descending from the most specific candidates.
+	PolicyLargestFirst = plan.PolicyLargestFirst
+	// PolicyChainPrune is the taxonomy-aware fringe ordering: prefer the
+	// pattern whose classification settles the largest unresolved
+	// neighborhood whichever way the verdict falls, bisecting unresolved
+	// chains instead of crawling them.
+	PolicyChainPrune = plan.PolicyChainPrune
+	// PolicyMaxPrune is the adaptive ordering: candidates are re-scored
+	// every round from the live answer distribution, maximizing the
+	// expected number of patterns settled by inference per question.
+	PolicyMaxPrune = plan.PolicyMaxPrune
+)
+
+// WithPolicy selects the question-ordering policy of the run:
+// PolicyPaperOrder (default), PolicyLargestFirst, PolicyChainPrune or
+// PolicyMaxPrune. The ordering is part of the compiled plan — plans with
+// different orderings have different fingerprints, so the plan cache and
+// a WithStore WAL keep them apart. Every ordering yields the identical
+// mined MSP set (the equivalence matrix proves it across parallelism and
+// panel batching); what changes is how many questions the crowd answers
+// to get there. An unknown name is reported as ErrInvalidOption.
+func WithPolicy(name string) Option {
+	return func(o *options) { o.policy = name }
+}
+
 // WithStopPolicy selects the streaming stop-condition policy of the run:
 // StopThreshold (default), StopSpecies or StopAccuracy. The policy is
 // part of the compiled plan — plans with different stop policies have
@@ -726,12 +759,22 @@ func compilePlan(db *DB, q *Query, o *options) (*plan.Plan, error) {
 	}
 	if o.noPlanCache {
 		pl, err := plan.Compile(dom.Voc, dom.Onto, q.ast, dom.Fingerprint())
-		if err != nil || o.stopPolicy == "" {
-			return pl, err
+		if err != nil {
+			return nil, err
 		}
-		return pl.WithStop(o.stopPolicy)
+		if o.stopPolicy != "" {
+			if pl, err = pl.WithStop(o.stopPolicy); err != nil {
+				return nil, err
+			}
+		}
+		if o.policy != "" {
+			if pl, err = pl.WithPolicy(o.policy); err != nil {
+				return nil, err
+			}
+		}
+		return pl, nil
 	}
-	pl, _, err := dom.CompileStop(q.ast, o.stopPolicy, m)
+	pl, _, err := dom.CompileVariant(q.ast, o.stopPolicy, o.policy, m)
 	return pl, err
 }
 
@@ -749,7 +792,7 @@ func planConfig(db *DB, pl *plan.Plan, o *options) (*assign.Space, core.Config, 
 		}
 		sp.MoreCandidates = pool
 	}
-	policy, err := pl.Policy()
+	ordering, err := pl.Ordering()
 	if err != nil {
 		return nil, cfg, err
 	}
@@ -760,7 +803,7 @@ func planConfig(db *DB, pl *plan.Plan, o *options) (*assign.Space, core.Config, 
 	cfg = core.Config{
 		Space:                 sp,
 		Theta:                 pl.Support,
-		Policy:                policy,
+		Ordering:              ordering,
 		Agg:                   aggregate.NewFixedSample(o.answersPerQuestion),
 		SpecializationRatio:   o.specializationRatio,
 		EnablePruning:         o.pruning,
@@ -916,6 +959,10 @@ func (p *Plan) Query() string { return p.inner.QueryText }
 // (StopThreshold unless WithStopPolicy chose otherwise).
 func (p *Plan) StopPolicy() string { return p.inner.StopName }
 
+// Policy returns the name of the question-ordering policy compiled into
+// the plan (PolicyPaperOrder unless WithPolicy chose otherwise).
+func (p *Plan) Policy() string { return p.inner.PolicyName }
+
 // MarshalJSON returns the plan IR with terms resolved to names.
 func (p *Plan) MarshalJSON() ([]byte, error) { return p.inner.MarshalJSON() }
 
@@ -968,14 +1015,21 @@ func ExecPlanContext(ctx context.Context, db *DB, p *Plan, members []Member, opt
 			fp, dom.Fingerprint())
 	}
 	pl := p.inner
+	var m *plan.CacheMetrics
+	if o.metrics != nil {
+		m = o.metrics.plan
+	}
 	if o.stopPolicy != "" && o.stopPolicy != pl.StopName {
 		// WithStopPolicy on an already-compiled plan: derive the variant
 		// through the domain's cache (same tables, new fingerprint).
-		var m *plan.CacheMetrics
-		if o.metrics != nil {
-			m = o.metrics.plan
-		}
 		pl, _, err = dom.Plans().GetOrDerive(pl, o.stopPolicy, m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if o.policy != "" && o.policy != pl.PolicyName {
+		// Same derivation discipline for WithPolicy.
+		pl, _, err = dom.Plans().GetOrDerivePolicy(pl, o.policy, m)
 		if err != nil {
 			return nil, err
 		}

@@ -234,6 +234,7 @@ func TestInvalidOptionGoldenErrors(t *testing.T) {
 		{"specialization ratio", WithSpecializationRatio(1.5), "oassis: invalid option: specialization ratio 1.5 (want within [0, 1])"},
 		{"parallelism", WithParallelism(-2), "oassis: invalid option: parallelism -2 (want >= 0)"},
 		{"top-k", WithTopK(-1), "oassis: invalid option: top-k -1 (want >= 0)"},
+		{"ordering policy", WithPolicy("nope"), "oassis: invalid option: ordering policy \"nope\" (want one of chain-prune, largest-first, max-prune, paper-order)"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			_, err := Exec(db, q, nil, tc.opt)

@@ -1,0 +1,98 @@
+package oassis
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// mspTexts renders a result's MSP texts sorted, for order-insensitive
+// comparison across ordering policies (different orderings ask different
+// question sequences, so only the mined set is comparable).
+func mspTexts(res *Result) string {
+	out := make([]string, 0, len(res.MSPs))
+	for _, m := range res.MSPs {
+		out = append(out, m.Text)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ";")
+}
+
+// TestWithPolicyExec: the facade option end to end — every registered
+// ordering mines the same MSP set as the default on the paper's running
+// example (Table 3 members answer deterministically), and the compiled
+// plan records the policy with a fingerprint of its own.
+func TestWithPolicyExec(t *testing.T) {
+	db := SampleDB()
+	q, err := ParseQuery(restrictedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Exec(db, q, table3Members(t, db), WithAnswersPerQuestion(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mspTexts(base)
+	if want == "" {
+		t.Fatal("default run mined no MSPs")
+	}
+	for _, policy := range []string{PolicyPaperOrder, PolicyLargestFirst, PolicyChainPrune, PolicyMaxPrune} {
+		res, err := Exec(db, q, table3Members(t, db),
+			WithAnswersPerQuestion(2), WithPolicy(policy))
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if got := mspTexts(res); got != want {
+			t.Errorf("%s mined %q, want %q", policy, got, want)
+		}
+	}
+}
+
+// TestWithPolicyCompile: WithPolicy at Compile time lands in the plan —
+// accessor, fingerprint distinctness, and cache reuse of the variant.
+func TestWithPolicyCompile(t *testing.T) {
+	db := SampleDB()
+	q, err := ParseQuery(restrictedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Compile(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Policy() != PolicyPaperOrder {
+		t.Errorf("default plan Policy() = %q", base.Policy())
+	}
+	variant, err := Compile(db, q, WithPolicy(PolicyChainPrune))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if variant.Policy() != PolicyChainPrune {
+		t.Errorf("variant Policy() = %q", variant.Policy())
+	}
+	if variant.Fingerprint() == base.Fingerprint() {
+		t.Error("policy variant shares the base fingerprint")
+	}
+	again, err := Compile(db, q, WithPolicy(PolicyChainPrune))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.inner != variant.inner {
+		t.Error("warm variant Compile did not hit the cache")
+	}
+
+	// ExecPlan of a base plan under WithPolicy derives the variant rather
+	// than executing the base ordering.
+	res, err := ExecPlan(db, base, table3Members(t, db),
+		WithAnswersPerQuestion(2), WithPolicy(PolicyMaxPrune))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Exec(db, q, table3Members(t, db), WithAnswersPerQuestion(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mspTexts(res), mspTexts(ref); got != want {
+		t.Errorf("ExecPlan(max-prune) mined %q, want %q", got, want)
+	}
+}
